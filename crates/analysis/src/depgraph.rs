@@ -1,0 +1,839 @@
+//! Region dependence graphs.
+//!
+//! Builds the dependence DAG over the operations of one region
+//! (superblock / hyperblock) that the EPIC list scheduler consumes. The
+//! construction is *predicate-cognizant* in the sense of the paper (§5):
+//!
+//! * Output and anti dependences between operations with provably disjoint
+//!   guards are discarded — this is what lets FRP-converted branches
+//!   reorder and overlap, and what makes PlayDoh wired-and / wired-or
+//!   compares accumulate in any order.
+//! * Writes to the same predicate with the same wired action kind are
+//!   unordered ("wired-or writes to a common location ... are considered as
+//!   unordered by the scheduler", §3).
+//! * A branch imposes control dependences on later non-speculative
+//!   operations and on later operations whose destinations are live at the
+//!   branch target; both carry the branch latency, implementing "no branch
+//!   takes when it is located within a delay slot of another taken branch"
+//!   and its generalization to all guarded side effects.
+//! * Values live at a branch target must be *available* when the branch
+//!   takes; program-order predecessors of the branch that define such
+//!   values get `latency − branch_latency` edges to the branch (possibly
+//!   negative, i.e. only a weak ordering).
+//!
+//! All edges point forward in program order, so program order is a
+//! topological order of the graph.
+
+use std::collections::{HashMap, HashSet};
+
+use epic_ir::{Op, OpId, Opcode, PredActionKind, PredReg, Reg};
+
+use crate::pred_facts::PredFacts;
+
+/// The kind of a dependence edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write through a register or predicate.
+    Flow,
+    /// Write-after-read.
+    Anti,
+    /// Write-after-write.
+    Output,
+    /// Memory ordering (store/store, store/load, load/store).
+    Mem,
+    /// Control dependence on a branch, or availability-at-exit constraint.
+    Control,
+}
+
+/// A dependence edge `from → to` with a (possibly negative) latency:
+/// `cycle(to) ≥ cycle(from) + latency`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source op index (always less than `to`).
+    pub from: usize,
+    /// Destination op index.
+    pub to: usize,
+    /// Edge kind.
+    pub kind: DepKind,
+    /// Minimum cycle distance.
+    pub latency: i32,
+}
+
+/// Options controlling graph construction.
+#[derive(Clone, Debug)]
+pub struct DepOptions {
+    /// The exposed branch latency of the target machine.
+    pub branch_latency: i32,
+    /// Enable predicate-based relaxation (disjoint-guard elision, wired
+    /// compare commutativity). Disabling it models a predicate-unaware
+    /// scheduler and is used for ablation.
+    pub pred_relaxation: bool,
+    /// Alias classes of memory operations (see
+    /// [`Function::mem_classes`](epic_ir::Function::mem_classes)): memory
+    /// operations with different classes never conflict.
+    pub mem_classes: HashMap<OpId, u32>,
+}
+
+impl Default for DepOptions {
+    fn default() -> Self {
+        DepOptions { branch_latency: 1, pred_relaxation: true, mem_classes: HashMap::new() }
+    }
+}
+
+impl DepOptions {
+    /// Options with the alias-class table of `func` (the usual way to build
+    /// a graph over one of its blocks).
+    pub fn for_function(func: &epic_ir::Function) -> DepOptions {
+        DepOptions { mem_classes: func.mem_classes().clone(), ..DepOptions::default() }
+    }
+}
+
+/// Registers and predicates live at each exit of a region.
+///
+/// `at_op[i]` is `Some((regs, preds))` for each branch op index `i`, giving
+/// what is live at that branch's target (empty sets for `ret`); `at_end` is
+/// what is live when the region falls through.
+#[derive(Clone, Debug, Default)]
+pub struct ExitLiveness {
+    /// Live sets at each branch (indexed by op position).
+    pub at_op: HashMap<usize, (HashSet<Reg>, HashSet<PredReg>)>,
+    /// Live set at the fall-through end of the region.
+    pub at_end: (HashSet<Reg>, HashSet<PredReg>),
+}
+
+/// The dependence graph of one region.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    n: usize,
+    edges: Vec<DepEdge>,
+    preds_of: Vec<Vec<u32>>,
+    succs_of: Vec<Vec<u32>>,
+}
+
+impl DepGraph {
+    /// Builds the dependence graph for `ops`.
+    ///
+    /// * `facts` — symbolic predicate analysis of the same op slice.
+    /// * `latency` — producer latency of each op on the target machine.
+    /// * `exit_live` — liveness at each exit; when `None`, every register
+    ///   and predicate is conservatively assumed live at every exit.
+    pub fn build(
+        ops: &[Op],
+        facts: &mut PredFacts,
+        latency: &dyn Fn(&Op) -> u32,
+        opts: &DepOptions,
+        exit_live: Option<&ExitLiveness>,
+    ) -> DepGraph {
+        let classes: Vec<Option<u32>> =
+            ops.iter().map(|o| opts.mem_classes.get(&o.id).copied()).collect();
+        let mut b = Builder {
+            ops,
+            facts,
+            latency,
+            opts,
+            classes,
+            exit_live,
+            edges: Vec::new(),
+            reg_writers: HashMap::new(),
+            reg_readers: HashMap::new(),
+            pred_writers: HashMap::new(),
+            pred_readers: HashMap::new(),
+            stores: Vec::new(),
+            loads: Vec::new(),
+            branches: Vec::new(),
+            addrs: compute_addresses(ops),
+        };
+        for i in 0..ops.len() {
+            b.visit(i);
+        }
+        let edges = b.edges;
+        let mut preds_of = vec![Vec::new(); ops.len()];
+        let mut succs_of = vec![Vec::new(); ops.len()];
+        for (idx, e) in edges.iter().enumerate() {
+            debug_assert!(e.from < e.to, "edges must point forward");
+            preds_of[e.to].push(idx as u32);
+            succs_of[e.from].push(idx as u32);
+        }
+        DepGraph { n: ops.len(), edges, preds_of, succs_of }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the region has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Incoming edges of op `i`.
+    pub fn preds(&self, i: usize) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.preds_of[i].iter().map(move |&e| &self.edges[e as usize])
+    }
+
+    /// Outgoing edges of op `i`.
+    pub fn succs(&self, i: usize) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.succs_of[i].iter().map(move |&e| &self.edges[e as usize])
+    }
+
+    /// Earliest start cycle of each op ignoring resource constraints
+    /// (dependence-height schedule).
+    pub fn earliest_starts(&self) -> Vec<i64> {
+        let mut est = vec![0i64; self.n];
+        for i in 0..self.n {
+            for e in self.preds(i) {
+                est[i] = est[i].max(est[e.from] + e.latency as i64);
+            }
+        }
+        est
+    }
+
+    /// The dependence height of the region: the resource-free schedule
+    /// length through the graph, counting each op's latency.
+    pub fn height(&self, ops: &[Op], latency: &dyn Fn(&Op) -> u32) -> i64 {
+        let est = self.earliest_starts();
+        (0..self.n)
+            .map(|i| est[i] + latency(&ops[i]) as i64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Transitive data-dependence successors of a set of ops (used by the
+    /// ICBM separability test and off-trace motion). Follows `Flow` and
+    /// `Mem` flow edges plus `Control` edges from branches in the seed.
+    pub fn data_successors(&self, seeds: &[usize]) -> HashSet<usize> {
+        let mut out: HashSet<usize> = HashSet::new();
+        let mut work: Vec<usize> = seeds.to_vec();
+        while let Some(i) = work.pop() {
+            for e in self.succs(i) {
+                if matches!(e.kind, DepKind::Flow | DepKind::Mem | DepKind::Control)
+                    && out.insert(e.to)
+                {
+                    work.push(e.to);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Symbolic address descriptor for memory disambiguation: `base + offset`
+/// where `base` identifies an unknown base value. Base 0 is the "absolute"
+/// base for constant addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Addr {
+    base: u32,
+    offset: i64,
+}
+
+/// Computes an address descriptor for each load/store, or `None` when the
+/// address is not trackable.
+fn compute_addresses(ops: &[Op]) -> Vec<Option<Addr>> {
+    #[derive(Clone, Copy)]
+    enum Val {
+        Known(Addr),
+        Unknown,
+    }
+    let mut next_base = 1u32;
+    let mut regs: HashMap<Reg, Val> = HashMap::new();
+    let mut fresh = |regs: &mut HashMap<Reg, Val>, r: Reg| -> Addr {
+        let a = Addr { base: next_base, offset: 0 };
+        next_base += 1;
+        regs.insert(r, Val::Known(a));
+        a
+    };
+    let mut get = |regs: &mut HashMap<Reg, Val>, r: Reg| -> Val {
+        match regs.get(&r) {
+            Some(v) => *v,
+            None => Val::Known(fresh(regs, r)),
+        }
+    };
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        use epic_ir::Operand;
+        // Record the address of memory ops before updating defs.
+        let addr = match op.opcode {
+            Opcode::Load | Opcode::LoadS | Opcode::Store => match op.srcs[0] {
+                Operand::Reg(r) => match get(&mut regs, r) {
+                    Val::Known(a) => Some(a),
+                    Val::Unknown => None,
+                },
+                Operand::Imm(i) => Some(Addr { base: 0, offset: i }),
+                _ => None,
+            },
+            _ => None,
+        };
+        out.push(addr);
+        // Transfer function. Guarded defs are conservative: the destination
+        // becomes unknown (it may or may not be overwritten).
+        let mut val = |regs: &mut HashMap<Reg, Val>, s: Operand| -> Option<(Option<Addr>, i64)> {
+            match s {
+                Operand::Imm(i) => Some((None, i)),
+                Operand::Reg(r) => match get(regs, r) {
+                    Val::Known(a) => Some((Some(a), 0)),
+                    Val::Unknown => None,
+                },
+                _ => None,
+            }
+        };
+        let mut new_val: Option<Val> = None;
+        match op.opcode {
+            Opcode::Mov => {
+                new_val = Some(match val(&mut regs, op.srcs[0]) {
+                    Some((Some(a), _)) => Val::Known(a),
+                    Some((None, i)) => Val::Known(Addr { base: 0, offset: i }),
+                    None => Val::Unknown,
+                });
+            }
+            Opcode::Add | Opcode::Sub => {
+                let sign = if op.opcode == Opcode::Sub { -1 } else { 1 };
+                let a = val(&mut regs, op.srcs[0]);
+                let b = val(&mut regs, op.srcs[1]);
+                new_val = Some(match (a, b) {
+                    (Some((Some(base), _)), Some((None, i))) => {
+                        Val::Known(Addr { base: base.base, offset: base.offset + sign * i })
+                    }
+                    (Some((None, i)), Some((Some(base), _))) if sign == 1 => {
+                        Val::Known(Addr { base: base.base, offset: base.offset + i })
+                    }
+                    (Some((None, i)), Some((None, j))) => {
+                        Val::Known(Addr { base: 0, offset: i + sign * j })
+                    }
+                    _ => Val::Unknown,
+                });
+            }
+            _ => {}
+        }
+        for r in op.defs_regs() {
+            if op.guard.is_some() {
+                regs.insert(r, Val::Unknown);
+            } else {
+                match new_val {
+                    Some(v) => {
+                        regs.insert(r, v);
+                    }
+                    None => {
+                        regs.insert(r, Val::Unknown);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn no_alias(a: Option<Addr>, b: Option<Addr>, class_a: Option<u32>, class_b: Option<u32>) -> bool {
+    if let (Some(ca), Some(cb)) = (class_a, class_b) {
+        if ca != cb {
+            return true;
+        }
+    }
+    match (a, b) {
+        (Some(x), Some(y)) => x.base == y.base && x.offset != y.offset,
+        _ => false,
+    }
+}
+
+struct Builder<'a> {
+    ops: &'a [Op],
+    facts: &'a mut PredFacts,
+    latency: &'a dyn Fn(&Op) -> u32,
+    opts: &'a DepOptions,
+    classes: Vec<Option<u32>>,
+    exit_live: Option<&'a ExitLiveness>,
+    edges: Vec<DepEdge>,
+    /// Current potentially-visible writers of each register (a guarded def
+    /// does not kill earlier defs).
+    reg_writers: HashMap<Reg, Vec<usize>>,
+    reg_readers: HashMap<Reg, Vec<usize>>,
+    /// Writers of each predicate since the last unconditional (barrier)
+    /// write, with their action kinds.
+    pred_writers: HashMap<PredReg, Vec<(usize, PredActionKind)>>,
+    pred_readers: HashMap<PredReg, Vec<usize>>,
+    stores: Vec<usize>,
+    loads: Vec<usize>,
+    branches: Vec<usize>,
+    addrs: Vec<Option<Addr>>,
+}
+
+impl<'a> Builder<'a> {
+    fn edge(&mut self, from: usize, to: usize, kind: DepKind, latency: i32) {
+        if from == to {
+            return;
+        }
+        debug_assert!(from < to);
+        self.edges.push(DepEdge { from, to, kind, latency });
+    }
+
+    fn disjoint(&mut self, i: usize, j: usize) -> bool {
+        self.opts.pred_relaxation && self.facts.guards_disjoint(i, j)
+    }
+
+    /// True when op `i` performs no write at all under a false guard (this
+    /// is false for `cmpp` with unconditional destinations, which write
+    /// `false` even when nullified).
+    fn write_vanishes_when_nullified(&self, i: usize) -> bool {
+        let op = &self.ops[i];
+        match op.opcode {
+            Opcode::Cmpp(_) => op
+                .dests
+                .iter()
+                .all(|d| d.action().map(|a| a.kind != PredActionKind::Uncond).unwrap_or(true)),
+            _ => true,
+        }
+    }
+
+    fn is_speculative(&self, i: usize) -> bool {
+        !self.ops[i].opcode.has_side_effects()
+    }
+
+    fn visit(&mut self, i: usize) {
+        let op = &self.ops[i];
+        let lat = (self.latency)(op) as i32;
+        let blat = self.opts.branch_latency;
+
+        // --- register uses: flow from all visible writers ---
+        let used_regs: Vec<Reg> = op.uses_regs().collect();
+        for r in &used_regs {
+            if let Some(ws) = self.reg_writers.get(r).cloned() {
+                for w in ws {
+                    let wlat = (self.latency)(&self.ops[w]) as i32;
+                    self.edge(w, i, DepKind::Flow, wlat);
+                }
+            }
+            self.reg_readers.entry(*r).or_default().push(i);
+        }
+
+        // --- predicate uses (guard + data): flow from writers ---
+        let used_preds: Vec<PredReg> = op.uses_preds_with_guard().collect();
+        for p in &used_preds {
+            if let Some(ws) = self.pred_writers.get(p).cloned() {
+                for (w, _) in ws {
+                    let wlat = (self.latency)(&self.ops[w]) as i32;
+                    self.edge(w, i, DepKind::Flow, wlat);
+                }
+            }
+            self.pred_readers.entry(*p).or_default().push(i);
+        }
+
+        // --- register defs: anti from readers, output from writers ---
+        let def_regs: Vec<Reg> = op.defs_regs().collect();
+        for r in &def_regs {
+            if let Some(rs) = self.reg_readers.get(r).cloned() {
+                for rd in rs {
+                    if !(self.disjoint(rd, i) && self.write_vanishes_when_nullified(i)) {
+                        self.edge(rd, i, DepKind::Anti, 0);
+                    }
+                }
+            }
+            if let Some(ws) = self.reg_writers.get(r).cloned() {
+                for w in ws {
+                    if !(self.disjoint(w, i)
+                        && self.write_vanishes_when_nullified(i)
+                        && self.write_vanishes_when_nullified(w))
+                    {
+                        self.edge(w, i, DepKind::Output, 1);
+                    }
+                }
+            }
+            // Update writer set: an unguarded def kills, a guarded one joins.
+            let ws = self.reg_writers.entry(*r).or_default();
+            if op.guard.is_none() {
+                ws.clear();
+                self.reg_readers.entry(*r).or_default().clear();
+            }
+            ws.push(i);
+        }
+
+        // --- predicate defs ---
+        let pred_dests: Vec<(PredReg, PredActionKind)> = op
+            .dests
+            .iter()
+            .filter_map(|d| match d {
+                epic_ir::Dest::Pred(p, a) => Some((*p, a.kind)),
+                _ => None,
+            })
+            .collect();
+        for (p, kind) in &pred_dests {
+            if let Some(rs) = self.pred_readers.get(p).cloned() {
+                for rd in rs {
+                    let skippable = *kind != PredActionKind::Uncond && self.disjoint(rd, i);
+                    if !skippable {
+                        self.edge(rd, i, DepKind::Anti, 0);
+                    }
+                }
+            }
+            if let Some(ws) = self.pred_writers.get(p).cloned() {
+                for (w, wkind) in ws {
+                    // Same wired kind: unordered (commutative accumulation).
+                    if wkind == *kind && *kind != PredActionKind::Uncond {
+                        continue;
+                    }
+                    let both_wired = wkind != PredActionKind::Uncond
+                        && *kind != PredActionKind::Uncond;
+                    if both_wired && self.disjoint(w, i) {
+                        continue;
+                    }
+                    self.edge(w, i, DepKind::Output, 1);
+                }
+            }
+            let is_barrier = *kind == PredActionKind::Uncond && op.guard.is_none()
+                || matches!(op.opcode, Opcode::PredInit) && op.guard.is_none();
+            let ws = self.pred_writers.entry(*p).or_default();
+            if is_barrier {
+                ws.clear();
+                self.pred_readers.entry(*p).or_default().clear();
+            }
+            ws.push((i, *kind));
+        }
+
+        // --- memory ---
+        match op.opcode {
+            Opcode::Load | Opcode::LoadS => {
+                for s in self.stores.clone() {
+                    if no_alias(self.addrs[s], self.addrs[i], self.classes[s], self.classes[i])
+                        || self.disjoint(s, i)
+                    {
+                        continue;
+                    }
+                    let slat = (self.latency)(&self.ops[s]) as i32;
+                    self.edge(s, i, DepKind::Mem, slat);
+                }
+                self.loads.push(i);
+            }
+            Opcode::Store => {
+                for s in self.stores.clone() {
+                    if no_alias(self.addrs[s], self.addrs[i], self.classes[s], self.classes[i])
+                        || self.disjoint(s, i)
+                    {
+                        continue;
+                    }
+                    self.edge(s, i, DepKind::Mem, 1);
+                }
+                for l in self.loads.clone() {
+                    if no_alias(self.addrs[l], self.addrs[i], self.classes[l], self.classes[i])
+                        || self.disjoint(l, i)
+                    {
+                        continue;
+                    }
+                    self.edge(l, i, DepKind::Mem, 0);
+                }
+                self.stores.push(i);
+            }
+            _ => {}
+        }
+
+        // --- control dependences from earlier branches ---
+        for b in self.branches.clone() {
+            // Non-speculative ops must wait out the branch shadow.
+            let mut needs_control = !self.is_speculative(i);
+            // Ops whose destinations are live at the branch target must not
+            // be hoisted into or above the branch shadow either.
+            if !needs_control && self.defines_live_at_exit(b, i) {
+                needs_control = true;
+            }
+            if needs_control && !(self.disjoint(b, i) && self.write_vanishes_when_nullified(i)) {
+                self.edge(b, i, DepKind::Control, blat);
+            }
+        }
+
+        // --- this op is a branch: availability + ordering constraints ---
+        if op.is_branch() {
+            // Values live at the target must be available when the branch
+            // takes; earlier non-speculative ops must have issued.
+            let (live_regs, live_preds) = self.live_at_exit(i);
+            for r in live_regs {
+                if let Some(ws) = self.reg_writers.get(&r).cloned() {
+                    for w in ws {
+                        if w == i {
+                            continue;
+                        }
+                        let wlat = (self.latency)(&self.ops[w]) as i32;
+                        self.edge(w, i, DepKind::Control, wlat - blat);
+                    }
+                }
+            }
+            for p in live_preds {
+                if let Some(ws) = self.pred_writers.get(&p).cloned() {
+                    for (w, _) in ws {
+                        if w == i {
+                            continue;
+                        }
+                        let wlat = (self.latency)(&self.ops[w]) as i32;
+                        self.edge(w, i, DepKind::Control, wlat - blat);
+                    }
+                }
+            }
+            for s in self.stores.clone() {
+                if !self.disjoint(s, i) {
+                    self.edge(s, i, DepKind::Control, 1 - blat);
+                }
+            }
+            self.branches.push(i);
+        }
+        let _ = lat;
+    }
+
+    /// Registers and predicates live at the exit taken by branch `b`.
+    fn live_at_exit(&mut self, b: usize) -> (Vec<Reg>, Vec<PredReg>) {
+        match self.exit_live {
+            Some(el) => match el.at_op.get(&b) {
+                Some((r, p)) => (r.iter().copied().collect(), p.iter().copied().collect()),
+                None => (Vec::new(), Vec::new()),
+            },
+            // Conservative: everything written so far is live.
+            None => (
+                self.reg_writers.keys().copied().collect(),
+                self.pred_writers.keys().copied().collect(),
+            ),
+        }
+    }
+
+    fn defines_live_at_exit(&mut self, b: usize, i: usize) -> bool {
+        let op = &self.ops[i];
+        match self.exit_live {
+            Some(el) => match el.at_op.get(&b) {
+                Some((r, p)) => {
+                    op.defs_regs().any(|d| r.contains(&d))
+                        || op.defs_preds().any(|d| p.contains(&d))
+                }
+                None => false,
+            },
+            None => op.dests.iter().next().is_some(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{CmpCond, FunctionBuilder, Operand};
+
+    fn lat1(_: &Op) -> u32 {
+        1
+    }
+
+    fn build_simple(
+        f: impl FnOnce(&mut FunctionBuilder) -> epic_ir::BlockId,
+    ) -> (epic_ir::Function, epic_ir::BlockId) {
+        let mut b = FunctionBuilder::new("t");
+        let blk = f(&mut b);
+        (b.finish(), blk)
+    }
+
+    fn graph_of(func: &epic_ir::Function, blk: epic_ir::BlockId, opts: &DepOptions) -> DepGraph {
+        let ops = &func.block(blk).ops;
+        let mut facts = PredFacts::compute(ops);
+        DepGraph::build(ops, &mut facts, &lat1, opts, None)
+    }
+
+    #[test]
+    fn flow_dependence_chain() {
+        let (f, blk) = build_simple(|b| {
+            let blk = b.block("b");
+            b.switch_to(blk);
+            let x = b.movi(1);
+            let y = b.add(x.into(), Operand::Imm(1));
+            let _z = b.add(y.into(), Operand::Imm(1));
+            b.ret();
+            blk
+        });
+        let g = graph_of(&f, blk, &DepOptions::default());
+        let est = g.earliest_starts();
+        assert!(est[2] >= est[1] + 1);
+        assert!(est[1] >= est[0] + 1);
+    }
+
+    #[test]
+    fn disjoint_branches_can_overlap() {
+        // FRP-converted chain: branches guarded by pairwise disjoint preds
+        // have no mutual control edges; sequential (unpredicated) branches do.
+        let (f, blk) = build_simple(|b| {
+            let blk = b.block("hb");
+            let e1 = b.block("e1");
+            let e2 = b.block("e2");
+            for e in [e1, e2] {
+                b.switch_to(e);
+                b.ret();
+            }
+            b.switch_to(blk);
+            let x = b.reg();
+            let y = b.reg();
+            let (t1, f1) = b.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(0));
+            b.branch_if(t1, e1);
+            b.set_guard(Some(f1));
+            let (t2, _f2) = b.cmpp_un_uc(CmpCond::Eq, y.into(), Operand::Imm(0));
+            b.branch_if(t2, e2);
+            b.set_guard(None);
+            b.ret();
+            blk
+        });
+        let ops = &f.block(blk).ops;
+        let br: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.opcode == Opcode::Branch)
+            .map(|(i, _)| i)
+            .collect();
+        let g = graph_of(&f, blk, &DepOptions::default());
+        let has_ctrl = |g: &DepGraph, a: usize, bx: usize| {
+            g.edges().iter().any(|e| e.from == a && e.to == bx && e.kind == DepKind::Control)
+        };
+        assert!(
+            !has_ctrl(&g, br[0], br[1]),
+            "disjoint branches must not be control-ordered"
+        );
+        // Without relaxation they are ordered.
+        let g2 = graph_of(&f, blk, &DepOptions { pred_relaxation: false, ..Default::default() });
+        assert!(has_ctrl(&g2, br[0], br[1]));
+    }
+
+    #[test]
+    fn store_control_depends_on_prior_branch() {
+        let (f, blk) = build_simple(|b| {
+            let blk = b.block("hb");
+            let e1 = b.block("e1");
+            b.switch_to(e1);
+            b.ret();
+            b.switch_to(blk);
+            let x = b.reg();
+            let (t1, _f1) = b.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(0));
+            b.branch_if(t1, e1);
+            let a = b.movi(0);
+            b.store(a, Operand::Imm(1)); // unguarded store after branch
+            b.ret();
+            blk
+        });
+        let ops = &f.block(blk).ops;
+        let br = ops.iter().position(|o| o.opcode == Opcode::Branch).unwrap();
+        let st = ops.iter().position(|o| o.opcode == Opcode::Store).unwrap();
+        let g = graph_of(&f, blk, &DepOptions::default());
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.from == br && e.to == st && e.kind == DepKind::Control));
+    }
+
+    #[test]
+    fn guarded_store_disjoint_from_branch_is_free() {
+        // Store guarded by the fall-through predicate: disjoint from the
+        // branch's taken predicate → no control edge (the FRP benefit).
+        let (f, blk) = build_simple(|b| {
+            let blk = b.block("hb");
+            let e1 = b.block("e1");
+            b.switch_to(e1);
+            b.ret();
+            b.switch_to(blk);
+            let x = b.reg();
+            let (t1, f1) = b.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(0));
+            b.branch_if(t1, e1);
+            let a = b.movi(0);
+            b.set_guard(Some(f1));
+            b.store(a, Operand::Imm(1));
+            b.set_guard(None);
+            b.ret();
+            blk
+        });
+        let ops = &f.block(blk).ops;
+        let br = ops.iter().position(|o| o.opcode == Opcode::Branch).unwrap();
+        let st = ops.iter().position(|o| o.opcode == Opcode::Store).unwrap();
+        let g = graph_of(&f, blk, &DepOptions::default());
+        assert!(!g
+            .edges()
+            .iter()
+            .any(|e| e.from == br && e.to == st && e.kind == DepKind::Control));
+    }
+
+    #[test]
+    fn wired_or_writes_are_unordered() {
+        use epic_ir::PredAction;
+        let (f, blk) = build_simple(|b| {
+            let blk = b.block("b");
+            b.switch_to(blk);
+            let x = b.reg();
+            let y = b.reg();
+            let p = b.pred();
+            b.pred_init(&[(p, false)]); // op 0
+            b.cmpp(CmpCond::Eq, vec![(p, PredAction::ON)], x.into(), Operand::Imm(0)); // op 1
+            b.cmpp(CmpCond::Eq, vec![(p, PredAction::ON)], y.into(), Operand::Imm(0)); // op 2
+            b.ret();
+            blk
+        });
+        let g = graph_of(&f, blk, &DepOptions::default());
+        // No output edge between the two ON compares.
+        assert!(!g
+            .edges()
+            .iter()
+            .any(|e| e.from == 1 && e.to == 2 && e.kind == DepKind::Output));
+        // But both depend on the initialization.
+        assert!(g.edges().iter().any(|e| e.from == 0 && e.to == 1));
+        assert!(g.edges().iter().any(|e| e.from == 0 && e.to == 2));
+    }
+
+    #[test]
+    fn memory_disambiguation_drops_edges() {
+        let (f, blk) = build_simple(|b| {
+            let blk = b.block("b");
+            b.switch_to(blk);
+            let base = b.reg();
+            let a0 = b.add(base.into(), Operand::Imm(0));
+            let a1 = b.add(base.into(), Operand::Imm(1));
+            b.store(a0, Operand::Imm(1)); // op 2
+            b.store(a1, Operand::Imm(2)); // op 3: provably no-alias
+            let _v = b.load(a0); // op 4: aliases op 2
+            b.ret();
+            blk
+        });
+        let g = graph_of(&f, blk, &DepOptions::default());
+        assert!(
+            !g.edges().iter().any(|e| e.from == 2 && e.to == 3 && e.kind == DepKind::Mem),
+            "different offsets from one base cannot alias"
+        );
+        assert!(
+            g.edges().iter().any(|e| e.from == 2 && e.to == 4 && e.kind == DepKind::Mem),
+            "same address must keep the store→load edge"
+        );
+    }
+
+    #[test]
+    fn height_counts_latency() {
+        let (f, blk) = build_simple(|b| {
+            let blk = b.block("b");
+            b.switch_to(blk);
+            let x = b.movi(1);
+            let y = b.add(x.into(), Operand::Imm(1));
+            let _ = y;
+            b.ret();
+            blk
+        });
+        let ops = &f.block(blk).ops;
+        let mut facts = PredFacts::compute(ops);
+        let lat = |op: &Op| if op.opcode == Opcode::Mov { 3u32 } else { 1 };
+        let g = DepGraph::build(ops, &mut facts, &lat, &DepOptions::default(), None);
+        assert_eq!(g.height(ops, &lat), 4); // mov(3) then add(1)
+    }
+
+    #[test]
+    fn data_successors_traverse_flow() {
+        let (f, blk) = build_simple(|b| {
+            let blk = b.block("b");
+            b.switch_to(blk);
+            let x = b.movi(1); // 0
+            let y = b.add(x.into(), Operand::Imm(1)); // 1
+            let _z = b.add(y.into(), Operand::Imm(1)); // 2
+            let _w = b.movi(9); // 3 independent
+            b.ret();
+            blk
+        });
+        let g = graph_of(&f, blk, &DepOptions::default());
+        let succ = g.data_successors(&[0]);
+        assert!(succ.contains(&1) && succ.contains(&2));
+        assert!(!succ.contains(&3));
+    }
+}

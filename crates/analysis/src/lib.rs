@@ -1,0 +1,35 @@
+//! # epic-analysis
+//!
+//! Predicate-cognizant program analyses for the Control CPR reproduction —
+//! the Rust counterpart of Elcor's analysis infrastructure that the paper
+//! (§5) says the ICBM modules rely on: "classic tools for data-flow analysis
+//! and dependence edge construction have been upgraded to analyze predicated
+//! code in a conservative yet reasonably accurate manner. Without these
+//! enhancements, the benefits of predicate-based control CPR would not be
+//! realized."
+//!
+//! The crate provides:
+//!
+//! * [`bdd`] — an exact ROBDD engine over branch-condition variables,
+//!   replacing the predicate query system of \[JS96\].
+//! * [`pred_facts::PredFacts`] — symbolic per-operation guard values and
+//!   predicate definitions for one region, with disjointness / implication
+//!   queries.
+//! * [`liveness`] — classic CFG liveness plus the predicate-aware liveness
+//!   *expressions* needed by predicate speculation.
+//! * [`reaching::PredReaching`] — unique reaching definitions of predicate
+//!   guards, used by the ICBM suitability test.
+//! * [`depgraph::DepGraph`] — the region dependence graph consumed by the
+//!   EPIC scheduler and by the ICBM separability test and off-trace motion.
+
+pub mod bdd;
+pub mod depgraph;
+pub mod liveness;
+pub mod pred_facts;
+pub mod reaching;
+
+pub use bdd::{Bdd, BddManager};
+pub use depgraph::{DepEdge, DepGraph, DepKind, DepOptions, ExitLiveness};
+pub use liveness::{GlobalLiveness, RegionLiveness};
+pub use pred_facts::PredFacts;
+pub use reaching::{PredDef, PredReaching};

@@ -1,0 +1,368 @@
+//! Liveness analyses.
+//!
+//! Two flavors are provided:
+//!
+//! * [`GlobalLiveness`] — classic iterative backward dataflow over the CFG,
+//!   computing may-live register and predicate sets per block. Used to seed
+//!   region analyses with live-out information and by dead-code elimination.
+//!   It is conservative with respect to predication: a guarded definition
+//!   does not kill.
+//! * [`RegionLiveness`] — the predicate-aware *liveness expressions* of
+//!   [JS96] that the paper's predicate speculation pass needs (§5.1): for
+//!   every operation, the boolean condition (as a [`Bdd`] over the region's
+//!   condition variables) under which each register is live just **below**
+//!   the operation. Promoting an operation's guard from `p` to `true` is
+//!   legal exactly when the promoted write cannot clobber a live value:
+//!   `live_below(r) ∧ ¬p` must be unsatisfiable.
+
+use std::collections::{HashMap, HashSet};
+
+use epic_ir::{BlockId, Function, Op, Opcode, PredReg, Reg};
+
+use crate::bdd::Bdd;
+use crate::pred_facts::PredFacts;
+
+/// Per-block may-live register and predicate sets.
+#[derive(Clone, Debug)]
+pub struct GlobalLiveness {
+    /// Registers live on entry to each block.
+    pub live_in_regs: HashMap<BlockId, HashSet<Reg>>,
+    /// Registers live on exit from each block.
+    pub live_out_regs: HashMap<BlockId, HashSet<Reg>>,
+    /// Predicates live on entry to each block.
+    pub live_in_preds: HashMap<BlockId, HashSet<PredReg>>,
+    /// Predicates live on exit from each block.
+    pub live_out_preds: HashMap<BlockId, HashSet<PredReg>>,
+}
+
+impl GlobalLiveness {
+    /// Computes liveness for every block of `func` by iterating to a fixed
+    /// point. Definitions kill only when unguarded (a guarded operation may
+    /// be nullified, leaving the previous value live through it); `cmpp`
+    /// unconditional destinations always write and therefore kill.
+    pub fn compute(func: &Function) -> GlobalLiveness {
+        // Per-block gen (upward-exposed uses) and kill (definite defs).
+        let mut gen_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
+        let mut kill_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
+        let mut gen_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
+        let mut kill_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
+
+        for block in func.blocks_in_layout() {
+            // Predicate-aware gen/kill in the style of [JS96]: a read is
+            // upward-exposed only if it can execute under conditions not
+            // covered by prior (possibly guarded) definitions, and a
+            // register is killed only when the accumulated definition
+            // condition is provably `true`. Without this, FRP-converted
+            // code (where *every* definition is guarded) would never kill
+            // anything and liveness would defeat predicate speculation.
+            let mut facts = crate::pred_facts::PredFacts::compute(&block.ops);
+            let mut gr = HashSet::new();
+            let mut kr = HashSet::new();
+            let mut gp = HashSet::new();
+            let mut kp = HashSet::new();
+            let mut def_cond_r: HashMap<Reg, Bdd> = HashMap::new();
+            let mut def_cond_p: HashMap<PredReg, Bdd> = HashMap::new();
+            for (i, op) in block.ops.iter().enumerate() {
+                let g = facts.guard(i);
+                for r in op.uses_regs() {
+                    let d = def_cond_r.get(&r).copied().unwrap_or(Bdd::FALSE);
+                    if !facts.manager().implies(g, d) {
+                        gr.insert(r);
+                    }
+                }
+                for p in op.uses_preds_with_guard() {
+                    let d = def_cond_p.get(&p).copied().unwrap_or(Bdd::FALSE);
+                    if !facts.manager().implies(g, d) {
+                        gp.insert(p);
+                    }
+                }
+                for r in op.defs_regs() {
+                    let d = def_cond_r.get(&r).copied().unwrap_or(Bdd::FALSE);
+                    let nd = facts.manager().or(d, g);
+                    def_cond_r.insert(r, nd);
+                }
+                for dst in &op.dests {
+                    if let epic_ir::Dest::Pred(p, a) = dst {
+                        // Unconditional cmpp destinations write regardless
+                        // of the guard; other predicate writes are partial.
+                        let cond = match (op.opcode, a.kind) {
+                            (Opcode::Cmpp(_), epic_ir::PredActionKind::Uncond) => Bdd::TRUE,
+                            (Opcode::PredInit, _) => g,
+                            _ => Bdd::FALSE,
+                        };
+                        let d = def_cond_p.get(p).copied().unwrap_or(Bdd::FALSE);
+                        let nd = facts.manager().or(d, cond);
+                        def_cond_p.insert(*p, nd);
+                    }
+                }
+            }
+            for (r, d) in def_cond_r {
+                if d.is_true() {
+                    kr.insert(r);
+                }
+            }
+            for (p, d) in def_cond_p {
+                if d.is_true() {
+                    kp.insert(p);
+                }
+            }
+            gen_regs.insert(block.id, gr);
+            kill_regs.insert(block.id, kr);
+            gen_preds.insert(block.id, gp);
+            kill_preds.insert(block.id, kp);
+        }
+
+        let mut live_in_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
+        let mut live_out_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
+        let mut live_in_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
+        let mut live_out_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
+        for &b in &func.layout {
+            live_in_regs.insert(b, HashSet::new());
+            live_out_regs.insert(b, HashSet::new());
+            live_in_preds.insert(b, HashSet::new());
+            live_out_preds.insert(b, HashSet::new());
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in func.layout.iter().rev() {
+                let mut out_r: HashSet<Reg> = HashSet::new();
+                let mut out_p: HashSet<PredReg> = HashSet::new();
+                for s in func.successors(b) {
+                    out_r.extend(live_in_regs[&s].iter().copied());
+                    out_p.extend(live_in_preds[&s].iter().copied());
+                }
+                let mut in_r: HashSet<Reg> = out_r
+                    .iter()
+                    .filter(|r| !kill_regs[&b].contains(r))
+                    .copied()
+                    .collect();
+                in_r.extend(gen_regs[&b].iter().copied());
+                let mut in_p: HashSet<PredReg> = out_p
+                    .iter()
+                    .filter(|p| !kill_preds[&b].contains(p))
+                    .copied()
+                    .collect();
+                in_p.extend(gen_preds[&b].iter().copied());
+                if in_r != live_in_regs[&b]
+                    || out_r != live_out_regs[&b]
+                    || in_p != live_in_preds[&b]
+                    || out_p != live_out_preds[&b]
+                {
+                    changed = true;
+                }
+                live_in_regs.insert(b, in_r);
+                live_out_regs.insert(b, out_r);
+                live_in_preds.insert(b, in_p);
+                live_out_preds.insert(b, out_p);
+            }
+        }
+
+        GlobalLiveness { live_in_regs, live_out_regs, live_in_preds, live_out_preds }
+    }
+}
+
+/// Predicate-aware liveness expressions within one region.
+pub struct RegionLiveness {
+    /// `below[i]` maps each register to the condition under which it is live
+    /// immediately below op `i` (absent = dead, i.e. `false`).
+    below: Vec<HashMap<Reg, Bdd>>,
+}
+
+impl RegionLiveness {
+    /// Computes liveness expressions for the ops of one region.
+    ///
+    /// * `facts` — symbolic guards for the same op slice.
+    /// * `live_at_exit(i)` — registers live when the branch at index `i`
+    ///   takes (live-in of its target block).
+    /// * `live_at_end` — registers live when the region falls through.
+    pub fn compute(
+        ops: &[Op],
+        facts: &mut PredFacts,
+        live_at_exit: &dyn Fn(usize) -> HashSet<Reg>,
+        live_at_end: &HashSet<Reg>,
+    ) -> RegionLiveness {
+        let n = ops.len();
+        let mut below: Vec<HashMap<Reg, Bdd>> = vec![HashMap::new(); n];
+        // Live expression after the region: live_at_end under all conditions.
+        let mut cur: HashMap<Reg, Bdd> = live_at_end
+            .iter()
+            .map(|&r| (r, Bdd::TRUE))
+            .collect();
+        for i in (0..n).rev() {
+            let op = &ops[i];
+            // `cur` currently describes liveness below op i.
+            below[i] = cur.clone();
+            let g = facts.guard(i);
+            // Branch: registers live at its target become live here under
+            // the taken condition g.
+            if op.opcode == Opcode::Branch || op.opcode == Opcode::Ret {
+                for r in live_at_exit(i) {
+                    let old = cur.get(&r).copied().unwrap_or(Bdd::FALSE);
+                    let new = facts.manager().or(old, g);
+                    cur.insert(r, new);
+                }
+            }
+            // Defs kill under the guard condition.
+            for r in op.defs_regs() {
+                if let Some(old) = cur.get(&r).copied() {
+                    let new = facts.manager().and_not(old, g);
+                    if new.is_false() {
+                        cur.remove(&r);
+                    } else {
+                        cur.insert(r, new);
+                    }
+                }
+            }
+            // Uses gen under the guard condition.
+            for r in op.uses_regs() {
+                let old = cur.get(&r).copied().unwrap_or(Bdd::FALSE);
+                let new = facts.manager().or(old, g);
+                cur.insert(r, new);
+            }
+        }
+        RegionLiveness { below }
+    }
+
+    /// The condition under which `r` is live immediately below op `i`.
+    pub fn live_below(&self, i: usize, r: Reg) -> Bdd {
+        self.below[i].get(&r).copied().unwrap_or(Bdd::FALSE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{CmpCond, FunctionBuilder, Operand};
+
+    #[test]
+    fn global_liveness_through_loop() {
+        let mut b = FunctionBuilder::new("l");
+        let head = b.block("head");
+        let exit = b.block("exit");
+        b.switch_to(head);
+        let i = b.reg();
+        let i2 = b.add(i.into(), Operand::Imm(1));
+        b.mov_to(i, i2.into());
+        let (t, _) = b.cmpp_un_uc(CmpCond::Lt, i.into(), Operand::Imm(10));
+        b.branch_if(t, head);
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        let live = GlobalLiveness::compute(&f);
+        // `i` is used before defined in head and live around the back edge.
+        assert!(live.live_in_regs[&head].contains(&i));
+        assert!(live.live_out_regs[&head].contains(&i));
+        assert!(!live.live_in_regs[&exit].contains(&i));
+    }
+
+    #[test]
+    fn guarded_def_does_not_kill() {
+        let mut b = FunctionBuilder::new("g");
+        let b0 = b.block("b0");
+        let b1 = b.block("b1");
+        b.switch_to(b0);
+        let x = b.reg();
+        let p = b.pred();
+        b.set_guard(Some(p));
+        b.mov_to(x, Operand::Imm(1)); // guarded def: may not execute
+        b.set_guard(None);
+        b.jump(b1);
+        b.switch_to(b1);
+        let a = b.movi(0);
+        b.store(a, x.into()); // use of x
+        b.ret();
+        let f = b.finish();
+        let live = GlobalLiveness::compute(&f);
+        // x flows around the guarded def: live into b0.
+        assert!(live.live_in_regs[&b0].contains(&x));
+    }
+
+    #[test]
+    fn unguarded_def_kills() {
+        let mut b = FunctionBuilder::new("k");
+        let b0 = b.block("b0");
+        let b1 = b.block("b1");
+        b.switch_to(b0);
+        let x = b.reg();
+        b.mov_to(x, Operand::Imm(1));
+        b.jump(b1);
+        b.switch_to(b1);
+        let a = b.movi(0);
+        b.store(a, x.into());
+        b.ret();
+        let f = b.finish();
+        let live = GlobalLiveness::compute(&f);
+        assert!(!live.live_in_regs[&b0].contains(&x));
+        assert!(live.live_out_regs[&b0].contains(&x));
+    }
+
+    #[test]
+    fn region_liveness_promotion_oracle() {
+        // r is defined under p and used under p. Promoting the def to true
+        // is legal iff r is not live under ¬p below the def.
+        let mut b = FunctionBuilder::new("r");
+        let blk = b.block("b");
+        b.switch_to(blk);
+        let x = b.reg();
+        let (p, _np) = b.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(0));
+        let r = b.reg();
+        b.set_guard(Some(p));
+        b.mov_to(r, Operand::Imm(7)); // op 1: candidate for promotion
+        let a = b.movi(0); // op 2 (guarded by p too)
+        b.store(a, r.into()); // op 3
+        b.set_guard(None);
+        b.ret();
+        let f = b.finish();
+        let ops = &f.block(blk).ops;
+        let mut facts = PredFacts::compute(ops);
+        let live = RegionLiveness::compute(
+            ops,
+            &mut facts,
+            &|_| HashSet::new(),
+            &HashSet::new(),
+        );
+        // Below op 1 (the mov), r is live only under p (its only use is
+        // guarded by p): live_below(1, r) ∧ ¬p == false → promotable.
+        let lb = live.live_below(1, r);
+        let g = facts.guard(1);
+        let m = facts.manager();
+        assert!(m.implies(lb, g), "r live only where the def executes");
+    }
+
+    #[test]
+    fn region_liveness_sees_exit_uses() {
+        // r is live at a branch target: below any op before the branch, r
+        // must be live at least under the branch's taken condition.
+        let mut b = FunctionBuilder::new("e");
+        let blk = b.block("b");
+        let off = b.block("off");
+        b.switch_to(off);
+        b.ret();
+        b.switch_to(blk);
+        let x = b.reg();
+        let r = b.reg();
+        let (t, _ft) = b.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(0));
+        b.branch_if(t, off); // ops 1 (pbr), 2 (branch)
+        b.ret();
+        let f = b.finish();
+        let ops = &f.block(blk).ops;
+        let mut facts = PredFacts::compute(ops);
+        let mut at_exit = HashSet::new();
+        at_exit.insert(r);
+        let live = RegionLiveness::compute(
+            ops,
+            &mut facts,
+            &|i| if ops[i].opcode == Opcode::Branch { at_exit.clone() } else { HashSet::new() },
+            &HashSet::new(),
+        );
+        // Below op 0 (the cmpp), r is live under the taken condition.
+        let lb = live.live_below(0, r);
+        assert!(!lb.is_false());
+        // And r is dead below the branch itself.
+        let branch_idx = ops.iter().position(|o| o.opcode == Opcode::Branch).unwrap();
+        assert!(live.live_below(branch_idx, r).is_false());
+    }
+}

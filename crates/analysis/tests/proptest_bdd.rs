@@ -1,0 +1,103 @@
+//! Property tests: the BDD engine against a brute-force truth-table oracle.
+
+use epic_analysis::bdd::{Bdd, BddManager};
+use proptest::prelude::*;
+
+/// A random boolean expression over up to 6 variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u32..6).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_bdd(m: &mut BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => m.var(*v),
+        Expr::Const(true) => Bdd::TRUE,
+        Expr::Const(false) => Bdd::FALSE,
+        Expr::Not(a) => {
+            let x = to_bdd(m, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (to_bdd(m, a), to_bdd(m, b));
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (to_bdd(m, a), to_bdd(m, b));
+            m.or(x, y)
+        }
+    }
+}
+
+fn eval(e: &Expr, bits: u32) -> bool {
+    match e {
+        Expr::Var(v) => bits & (1 << v) != 0,
+        Expr::Const(c) => *c,
+        Expr::Not(a) => !eval(a, bits),
+        Expr::And(a, b) => eval(a, bits) && eval(b, bits),
+        Expr::Or(a, b) => eval(a, bits) || eval(b, bits),
+    }
+}
+
+proptest! {
+    /// The BDD of an expression computes exactly the expression's function.
+    #[test]
+    fn bdd_matches_truth_table(e in expr_strategy()) {
+        let mut m = BddManager::new();
+        let b = to_bdd(&mut m, &e);
+        for bits in 0..64u32 {
+            prop_assert_eq!(m.eval(b, &|v| bits & (1 << v) != 0), eval(&e, bits));
+        }
+    }
+
+    /// Hash-consing canonicity: semantically equal expressions produce the
+    /// *same handle*; disjointness and implication agree with the oracle.
+    #[test]
+    fn bdd_canonical_and_relational(a in expr_strategy(), b in expr_strategy()) {
+        let mut m = BddManager::new();
+        let x = to_bdd(&mut m, &a);
+        let y = to_bdd(&mut m, &b);
+        let equal = (0..64u32).all(|bits| eval(&a, bits) == eval(&b, bits));
+        prop_assert_eq!(x == y, equal, "canonical handles iff equal functions");
+        let oracle_disjoint = (0..64u32).all(|bits| !(eval(&a, bits) && eval(&b, bits)));
+        prop_assert_eq!(m.disjoint(x, y), oracle_disjoint);
+        let oracle_implies = (0..64u32).all(|bits| !eval(&a, bits) || eval(&b, bits));
+        prop_assert_eq!(m.implies(x, y), oracle_implies);
+    }
+
+    /// De Morgan / double negation as algebraic laws on handles.
+    #[test]
+    fn bdd_algebraic_laws(a in expr_strategy(), b in expr_strategy()) {
+        let mut m = BddManager::new();
+        let x = to_bdd(&mut m, &a);
+        let y = to_bdd(&mut m, &b);
+        let nx = m.not(x);
+        prop_assert_eq!(m.not(nx), x);
+        let and_xy = m.and(x, y);
+        let n_and = m.not(and_xy);
+        let ny = m.not(y);
+        let or_n = m.or(nx, ny);
+        prop_assert_eq!(n_and, or_n);
+        // Absorption.
+        let or_xy = m.or(x, y);
+        prop_assert_eq!(m.and(x, or_xy), x);
+    }
+}

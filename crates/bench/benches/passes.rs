@@ -1,0 +1,80 @@
+//! Criterion benchmarks of compiler-pass throughput: how fast the
+//! reproduction's analyses and transformations run on real workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epic_analysis::{DepGraph, DepOptions, GlobalLiveness, PredFacts};
+use epic_bench::PipelineConfig;
+use epic_perf::profile_and_count;
+use epic_regions::{form_superblocks, frp_convert, unroll_hot_loops};
+
+fn prepared() -> (epic_ir::Function, epic_ir::Profile) {
+    let w = epic_workloads::by_name("strcpy").expect("workload");
+    let cfg = PipelineConfig::default();
+    let (p0, _) = profile_and_count(&w.func, &w.training).expect("profile");
+    let mut base = form_superblocks(&w.func, &p0, &cfg.trace);
+    let (p1, _) = profile_and_count(&base, &w.training).expect("profile");
+    unroll_hot_loops(&mut base, &p1, w.unroll, cfg.trace.min_count);
+    let mut frp = base.clone();
+    frp_convert(&mut frp);
+    let (profile, _) = profile_and_count(&frp, &w.training).expect("profile");
+    (frp, profile)
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let (frp, profile) = prepared();
+    let hot = frp
+        .blocks_in_layout()
+        .max_by_key(|b| b.ops.len())
+        .expect("has blocks")
+        .id;
+
+    c.bench_function("pred_facts/strcpy_hot_block", |b| {
+        let ops = &frp.block(hot).ops;
+        b.iter(|| PredFacts::compute(std::hint::black_box(ops)));
+    });
+
+    c.bench_function("dep_graph/strcpy_hot_block", |b| {
+        let ops = &frp.block(hot).ops;
+        b.iter(|| {
+            let mut facts = PredFacts::compute(ops);
+            DepGraph::build(ops, &mut facts, &|_| 1, &DepOptions::default(), None)
+        });
+    });
+
+    c.bench_function("global_liveness/strcpy", |b| {
+        b.iter(|| GlobalLiveness::compute(std::hint::black_box(&frp)));
+    });
+
+    c.bench_function("icbm/strcpy", |b| {
+        b.iter_batched(
+            || frp.clone(),
+            |mut f| control_cpr::apply_icbm(&mut f, &profile, &control_cpr::CprConfig::default()),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("speculate/strcpy", |b| {
+        b.iter_batched(
+            || frp.clone(),
+            |mut f| control_cpr::speculate(&mut f),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("scheduler/strcpy_medium", |b| {
+        let m = epic_machine::Machine::medium();
+        b.iter(|| epic_sched::schedule_function(&frp, &m, &epic_sched::SchedOptions::default()));
+    });
+
+    c.bench_function("interp/strcpy_training", |b| {
+        let w = epic_workloads::by_name("strcpy").expect("workload");
+        b.iter(|| epic_interp::run(&w.func, &w.training).expect("runs"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_passes
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation studies over the design choices the paper discusses:
+//!
+//! * exit-weight threshold (CPR blocking granularity, §4.1/§5.2),
+//! * the taken variation on/off (§5.3),
+//! * predicate speculation on/off (§5.1),
+//! * uniform whole-superblock CPR vs profile-driven blocking.
+
+use control_cpr::CprConfig;
+use epic_bench::{table2, PipelineConfig};
+use epic_perf::geomean;
+use epic_regions::IfConvertConfig;
+
+fn gmean_all(cfg: &PipelineConfig, machine_idx: usize, names: &[&str]) -> f64 {
+    let workloads: Vec<_> = names
+        .iter()
+        .map(|n| epic_workloads::by_name(n).expect("known workload"))
+        .collect();
+    let rows = table2(&workloads, cfg);
+    geomean(rows.iter().map(|r| r.speedup(machine_idx)))
+}
+
+fn main() {
+    // A representative branchy subset keeps the ablation quick.
+    let names = ["strcpy", "cmp", "wc", "grep", "lex", "023.eqntott", "126.gcc"];
+    let medium = 2; // index in Machine::paper_suite()
+
+    println!("Ablations (geomean speedup on the medium processor, subset: {names:?})");
+    println!();
+
+    let base = PipelineConfig::default();
+    println!("  default configuration:          {:.3}", gmean_all(&base, medium, &names));
+
+    let mut no_taken = PipelineConfig::default();
+    no_taken.cpr.enable_taken_variation = false;
+    println!("  taken variation disabled:       {:.3}", gmean_all(&no_taken, medium, &names));
+
+    let mut no_spec = PipelineConfig::default();
+    no_spec.cpr.speculate = false;
+    println!("  predicate speculation disabled: {:.3}", gmean_all(&no_spec, medium, &names));
+
+    let uniform = PipelineConfig { cpr: CprConfig::uniform(), ..PipelineConfig::default() };
+    println!("  uniform (unblocked) CPR:        {:.3}", gmean_all(&uniform, medium, &names));
+
+    // The paper's named enhancement: traditional if-conversion first.
+    let ifc = PipelineConfig {
+        if_convert: Some(IfConvertConfig::default()),
+        ..PipelineConfig::default()
+    };
+    println!("  with if-conversion first:       {:.3}", gmean_all(&ifc, medium, &names));
+
+    for thresh in [0.05, 0.2, 0.35, 0.6, 0.9] {
+        let mut cfg = PipelineConfig::default();
+        cfg.cpr.exit_weight_threshold = thresh;
+        println!(
+            "  exit-weight threshold {thresh:>4}:     {:.3}",
+            gmean_all(&cfg, medium, &names)
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Pipeline inspector: runs one workload through every compilation stage,
+//! differentially testing after each one, and optionally dumps the
+//! intermediate code.
+//!
+//! ```sh
+//! cargo run -p epic-bench --bin inspect -- strcpy         # stage summary
+//! cargo run -p epic-bench --bin inspect -- strcpy dump    # + code dumps
+//! ```
+//!
+//! Environment: `SPEC_DEBUG=1` prints predicate-speculation rejections,
+//! `MATCH_DEBUG=1` prints why CPR-block growth stopped.
+
+use control_cpr::{dce, match_cpr_blocks, off_trace_motion, restructure, speculate};
+use epic_analysis::GlobalLiveness;
+use epic_bench::PipelineConfig;
+use epic_interp::diff_test;
+use epic_perf::profile_and_count;
+use epic_regions::{form_superblocks, frp_convert, unroll_hot_loops};
+
+fn check(
+    orig: &epic_ir::Function,
+    f: &epic_ir::Function,
+    w: &epic_workloads::Workload,
+    label: &str,
+) -> bool {
+    for (k, i) in std::iter::once(&w.training).chain(&w.evaluation).enumerate() {
+        if let Err(e) = diff_test(orig, f, i) {
+            println!("{label}: DIVERGES on input {k}: {e}");
+            return false;
+        }
+    }
+    println!("{label}: OK");
+    true
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "strcpy".into());
+    let dump = std::env::args().nth(2).as_deref() == Some("dump");
+    let Some(w) = epic_workloads::by_name(&name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    };
+    let cfg = PipelineConfig::default();
+
+    let (p0, _) = profile_and_count(&w.func, &w.training).expect("raw program runs");
+    let base0 = form_superblocks(&w.func, &p0, &cfg.trace);
+    if !check(&w.func, &base0, &w, "superblock formation") {
+        return;
+    }
+    let (p1, _) = profile_and_count(&base0, &w.training).expect("profiles");
+    let mut base = base0.clone();
+    let unrolled = unroll_hot_loops(&mut base, &p1, w.unroll, cfg.trace.min_count);
+    println!("unrolled {unrolled} hot loop(s) by {}", w.unroll);
+    if !check(&w.func, &base, &w, "unroll") {
+        return;
+    }
+    dce(&mut base);
+    let (bp, _) = profile_and_count(&base, &w.training).expect("profiles");
+
+    let mut opt = base.clone();
+    let converted = frp_convert(&mut opt);
+    println!("FRP-converted {converted} branch(es)");
+    if !check(&w.func, &opt, &w, "frp conversion") {
+        return;
+    }
+    let s = speculate(&mut opt);
+    println!("speculation: {s:?}");
+    if !check(&w.func, &opt, &w, "speculation") {
+        return;
+    }
+    if dump {
+        println!("{opt}");
+    }
+
+    for hb in opt.layout.clone() {
+        let nbr = opt
+            .block(hb)
+            .ops
+            .iter()
+            .filter(|o| o.opcode == epic_ir::Opcode::Branch && o.guard.is_some())
+            .count();
+        if nbr < 2 || bp.entry_count(hb) < cfg.cpr.min_entry_count {
+            continue;
+        }
+        let blocks = match_cpr_blocks(&opt.block(hb).ops, &bp, &cfg.cpr, &opt.mem_classes().clone());
+        println!(
+            "hyperblock {hb}: {} CPR block(s): {:?}",
+            blocks.len(),
+            blocks.iter().map(|b| (b.branches.len(), b.taken_variation)).collect::<Vec<_>>()
+        );
+        for cpr in &blocks {
+            if !cpr.is_nontrivial() {
+                continue;
+            }
+            let live = GlobalLiveness::compute(&opt);
+            let Some(r) = restructure(&mut opt, hb, cpr, &live) else {
+                println!("  restructure: skipped (legality)");
+                continue;
+            };
+            if !check(&w.func, &opt, &w, "  restructure") {
+                return;
+            }
+            let moved = off_trace_motion(&mut opt, &r);
+            if !moved {
+                println!("  motion: skipped (legality)");
+            }
+            if !check(&w.func, &opt, &w, "  motion") {
+                return;
+            }
+        }
+    }
+    dce(&mut opt);
+    check(&w.func, &opt, &w, "dce");
+    if dump {
+        println!("{opt}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Exposed-branch-latency sweep.
+//!
+//! The paper's motivation (§1, §3) is that EPIC processors have *exposed*
+//! branch latency and limited branch throughput; control CPR's value should
+//! therefore grow as branch latency grows. This binary regenerates the
+//! Table 2 geomean on the medium machine for branch latencies 1..4.
+
+use epic_bench::{compile, PipelineConfig};
+use epic_machine::Machine;
+use epic_perf::{geomean, weighted_cycles};
+use epic_sched::{schedule_function, SchedOptions};
+
+fn main() {
+    let workloads = epic_workloads::all();
+    let cfg = PipelineConfig::default();
+    let compiled: Vec<_> = workloads
+        .iter()
+        .map(|w| compile(w, &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name)))
+        .collect();
+
+    println!("Geomean speedup (medium machine) vs exposed branch latency");
+    println!();
+    println!("{:<16} {:>8}", "branch latency", "geomean");
+    for blat in 1..=4u32 {
+        let m = Machine::medium().with_branch_latency(blat);
+        let opts = SchedOptions::default();
+        let speedups: Vec<f64> = compiled
+            .iter()
+            .map(|c| {
+                let bs = schedule_function(&c.baseline, &m, &opts);
+                let os = schedule_function(&c.optimized, &m, &opts);
+                let b = weighted_cycles(&c.baseline, &c.base_profile, &bs);
+                let o = weighted_cycles(&c.optimized, &c.opt_profile, &os).max(1);
+                b as f64 / o as f64
+            })
+            .collect();
+        println!("{:<16} {:>8.3}", blat, geomean(speedups));
+    }
+}

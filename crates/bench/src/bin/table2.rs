@@ -1,0 +1,14 @@
+//! Regenerates the paper's Table 2: ICBM speedup over the superblock
+//! baseline on the five EPIC processors, per benchmark plus geometric
+//! means.
+
+use epic_bench::{render_table2, table2, PipelineConfig};
+
+fn main() {
+    let workloads = epic_workloads::all();
+    let rows = table2(&workloads, &PipelineConfig::default());
+    println!("Table 2: speedup of control CPR (ICBM) over the superblock baseline");
+    println!("(branch latency 1; estimation: schedule length x profile frequency)");
+    println!();
+    print!("{}", render_table2(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Table 3: static and dynamic operation-count
+//! ratios (height-reduced / baseline), total and branches-only.
+
+use epic_bench::{render_table3, table3, PipelineConfig};
+
+fn main() {
+    let workloads = epic_workloads::all();
+    let rows = table3(&workloads, &PipelineConfig::default());
+    println!("Table 3: operation-count ratios (height-reduced / baseline)");
+    println!();
+    print!("{}", render_table3(&rows));
+}

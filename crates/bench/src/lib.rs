@@ -1,0 +1,18 @@
+//! # epic-bench
+//!
+//! The experiment harness: compiles every workload twice — the *baseline*
+//! (superblock-formed, unrolled) and the *height-reduced* (baseline + FRP
+//! conversion + ICBM control CPR) — and regenerates the paper's evaluation:
+//!
+//! * **Table 2** — speedup of the height-reduced code over the baseline on
+//!   the five EPIC processors (`cargo run -p epic-bench --bin table2`).
+//! * **Table 3** — static and dynamic operation-count ratios
+//!   (`cargo run -p epic-bench --bin table3`).
+//! * **Ablations** — heuristic and design-choice studies
+//!   (`cargo run -p epic-bench --bin ablation`).
+
+pub mod compile;
+pub mod tables;
+
+pub use compile::{check_equivalence, compile, Compiled, PipelineConfig};
+pub use tables::{render_table2, render_table3, table2, table2_row, table2_row_bench, table3, Table2Row, Table3Row};

@@ -1,0 +1,210 @@
+//! Regeneration of the paper's Table 2 and Table 3.
+
+use epic_machine::Machine;
+use epic_perf::{geomean, weighted_cycles, CountRatios};
+use epic_sched::{schedule_function, SchedOptions};
+use epic_workloads::{Group, Workload};
+
+use crate::compile::{compile, Compiled, PipelineConfig};
+
+/// One row of Table 2: per-machine speedups for one benchmark.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Table grouping.
+    pub group: Group,
+    /// `(machine, baseline cycles, optimized cycles)` per processor, in
+    /// [`Machine::paper_suite`] order.
+    pub cycles: Vec<(String, u64, u64)>,
+}
+
+impl Table2Row {
+    /// Speedup on machine `i`.
+    pub fn speedup(&self, i: usize) -> f64 {
+        let (_, base, opt) = &self.cycles[i];
+        if *opt == 0 {
+            1.0
+        } else {
+            *base as f64 / *opt as f64
+        }
+    }
+}
+
+/// Computes Table 2 for the given workloads.
+pub fn table2(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table2Row> {
+    let machines = Machine::paper_suite();
+    workloads
+        .iter()
+        .map(|w| {
+            let c = compile(w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            table2_row(w, &c, &machines)
+        })
+        .collect()
+}
+
+/// Computes one row from an already compiled pair.
+pub fn table2_row(w: &Workload, c: &Compiled, machines: &[Machine]) -> Table2Row {
+    let opts = SchedOptions::default();
+    let cycles = machines
+        .iter()
+        .map(|m| {
+            let base_sched = schedule_function(&c.baseline, m, &opts);
+            let opt_sched = schedule_function(&c.optimized, m, &opts);
+            let base = weighted_cycles(&c.baseline, &c.base_profile, &base_sched);
+            let opt = weighted_cycles(&c.optimized, &c.opt_profile, &opt_sched);
+            (m.name().to_string(), base, opt)
+        })
+        .collect();
+    Table2Row { name: w.name.to_string(), group: w.group, cycles }
+}
+
+/// One row of Table 3: operation-count ratios for one benchmark.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Table grouping.
+    pub group: Group,
+    /// The four ratios (`S tot`, `S br`, `D tot`, `D br`).
+    pub ratios: CountRatios,
+}
+
+/// Computes Table 3 for the given workloads.
+pub fn table3(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table3Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let c = compile(w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            Table3Row {
+                name: w.name.to_string(),
+                group: w.group,
+                ratios: CountRatios::of(&c.base_counts, &c.opt_counts),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 2 in the paper's format, including the `Gmean-spec95` and
+/// `Gmean-all` rows.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6}\n",
+        "Benchmark", "Seq", "Nar", "Med", "Wid", "Inf"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2}\n",
+            r.name,
+            r.speedup(0),
+            r.speedup(1),
+            r.speedup(2),
+            r.speedup(3),
+            r.speedup(4)
+        ));
+    }
+    for (label, filter) in gmean_groups() {
+        let selected: Vec<&Table2Row> = rows.iter().filter(|r| filter(r.group)).collect();
+        if selected.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("{label:<14}"));
+        for i in 0..5 {
+            let g = geomean(selected.iter().map(|r| r.speedup(i)));
+            out.push_str(&format!(" {g:>6.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 3 in the paper's format.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6}\n",
+        "Benchmark", "S tot", "S br", "D tot", "D br"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>6.2} {:>6.2} {:>6.2} {:>6.2}\n",
+            r.name,
+            r.ratios.static_total,
+            r.ratios.static_branches,
+            r.ratios.dynamic_total,
+            r.ratios.dynamic_branches
+        ));
+    }
+    for (label, filter) in gmean_groups() {
+        let selected: Vec<&Table3Row> = rows.iter().filter(|r| filter(r.group)).collect();
+        if selected.is_empty() {
+            continue;
+        }
+        let g = |f: fn(&CountRatios) -> f64| geomean(selected.iter().map(|r| f(&r.ratios)));
+        out.push_str(&format!(
+            "{label:<14} {:>6.2} {:>6.2} {:>6.2} {:>6.2}\n",
+            g(|r| r.static_total),
+            g(|r| r.static_branches),
+            g(|r| r.dynamic_total),
+            g(|r| r.dynamic_branches)
+        ));
+    }
+    out
+}
+
+/// One-call helper for the Criterion benchmark: compiles a workload and
+/// produces its Table 2 row.
+pub fn table2_row_bench(w: &Workload) -> Table2Row {
+    let c = compile(w, &PipelineConfig::default()).expect("compiles");
+    table2_row(w, &c, &Machine::paper_suite())
+}
+
+fn gmean_groups() -> Vec<(&'static str, fn(Group) -> bool)> {
+    vec![
+        ("Gmean-spec95", |g| g == Group::Spec95),
+        ("Gmean-all", |_| true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_row_for_strcpy_shows_speedup_growth() {
+        let w = epic_workloads::by_name("strcpy").unwrap();
+        let cfg = PipelineConfig::default();
+        let c = compile(&w, &cfg).unwrap();
+        let row = table2_row(&w, &c, &Machine::paper_suite());
+        // Speedups exist and the wide machine beats the narrow machine
+        // (branch height reduction needs width to pay off).
+        let narrow = row.speedup(1);
+        let wide = row.speedup(3);
+        assert!(wide >= 1.0, "wide speedup {wide}");
+        assert!(wide >= narrow - 0.05, "wide {wide} vs narrow {narrow}");
+    }
+
+    #[test]
+    fn render_table2_contains_gmeans() {
+        let w = epic_workloads::by_name("strcpy").unwrap();
+        let cfg = PipelineConfig::default();
+        let c = compile(&w, &cfg).unwrap();
+        let row = table2_row(&w, &c, &Machine::paper_suite());
+        let text = render_table2(&[row]);
+        assert!(text.contains("strcpy"));
+        assert!(text.contains("Gmean-all"));
+    }
+
+    #[test]
+    fn table3_for_strcpy_reduces_dynamic_branches() {
+        let w = epic_workloads::by_name("strcpy").unwrap();
+        let rows = table3(std::slice::from_ref(&w), &PipelineConfig::default());
+        let r = &rows[0].ratios;
+        assert!(r.dynamic_branches < 0.7, "D br = {}", r.dynamic_branches);
+        assert!(r.dynamic_total <= 1.05, "D tot = {}", r.dynamic_total);
+        assert!(r.static_total >= 1.0, "S tot = {}", r.static_total);
+        let text = render_table3(&rows);
+        assert!(text.contains("strcpy"));
+    }
+}

@@ -1,0 +1,79 @@
+//! ICBM configuration.
+
+/// Tuning knobs for the ICBM transformation.
+///
+/// The defaults correspond to the paper's description: profile-driven CPR
+/// block formation with an exit-weight cutoff and a predict-taken special
+/// case, predicate speculation enabled, and blocking enabled (long
+/// superblocks are partitioned rather than transformed uniformly, §4.1).
+#[derive(Clone, Copy, Debug)]
+pub struct CprConfig {
+    /// Terminate CPR block growth when the cumulative probability of
+    /// exiting through the block's branches exceeds this threshold
+    /// (the *exit-weight* test, §5.2).
+    pub exit_weight_threshold: f64,
+    /// A candidate branch whose taken probability (relative to CPR block
+    /// entry) is at least this threshold ends the block as a *likely-taken*
+    /// CPR block handled by the taken variation (§5.2, §5.3).
+    pub predict_taken_threshold: f64,
+    /// Hyperblocks entered fewer times than this are left untouched.
+    pub min_entry_count: u64,
+    /// Hard cap on the number of branches in one CPR block. This implements
+    /// *blocking* (§4.1): set it very high to approximate uniform
+    /// application of control CPR to whole superblocks (ablation).
+    pub max_branches: usize,
+    /// Run predicate speculation before matching (§5.1). Disabling it makes
+    /// separability fail at almost every block of FRP-converted code and is
+    /// provided for ablation.
+    pub speculate: bool,
+    /// Enable the taken variation for likely-taken final branches (§5.3).
+    pub enable_taken_variation: bool,
+}
+
+impl Default for CprConfig {
+    fn default() -> Self {
+        CprConfig {
+            exit_weight_threshold: 0.35,
+            predict_taken_threshold: 0.60,
+            min_entry_count: 16,
+            max_branches: 16,
+            speculate: true,
+            enable_taken_variation: true,
+        }
+    }
+}
+
+impl CprConfig {
+    /// A configuration that transforms whole superblocks as single CPR
+    /// blocks wherever correctness allows (no profile-driven blocking) —
+    /// the "uniform application" the paper argues against in §4.1.
+    pub fn uniform() -> CprConfig {
+        CprConfig {
+            exit_weight_threshold: f64::INFINITY,
+            predict_taken_threshold: f64::INFINITY,
+            max_branches: usize::MAX,
+            ..CprConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CprConfig::default();
+        assert!(c.exit_weight_threshold > 0.0 && c.exit_weight_threshold < 1.0);
+        assert!(c.predict_taken_threshold > c.exit_weight_threshold);
+        assert!(c.speculate);
+        assert!(c.enable_taken_variation);
+    }
+
+    #[test]
+    fn uniform_disables_heuristic_cutoffs() {
+        let c = CprConfig::uniform();
+        assert!(c.exit_weight_threshold.is_infinite());
+        assert_eq!(c.max_branches, usize::MAX);
+    }
+}

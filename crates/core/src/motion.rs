@@ -1,0 +1,477 @@
+//! The ICBM *off-trace motion* phase (paper §5.4).
+//!
+//! Moves the original compares and branches of a restructured CPR block —
+//! plus everything data-dependent on them — into the compensation block, so
+//! the on-trace path becomes irredundant. Three sets are identified, as in
+//! the paper:
+//!
+//! * **set 1** — the compares/branches to be moved and their transitive
+//!   data-dependence successors (flow through registers and predicates,
+//!   plus store→load memory flow);
+//! * **set 2** — the subset of set 1 whose effects are also needed on-trace
+//!   (most commonly stores guarded by fall-through FRPs): these are *split*,
+//!   leaving an on-trace copy re-guarded by the on-trace FRP;
+//! * **set 3** — operations outside set 1 whose results are used only
+//!   off-trace (e.g. the prepare-to-branch ops of moved branches): moving
+//!   them benefits the on-trace path.
+//!
+//! Motion preserves the original program order inside the compensation
+//! block, which is what keeps the off-trace path semantically equivalent
+//! (stores interleave correctly with the moved exit branches).
+
+use std::collections::HashSet;
+
+use epic_analysis::{DepGraph, DepKind, DepOptions, GlobalLiveness, PredFacts};
+use epic_ir::{Function, Op, Opcode, PredReg};
+
+use crate::restructure::Restructured;
+
+/// Applies off-trace motion for one restructured CPR block.
+///
+/// Returns `false` (leaving the function in its restructured-but-unmoved —
+/// still correct — state) when a legality check fails: a moved operation's
+/// inputs would be clobbered on-trace before the bypass, or memory ordering
+/// between moved and unmoved operations cannot be preserved.
+pub fn off_trace_motion(func: &mut Function, r: &Restructured) -> bool {
+    let ops: Vec<Op> = func.block(r.block).ops.clone();
+    let n = ops.len();
+    let pos_of = |id: epic_ir::OpId| ops.iter().position(|o| o.id == id);
+    let Some(bypass_pos) = pos_of(r.bypass) else { return false };
+
+    // --- seeds: compares, moved branches, and their pbrs ---
+    let mut seeds: Vec<usize> = Vec::new();
+    for &id in r.compares.iter().chain(&r.moved_branches) {
+        match pos_of(id) {
+            Some(p) => seeds.push(p),
+            None => return false,
+        }
+    }
+    for &id in &r.moved_branches {
+        let bpos = pos_of(id).expect("checked above");
+        if let Some(btr) = ops[bpos].srcs.first().and_then(|s| s.as_reg()) {
+            if let Some(def) = (0..bpos).rev().find(|&j| ops[j].defines_reg(btr)) {
+                if ops[def].opcode == Opcode::Pbr {
+                    seeds.push(def);
+                }
+            }
+        }
+    }
+
+    // --- dependence graph for closure and legality ---
+    let mut facts = PredFacts::compute(&ops);
+    let dep_opts = DepOptions::for_function(func);
+    let graph = DepGraph::build(&ops, &mut facts, &|_| 1, &dep_opts, None);
+
+    // set 1: flow closure over registers, predicates, and store→load memory
+    // dependences.
+    let mut set1: HashSet<usize> = seeds.iter().copied().collect();
+    let mut work: Vec<usize> = seeds.clone();
+    while let Some(i) = work.pop() {
+        for e in graph.succs(i) {
+            let follow = match e.kind {
+                DepKind::Flow => true,
+                DepKind::Mem => {
+                    ops[e.from].opcode == Opcode::Store
+                        && matches!(ops[e.to].opcode, Opcode::Load | Opcode::LoadS)
+                }
+                _ => false,
+            };
+            // Dependences that cross the bypass do not pull the consumer
+            // off-trace: the consumer will read the *split on-trace copy*
+            // of the producer (set 2 below) or, for producers that can only
+            // execute off-trace, the untouched prior value — exactly as in
+            // the original program.
+            if follow && e.to < bypass_pos && set1.insert(e.to) {
+                work.push(e.to);
+            }
+        }
+    }
+    // The bypass itself must never be considered moved (it reads the
+    // off-trace FRP from the lookaheads, not the original compares).
+    if set1.contains(&bypass_pos) {
+        if std::env::var("MATCH_DEBUG").is_ok() {
+            eprintln!("MOTION-FAIL: bypass in set1");
+        }
+        return false;
+    }
+
+    // --- legality: anti/output hazards between moved and unmoved ops ---
+    for e in graph.edges() {
+        let hazardous = match e.kind {
+            DepKind::Anti | DepKind::Output => true,
+            DepKind::Mem => !(ops[e.from].opcode == Opcode::Store
+                && matches!(ops[e.to].opcode, Opcode::Load | Opcode::LoadS)),
+            _ => false,
+        };
+        if !hazardous {
+            continue;
+        }
+        // A moved op whose input is overwritten (or memory re-ordered) by an
+        // unmoved op at or before the bypass would observe the wrong state
+        // when the compensation block runs.
+        if set1.contains(&e.from) && !set1.contains(&e.to) && e.to <= bypass_pos {
+            if std::env::var("MATCH_DEBUG").is_ok() {
+                eprintln!(
+                    "MOTION-FAIL: hazard {:?} [{}] -> [{}]",
+                    e.kind, ops[e.from], ops[e.to]
+                );
+            }
+            return false;
+        }
+    }
+
+    // Taken predicates (branch guards): defs guarded by these never execute
+    // on-trace, so they move without splitting.
+    let taken_preds: HashSet<PredReg> = r
+        .moved_branches
+        .iter()
+        .filter_map(|&id| pos_of(id).and_then(|p| ops[p].guard))
+        .collect();
+
+    // Registers live at the on-trace continuations (fall-through successor
+    // and targets of unmoved branches): values the on-trace path must still
+    // produce.
+    let global = GlobalLiveness::compute(func);
+    let mut live_on_trace: HashSet<epic_ir::Reg> = HashSet::new();
+    if let Some(ft) = func.fallthrough_of(r.block) {
+        if let Some(s) = global.live_in_regs.get(&ft) {
+            live_on_trace.extend(s.iter().copied());
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if op.opcode == Opcode::Branch && !set1.contains(&i) && op.id != r.bypass {
+            if let Some(t) = op.branch_target() {
+                if let Some(s) = global.live_in_regs.get(&t) {
+                    live_on_trace.extend(s.iter().copied());
+                }
+            }
+        }
+    }
+    if r.taken_variation {
+        // In the taken variation the on-trace continuation is the bypass
+        // branch's *target* (e.g. the loop head): whatever is live there
+        // must still be produced on-trace.
+        if let Some(t) = ops[bypass_pos].branch_target() {
+            if let Some(s) = global.live_in_regs.get(&t) {
+                live_on_trace.extend(s.iter().copied());
+            }
+        }
+    }
+
+    // set 2: moved ops whose effects are also needed on-trace.
+    let executes_on_trace = |op: &Op| -> bool {
+        match op.guard {
+            None => true,
+            Some(g) => !taken_preds.contains(&g),
+        }
+    };
+    // The CPR block's own compares are replaced on-trace by the lookahead
+    // compares and are never split; *other* moved compares (e.g.
+    // if-conversion compares of a hyperblock) are ordinary producers and
+    // split like any other operation.
+    let own_compares: HashSet<usize> =
+        r.compares.iter().filter_map(|&id| pos_of(id)).collect();
+    let mut set2: HashSet<usize> = HashSet::new();
+    for &i in &set1 {
+        let op = &ops[i];
+        if op.is_branch() || own_compares.contains(&i) {
+            continue;
+        }
+        if !executes_on_trace(op) {
+            continue;
+        }
+        if op.opcode == Opcode::Store {
+            set2.insert(i);
+            continue;
+        }
+        // Register/predicate producers: split when used by an unmoved op
+        // later in the block or live at an on-trace continuation.
+        let used_on_trace = graph
+            .succs(i)
+            .any(|e| e.kind == DepKind::Flow && !set1.contains(&e.to))
+            || op.defs_regs().any(|d| live_on_trace.contains(&d));
+        if used_on_trace {
+            set2.insert(i);
+        }
+    }
+    // Backward closure: the on-trace copy of a split op reads its inputs on
+    // trace, so any moved producer of a split op that can execute on-trace
+    // must itself be split (e.g. the address move feeding a split store).
+    loop {
+        let mut grew = false;
+        for &i in &set1 {
+            if set2.contains(&i) {
+                continue;
+            }
+            let op = &ops[i];
+            if op.is_branch() || own_compares.contains(&i) {
+                continue;
+            }
+            if !executes_on_trace(op) {
+                continue;
+            }
+            let feeds_split = graph
+                .succs(i)
+                .any(|e| e.kind == DepKind::Flow && set2.contains(&e.to));
+            if feeds_split {
+                set2.insert(i);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // set 3: unmoved ops whose results are consumed only by moved ops.
+    let mut set3: HashSet<usize> = HashSet::new();
+    for i in (0..n).rev() {
+        if set1.contains(&i) || i >= bypass_pos {
+            continue;
+        }
+        let op = &ops[i];
+        if op.opcode.has_side_effects() || op.is_cmpp() || op.opcode == Opcode::PredInit {
+            continue;
+        }
+        if op.dests.is_empty() {
+            continue;
+        }
+        if op.defs_regs().any(|d| live_on_trace.contains(&d)) {
+            continue;
+        }
+        let mut all_uses_moved = true;
+        let mut has_use = false;
+        for e in graph.succs(i) {
+            if e.kind == DepKind::Flow {
+                has_use = true;
+                // A consumer that is split (set 2) keeps an on-trace copy
+                // which still reads this value on-trace: the producer must
+                // stay.
+                if set2.contains(&e.to)
+                    || (!set1.contains(&e.to) && !set3.contains(&e.to))
+                {
+                    all_uses_moved = false;
+                    break;
+                }
+            }
+        }
+        if has_use && all_uses_moved {
+            set3.insert(i);
+        }
+    }
+
+    // --- perform the motion ---
+    let moved: HashSet<usize> = set1.union(&set3).copied().collect();
+    let mut comp_ops: Vec<Op> = Vec::new();
+    let mut on_trace_copies: Vec<Op> = Vec::new();
+    for i in 0..n {
+        if !moved.contains(&i) {
+            continue;
+        }
+        comp_ops.push(ops[i].clone());
+        if set2.contains(&i) {
+            let mut copy = func.clone_op(&ops[i]);
+            if let Some(g) = copy.guard {
+                if r.internal_preds.contains(&g) {
+                    copy.guard = Some(r.on_frp);
+                }
+            }
+            on_trace_copies.push(copy);
+        }
+    }
+
+    // Rebuild the hyperblock: unmoved ops, with the split copies inserted
+    // after the bypass (fall-through variation) or before it (taken
+    // variation, where the bypass is the block's final branch).
+    let mut new_ops: Vec<Op> = Vec::with_capacity(n - moved.len() + on_trace_copies.len());
+    for (i, op) in ops.into_iter().enumerate() {
+        if moved.contains(&i) {
+            continue;
+        }
+        let is_bypass = op.id == r.bypass;
+        if is_bypass && r.taken_variation {
+            new_ops.extend(on_trace_copies.drain(..));
+        }
+        new_ops.push(op);
+        if is_bypass && !r.taken_variation {
+            new_ops.extend(on_trace_copies.drain(..));
+        }
+    }
+    func.block_mut(r.block).ops = new_ops;
+
+    // Fill the compensation block. The taken variation's comp already holds
+    // the hyperblock remainder (placed by restructure); the moved ops run
+    // before it, preserving original program order. For the fall-through
+    // variation the moved branches provably cover every entry (the
+    // off-trace FRP is exactly their disjunction), so the trailing `ret` is
+    // an unreachable backstop that keeps the function well-formed.
+    if r.taken_variation {
+        let remainder = std::mem::take(&mut func.block_mut(r.comp).ops);
+        comp_ops.extend(remainder);
+    } else {
+        comp_ops.push(Op {
+            id: func.new_op_id(),
+            opcode: Opcode::Ret,
+            dests: vec![],
+            srcs: vec![],
+            guard: None,
+        });
+    }
+    func.block_mut(r.comp).ops = comp_ops;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CprConfig;
+    use crate::matching::match_cpr_blocks;
+    use crate::restructure::restructure;
+    use epic_ir::{BlockId, CmpCond, FunctionBuilder, Operand, Profile};
+    use epic_interp::{diff_test, run, Input};
+
+    /// FRP-converted chain with speculated loads and guarded stores, ready
+    /// for the full restructure+motion pipeline.
+    fn chain() -> (Function, epic_ir::Reg, BlockId) {
+        let mut fb = FunctionBuilder::new("chain");
+        let sb = fb.block("sb");
+        let exit = fb.block("exit");
+        fb.switch_to(exit);
+        fb.ret();
+        fb.switch_to(sb);
+        let a = fb.reg();
+        let mut guard = None;
+        for k in 0..3i64 {
+            fb.set_guard(None);
+            let addr = fb.add(a.into(), Operand::Imm(k));
+            fb.set_alias_class(Some(1));
+            let v = fb.load(addr);
+            fb.set_alias_class(Some(2));
+            fb.set_guard(guard);
+            let (t, f_) = fb.cmpp_un_uc(CmpCond::Eq, v.into(), Operand::Imm(0));
+            fb.branch_if(t, exit);
+            fb.set_guard(Some(f_));
+            let d = fb.movi(20 + k);
+            fb.store(d, v.into());
+            guard = Some(f_);
+        }
+        fb.set_guard(None);
+        fb.ret();
+        (fb.finish(), a, sb)
+    }
+
+    fn full_pipeline(f: &mut Function, sb: BlockId) -> Restructured {
+        let cfg = CprConfig { enable_taken_variation: false, ..CprConfig::uniform() };
+        let blocks = match_cpr_blocks(&f.block(sb).ops, &Profile::new(), &cfg, f.mem_classes());
+        let live = GlobalLiveness::compute(f);
+        let r = restructure(f, sb, &blocks[0], &live).expect("restructures");
+        assert!(off_trace_motion(f, &r), "motion must succeed");
+        r
+    }
+
+    #[test]
+    fn on_trace_is_irredundant() {
+        let (mut f, _a, sb) = chain();
+        let before = f.block(sb).ops.len();
+        let before_branches = f.block(sb).branch_count();
+        let r = full_pipeline(&mut f, sb);
+        epic_ir::verify(&f).unwrap();
+        let ops = &f.block(sb).ops;
+        // All original branches replaced by the single bypass (plus the
+        // trailing ret).
+        assert_eq!(
+            ops.iter().filter(|o| o.opcode == Opcode::Branch).count(),
+            1,
+            "single bypass branch on-trace:\n{f}"
+        );
+        assert!(before_branches > 1);
+        // Original compares are gone from the on-trace path; lookaheads
+        // remain (they write the FRPs).
+        for &c in &r.compares {
+            assert!(ops.iter().all(|o| o.id != c), "compare {c} moved off-trace");
+        }
+        // Fewer on-trace ops than before (irredundancy): n branches → 1,
+        // stores split 1:1, compares replaced 1:1.
+        assert!(ops.len() < before, "{} vs {before}", ops.len());
+        // Compensation block holds the originals.
+        let comp = f.block(r.comp);
+        assert!(comp.ops.iter().any(|o| o.is_cmpp()));
+        assert!(comp.ops.iter().filter(|o| o.opcode == Opcode::Branch).count() >= 3);
+    }
+
+    #[test]
+    fn split_stores_appear_on_both_paths() {
+        let (mut f, _a, sb) = chain();
+        let r = full_pipeline(&mut f, sb);
+        let on_stores: Vec<_> = f
+            .block(sb)
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::Store)
+            .cloned()
+            .collect();
+        let off_stores: Vec<_> = f
+            .block(r.comp)
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::Store)
+            .cloned()
+            .collect();
+        // Stores 1 and 2 sit between branches: they are split (a copy on
+        // each path). Store 3 follows the final branch, so it only ever
+        // executes on-trace and is simply re-guarded.
+        assert_eq!(on_stores.len(), 3);
+        assert_eq!(off_stores.len(), 2);
+        // On-trace copies are re-guarded by the on-trace FRP.
+        assert!(on_stores.iter().all(|o| o.guard == Some(r.on_frp)), "{on_stores:?}");
+        // Off-trace copies keep their original FRP guards.
+        assert!(off_stores.iter().all(|o| o.guard != Some(r.on_frp)));
+    }
+
+    #[test]
+    fn transformation_preserves_semantics_exhaustively() {
+        let (f, a, sb) = chain();
+        let mut g = f.clone();
+        full_pipeline(&mut g, sb);
+        // All 16 combinations of zero/non-zero over 4 leading words.
+        for bits in 0..16u32 {
+            let image: Vec<i64> =
+                (0..4).map(|k| if bits & (1 << k) != 0 { 0 } else { k as i64 + 1 }).collect();
+            let input = Input::new().memory_size(64).with_memory(0, &image).with_reg(a, 0);
+            diff_test(&f, &g, &input).unwrap();
+        }
+    }
+
+    #[test]
+    fn on_trace_executes_fewer_dynamic_ops() {
+        let (f, a, sb) = chain();
+        let mut g = f.clone();
+        full_pipeline(&mut g, sb);
+        // All fall through (no zeros): the transformed on-trace path must
+        // fetch fewer operations.
+        let input = Input::new()
+            .memory_size(64)
+            .with_memory(0, &[1, 2, 3, 4])
+            .with_reg(a, 0);
+        let base = run(&f, &input).unwrap();
+        let opt = run(&g, &input).unwrap();
+        assert!(
+            opt.dynamic_ops < base.dynamic_ops,
+            "irredundant: {} < {}",
+            opt.dynamic_ops,
+            base.dynamic_ops
+        );
+        assert!(opt.dynamic_branches < base.dynamic_branches);
+    }
+
+    #[test]
+    fn pbrs_of_moved_branches_move_off_trace() {
+        let (mut f, _a, sb) = chain();
+        let r = full_pipeline(&mut f, sb);
+        // On-trace keeps exactly one pbr (for the bypass).
+        let on_pbrs = f.block(sb).ops.iter().filter(|o| o.opcode == Opcode::Pbr).count();
+        assert_eq!(on_pbrs, 1, "\n{f}");
+        let off_pbrs = f.block(r.comp).ops.iter().filter(|o| o.opcode == Opcode::Pbr).count();
+        assert_eq!(off_pbrs, 3);
+    }
+}

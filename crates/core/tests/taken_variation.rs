@@ -1,0 +1,181 @@
+//! Focused tests of the taken variation (paper §5.3) and of the pipeline
+//! driver's CPR-block chaining (on-trace FRP becomes the next root).
+
+use control_cpr::{apply_icbm, CprConfig};
+use epic_interp::{diff_test, run, Input};
+use epic_ir::{CmpCond, Function, FunctionBuilder, Opcode, Operand, Reg};
+use epic_regions::frp_convert;
+
+/// A loop whose back edge is ~97% taken with two rare exits — the shape
+/// that triggers the taken variation.
+fn hot_loop() -> (Function, Reg) {
+    let mut fb = FunctionBuilder::new("hot");
+    let loop_ = fb.block("loop");
+    let exit = fb.block("exit");
+    fb.switch_to(exit);
+    fb.ret();
+    fb.switch_to(loop_);
+    let a = fb.reg();
+    fb.set_alias_class(Some(1));
+    let v = fb.load(a);
+    fb.set_alias_class(None);
+    let (z, f1) = fb.cmpp_un_uc(CmpCond::Eq, v.into(), Operand::Imm(0));
+    fb.branch_if(z, exit);
+    let d = fb.add(a.into(), Operand::Imm(256));
+    fb.set_guard(Some(f1));
+    fb.set_alias_class(Some(2));
+    fb.store(d, v.into());
+    fb.set_alias_class(None);
+    fb.set_guard(None);
+    let a2 = fb.add(a.into(), Operand::Imm(1));
+    fb.set_alias_class(Some(1));
+    let probe = fb.load(a2);
+    fb.set_alias_class(None);
+    fb.set_guard(Some(f1));
+    fb.mov_to(a, a2.into());
+    let (cont, _) = fb.cmpp_un_uc(CmpCond::Ne, probe.into(), Operand::Imm(0));
+    fb.branch_if(cont, loop_);
+    fb.set_guard(None);
+    fb.ret();
+    (fb.finish(), a)
+}
+
+fn training(a: Reg) -> Input {
+    let mut image = vec![9i64; 100];
+    image.push(0);
+    Input::new().memory_size(512).with_memory(0, &image).with_reg(a, 0)
+}
+
+#[test]
+fn taken_variation_fires_and_matches() {
+    let (f, a) = hot_loop();
+    let profile = run(&f, &training(a)).unwrap().profile;
+    let mut g = f.clone();
+    frp_convert(&mut g);
+    let stats = apply_icbm(
+        &mut g,
+        &profile,
+        &CprConfig { min_entry_count: 1, exit_weight_threshold: 1.0, ..CprConfig::default() },
+    );
+    assert_eq!(stats.taken_blocks, 1, "{stats:?}\n{g}");
+    epic_ir::verify(&g).unwrap();
+    diff_test(&f, &g, &training(a)).unwrap();
+    // Early-exit inputs too.
+    for zero_at in 0..4usize {
+        let mut image = vec![5i64; 8];
+        image[zero_at] = 0;
+        image.resize(100, 0);
+        let input = Input::new().memory_size(512).with_memory(0, &image).with_reg(a, 0);
+        diff_test(&f, &g, &input).unwrap();
+    }
+}
+
+#[test]
+fn taken_variation_on_trace_ends_with_single_branch() {
+    let (f, a) = hot_loop();
+    let profile = run(&f, &training(a)).unwrap().profile;
+    let mut g = f.clone();
+    frp_convert(&mut g);
+    apply_icbm(
+        &mut g,
+        &profile,
+        &CprConfig { min_entry_count: 1, exit_weight_threshold: 1.0, ..CprConfig::default() },
+    );
+    let hot = g.entry();
+    let block = g.block(hot);
+    // On-trace: exactly one conditional branch — the re-guarded back edge —
+    // and it is the block's last operation.
+    let branches: Vec<usize> = block
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.opcode == Opcode::Branch)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(branches.len(), 1, "\n{g}");
+    assert_eq!(branches[0], block.ops.len() - 1, "\n{g}");
+    // Its target is the loop head itself (on-trace = keep looping).
+    assert_eq!(block.ops[branches[0]].branch_target(), Some(hot));
+}
+
+#[test]
+fn taken_variation_reduces_branch_fetches_per_iteration() {
+    let (f, a) = hot_loop();
+    let before = run(&f, &training(a)).unwrap();
+    let profile = before.profile.clone();
+    let mut g = f.clone();
+    frp_convert(&mut g);
+    apply_icbm(
+        &mut g,
+        &profile,
+        &CprConfig { min_entry_count: 1, exit_weight_threshold: 1.0, ..CprConfig::default() },
+    );
+    let after = run(&g, &training(a)).unwrap();
+    assert!(
+        after.dynamic_branches < before.dynamic_branches,
+        "{} -> {}",
+        before.dynamic_branches,
+        after.dynamic_branches
+    );
+}
+
+/// Multiple sequential CPR blocks in one hyperblock: the driver must chain
+/// them (forward order, re-wired roots) and preserve semantics.
+#[test]
+fn chained_cpr_blocks_share_roots() {
+    let mut fb = FunctionBuilder::new("chain6");
+    let sb = fb.block("sb");
+    let exit = fb.block("exit");
+    fb.switch_to(exit);
+    fb.ret();
+    fb.switch_to(sb);
+    let a = fb.reg();
+    let mut guard = None;
+    for k in 0..6i64 {
+        fb.set_guard(None);
+        let addr = fb.add(a.into(), Operand::Imm(k));
+        fb.set_alias_class(Some(1));
+        let v = fb.load(addr);
+        fb.set_alias_class(None);
+        fb.set_guard(guard);
+        let (t, f_) = fb.cmpp_un_uc(CmpCond::Eq, v.into(), Operand::Imm(0));
+        fb.branch_if(t, exit);
+        fb.set_guard(Some(f_));
+        let d = fb.add(addr.into(), Operand::Imm(64));
+        fb.set_alias_class(Some(2));
+        fb.store(d, v.into());
+        fb.set_alias_class(None);
+        guard = Some(f_);
+    }
+    fb.set_guard(None);
+    fb.ret();
+    let f = fb.finish();
+    let input = Input::new().memory_size(256).with_memory(0, &[1, 2, 3, 4, 5, 6]).with_reg(a, 0);
+    let profile = run(&f, &input).unwrap().profile;
+    let mut g = f.clone();
+    frp_convert(&mut g);
+    // Force small blocks: every pair of branches becomes one CPR block.
+    let stats = apply_icbm(
+        &mut g,
+        &profile,
+        &CprConfig {
+            min_entry_count: 0,
+            max_branches: 2,
+            exit_weight_threshold: 2.0,
+            enable_taken_variation: false,
+            ..CprConfig::default()
+        },
+    );
+    assert_eq!(stats.cpr_blocks, 3, "{stats:?}\n{g}");
+    epic_ir::verify(&g).unwrap();
+    // Exhaustive early-exit differential testing.
+    for zero_at in 0..7usize {
+        let mut image = vec![2i64; 8];
+        if zero_at < 6 {
+            image[zero_at] = 0;
+        }
+        let input = Input::new().memory_size(256).with_memory(0, &image).with_reg(a, 0);
+        diff_test(&f, &g, &input).unwrap();
+    }
+    let _ = sb;
+}

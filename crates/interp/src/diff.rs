@@ -1,0 +1,134 @@
+//! Differential testing of program transformations.
+
+use std::error::Error;
+use std::fmt;
+
+use epic_ir::Function;
+
+use crate::exec::{run, Input};
+use crate::trap::Trap;
+
+/// A semantic difference (or trap divergence) between two programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiffError {
+    /// The reference program trapped.
+    ReferenceTrapped(Trap),
+    /// The transformed program trapped while the reference did not.
+    TransformedTrapped(Trap),
+    /// Final memory images differ at the given word.
+    MemoryMismatch {
+        /// First differing address.
+        addr: usize,
+        /// Value in the reference image.
+        reference: i64,
+        /// Value in the transformed image.
+        transformed: i64,
+    },
+    /// Memory image lengths differ (inputs were inconsistent).
+    MemoryLengthMismatch {
+        /// Reference image length.
+        reference: usize,
+        /// Transformed image length.
+        transformed: usize,
+    },
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::ReferenceTrapped(t) => write!(f, "reference program trapped: {t}"),
+            DiffError::TransformedTrapped(t) => write!(f, "transformed program trapped: {t}"),
+            DiffError::MemoryMismatch { addr, reference, transformed } => write!(
+                f,
+                "memory differs at word {addr}: reference {reference}, transformed {transformed}"
+            ),
+            DiffError::MemoryLengthMismatch { reference, transformed } => {
+                write!(f, "memory lengths differ: {reference} vs {transformed}")
+            }
+        }
+    }
+}
+
+impl Error for DiffError {}
+
+/// Runs `reference` and `transformed` on the same input and compares their
+/// final memory images — the observable effect of a program in this IR.
+///
+/// This is the correctness oracle for the whole pipeline: FRP conversion,
+/// ICBM, dead-code elimination and scheduling must all preserve the memory
+/// image on every input.
+///
+/// # Errors
+///
+/// Returns a [`DiffError`] describing the first divergence found.
+pub fn diff_test(
+    reference: &Function,
+    transformed: &Function,
+    input: &Input,
+) -> Result<(), DiffError> {
+    let ref_out = run(reference, input).map_err(DiffError::ReferenceTrapped)?;
+    let new_out = run(transformed, input).map_err(DiffError::TransformedTrapped)?;
+    if ref_out.memory.len() != new_out.memory.len() {
+        return Err(DiffError::MemoryLengthMismatch {
+            reference: ref_out.memory.len(),
+            transformed: new_out.memory.len(),
+        });
+    }
+    for (addr, (r, t)) in ref_out.memory.iter().zip(&new_out.memory).enumerate() {
+        if r != t {
+            return Err(DiffError::MemoryMismatch { addr, reference: *r, transformed: *t });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{FunctionBuilder, Operand};
+
+    fn store_const(name: &str, value: i64) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let e = b.block("e");
+        b.switch_to(e);
+        let a = b.movi(0);
+        b.store(a, Operand::Imm(value));
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn identical_programs_pass() {
+        let f = store_const("a", 5);
+        let g = store_const("b", 5);
+        diff_test(&f, &g, &Input::new().memory_size(2)).unwrap();
+    }
+
+    #[test]
+    fn detects_memory_mismatch() {
+        let f = store_const("a", 5);
+        let g = store_const("b", 6);
+        let err = diff_test(&f, &g, &Input::new().memory_size(2)).unwrap_err();
+        assert_eq!(
+            err,
+            DiffError::MemoryMismatch { addr: 0, reference: 5, transformed: 6 }
+        );
+        assert!(err.to_string().contains("word 0"));
+    }
+
+    #[test]
+    fn detects_transformed_trap() {
+        let f = store_const("a", 5);
+        let mut b = FunctionBuilder::new("oob");
+        let e = b.block("e");
+        b.switch_to(e);
+        let a = b.movi(100);
+        b.store(a, Operand::Imm(1));
+        b.ret();
+        let g = b.finish();
+        assert!(matches!(
+            diff_test(&f, &g, &Input::new().memory_size(2)),
+            Err(DiffError::TransformedTrapped(_))
+        ));
+    }
+}

@@ -1,0 +1,455 @@
+//! The interpreter core.
+
+use epic_ir::{Dest, Function, Opcode, Operand, Profile, Reg};
+
+use crate::trap::Trap;
+
+/// Input to an execution: initial memory, initial registers, and a fuel
+/// budget.
+#[derive(Clone, Debug)]
+pub struct Input {
+    memory: Vec<i64>,
+    regs: Vec<(Reg, i64)>,
+    fuel: u64,
+}
+
+impl Default for Input {
+    fn default() -> Self {
+        Input { memory: Vec::new(), regs: Vec::new(), fuel: 50_000_000 }
+    }
+}
+
+impl Input {
+    /// Creates an empty input with the default fuel budget.
+    pub fn new() -> Input {
+        Input::default()
+    }
+
+    /// Sets the memory image size (words, zero-initialized).
+    pub fn memory_size(mut self, words: usize) -> Input {
+        self.memory.resize(words, 0);
+        self
+    }
+
+    /// Writes `values` into memory starting at word `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the values do not fit in the current image.
+    pub fn with_memory(mut self, addr: usize, values: &[i64]) -> Input {
+        assert!(addr + values.len() <= self.memory.len(), "initial values exceed image");
+        self.memory[addr..addr + values.len()].copy_from_slice(values);
+        self
+    }
+
+    /// Sets the initial value of a register (function argument).
+    pub fn with_reg(mut self, reg: Reg, value: i64) -> Input {
+        self.regs.push((reg, value));
+        self
+    }
+
+    /// Overrides the fuel budget (maximum fetched operations).
+    pub fn fuel(mut self, fuel: u64) -> Input {
+        self.fuel = fuel;
+        self
+    }
+}
+
+/// The result of a completed execution.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Final memory image.
+    pub memory: Vec<i64>,
+    /// Final general-register file.
+    pub regs: Vec<i64>,
+    /// Execution profile: block entries, op fetch counts, branch takens.
+    pub profile: Profile,
+    /// Total operations fetched (the paper's dynamic operation count; a
+    /// nullified operation still occupies an issue slot and is counted).
+    pub dynamic_ops: u64,
+    /// Total branch operations fetched (`branch` and `ret`).
+    pub dynamic_branches: u64,
+}
+
+/// Runs `func` to completion on `input`.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] on out-of-bounds memory access, divide-by-zero on an
+/// executed divide, fuel exhaustion, or a branch whose target register
+/// disagrees with its syntactic label (which would indicate a miscompiled
+/// transformation).
+pub fn run(func: &Function, input: &Input) -> Result<Outcome, Trap> {
+    let mut regs = vec![0i64; func.reg_count()];
+    let mut preds = vec![false; func.pred_count()];
+    let mut memory = input.memory.clone();
+    for &(r, v) in &input.regs {
+        regs[r.index()] = v;
+    }
+
+    let mut profile = Profile::new();
+    let mut dynamic_ops = 0u64;
+    let mut dynamic_branches = 0u64;
+    let mut fuel = input.fuel;
+
+    let layout_pos: std::collections::HashMap<_, _> =
+        func.layout.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+    let mut block = func.entry();
+    'outer: loop {
+        profile.record_block_entry(block);
+        let ops = &func.block(block).ops;
+        let mut i = 0;
+        while i < ops.len() {
+            let op = &ops[i];
+            i += 1;
+            if fuel == 0 {
+                return Err(Trap::OutOfFuel);
+            }
+            fuel -= 1;
+            dynamic_ops += 1;
+            profile.record_op(op.id);
+            if op.is_branch() {
+                dynamic_branches += 1;
+            }
+
+            let guard = match op.guard {
+                Some(p) => preds[p.index()],
+                None => true,
+            };
+
+            let val = |s: Operand, regs: &[i64], preds: &[bool]| -> i64 {
+                match s {
+                    Operand::Reg(r) => regs[r.index()],
+                    Operand::Pred(p) => preds[p.index()] as i64,
+                    Operand::Imm(v) => v,
+                    Operand::Label(b) => b.0 as i64,
+                }
+            };
+
+            match op.opcode {
+                Opcode::Cmpp(cond) => {
+                    // Unconditional destinations write even under a false
+                    // guard, so cmpp is handled before the guard check.
+                    let a = val(op.srcs[0], &regs, &preds);
+                    let b = val(op.srcs[1], &regs, &preds);
+                    let cmp = cond.eval(a, b);
+                    for d in &op.dests {
+                        if let Dest::Pred(p, action) = d {
+                            if let Some(v) = action.apply(guard, cmp) {
+                                preds[p.index()] = v;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                Opcode::PredInit => {
+                    if guard {
+                        for (d, s) in op.dests.iter().zip(&op.srcs) {
+                            if let Dest::Pred(p, _) = d {
+                                preds[p.index()] = matches!(s, Operand::Imm(1));
+                            }
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+
+            if !guard {
+                continue;
+            }
+
+            match op.opcode {
+                Opcode::Add | Opcode::FAdd => binary(op, &mut regs, &preds, |a, b| a.wrapping_add(b)),
+                Opcode::Sub | Opcode::FSub => binary(op, &mut regs, &preds, |a, b| a.wrapping_sub(b)),
+                Opcode::Mul | Opcode::FMul => binary(op, &mut regs, &preds, |a, b| a.wrapping_mul(b)),
+                Opcode::Div | Opcode::FDiv => {
+                    let b = val(op.srcs[1], &regs, &preds);
+                    if b == 0 {
+                        return Err(Trap::DivideByZero { op: op.id });
+                    }
+                    binary(op, &mut regs, &preds, |a, b| a.wrapping_div(b));
+                }
+                Opcode::Rem => {
+                    let b = val(op.srcs[1], &regs, &preds);
+                    if b == 0 {
+                        return Err(Trap::DivideByZero { op: op.id });
+                    }
+                    binary(op, &mut regs, &preds, |a, b| a.wrapping_rem(b));
+                }
+                Opcode::And => binary(op, &mut regs, &preds, |a, b| a & b),
+                Opcode::Or => binary(op, &mut regs, &preds, |a, b| a | b),
+                Opcode::Xor => binary(op, &mut regs, &preds, |a, b| a ^ b),
+                Opcode::Shl => binary(op, &mut regs, &preds, |a, b| a.wrapping_shl(b as u32)),
+                Opcode::Shr => binary(op, &mut regs, &preds, |a, b| a.wrapping_shr(b as u32)),
+                Opcode::Mov => {
+                    let v = val(op.srcs[0], &regs, &preds);
+                    set_dest(op, &mut regs, v);
+                }
+                Opcode::Load => {
+                    let addr = val(op.srcs[0], &regs, &preds);
+                    let v = *memory
+                        .get(usize::try_from(addr).ok().filter(|&a| a < memory.len()).ok_or(
+                            Trap::MemoryOutOfBounds { op: op.id, addr, size: memory.len() },
+                        )?)
+                        .expect("bounds checked");
+                    set_dest(op, &mut regs, v);
+                }
+                Opcode::LoadS => {
+                    // Dismissible load: faults are silently squashed to 0.
+                    let addr = val(op.srcs[0], &regs, &preds);
+                    let v = usize::try_from(addr)
+                        .ok()
+                        .and_then(|a| memory.get(a).copied())
+                        .unwrap_or(0);
+                    set_dest(op, &mut regs, v);
+                }
+                Opcode::Store => {
+                    let addr = val(op.srcs[0], &regs, &preds);
+                    let v = val(op.srcs[1], &regs, &preds);
+                    let idx = usize::try_from(addr)
+                        .ok()
+                        .filter(|&a| a < memory.len())
+                        .ok_or(Trap::MemoryOutOfBounds { op: op.id, addr, size: memory.len() })?;
+                    memory[idx] = v;
+                }
+                Opcode::Pbr => {
+                    let target = op.branch_target().expect("verified pbr has target");
+                    set_dest(op, &mut regs, target.0 as i64);
+                }
+                Opcode::Branch => {
+                    profile.record_taken(op.id);
+                    let target = op.branch_target().expect("verified branch has target");
+                    let btr_value = val(op.srcs[0], &regs, &preds);
+                    if btr_value != target.0 as i64 {
+                        return Err(Trap::BranchTargetMismatch {
+                            op: op.id,
+                            btr_value,
+                            expected: target.0,
+                        });
+                    }
+                    block = target;
+                    continue 'outer;
+                }
+                Opcode::Ret => {
+                    profile.record_taken(op.id);
+                    return Ok(Outcome { memory, regs, profile, dynamic_ops, dynamic_branches });
+                }
+                Opcode::Cmpp(_) | Opcode::PredInit => unreachable!("handled above"),
+            }
+        }
+        // Fell through the end of the block: continue with the layout
+        // successor. The verifier guarantees the last block cannot fall
+        // through, so the successor exists.
+        let pos = layout_pos[&block];
+        block = func.layout[pos + 1];
+    }
+}
+
+#[inline]
+fn binary(op: &epic_ir::Op, regs: &mut [i64], preds: &[bool], f: impl Fn(i64, i64) -> i64) {
+    let v = |s: Operand| -> i64 {
+        match s {
+            Operand::Reg(r) => regs[r.index()],
+            Operand::Pred(p) => preds[p.index()] as i64,
+            Operand::Imm(x) => x,
+            Operand::Label(b) => b.0 as i64,
+        }
+    };
+    let result = f(v(op.srcs[0]), v(op.srcs[1]));
+    set_dest(op, regs, result);
+}
+
+#[inline]
+fn set_dest(op: &epic_ir::Op, regs: &mut [i64], value: i64) {
+    if let Some(Dest::Reg(r)) = op.dests.first() {
+        regs[r.index()] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{CmpCond, FunctionBuilder};
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = FunctionBuilder::new("t");
+        let e = b.block("e");
+        b.switch_to(e);
+        let x = b.movi(6);
+        let y = b.movi(7);
+        let z = b.mul(x.into(), y.into());
+        let a = b.movi(0);
+        b.store(a, z.into());
+        b.ret();
+        let f = b.finish();
+        let out = run(&f, &Input::new().memory_size(1)).unwrap();
+        assert_eq!(out.memory[0], 42);
+        assert_eq!(out.dynamic_ops, 6);
+        assert_eq!(out.dynamic_branches, 1); // ret
+    }
+
+    #[test]
+    fn loop_with_counter() {
+        // sum 1..=10 into memory[0]
+        let mut b = FunctionBuilder::new("sum");
+        let head = b.block("head");
+        let exit = b.block("exit");
+        b.switch_to(head);
+        let i = b.reg();
+        let acc = b.reg();
+        let i2 = b.add(i.into(), Operand::Imm(1));
+        b.mov_to(i, i2.into());
+        let acc2 = b.add(acc.into(), i.into());
+        b.mov_to(acc, acc2.into());
+        let (t, _) = b.cmpp_un_uc(CmpCond::Lt, i.into(), Operand::Imm(10));
+        b.branch_if(t, head);
+        let a = b.movi(0);
+        b.store(a, acc.into());
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        let out = run(&f, &Input::new().memory_size(1)).unwrap();
+        assert_eq!(out.memory[0], 55);
+        assert_eq!(out.profile.entry_count(head), 10);
+        assert_eq!(out.profile.taken_count(f.block(head).ops[6].id), 9);
+    }
+
+    #[test]
+    fn predication_nullifies() {
+        let mut b = FunctionBuilder::new("p");
+        let e = b.block("e");
+        b.switch_to(e);
+        let x = b.movi(5);
+        let (t, f_) = b.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(5));
+        let a = b.movi(0);
+        b.set_guard(Some(t));
+        b.store(a, Operand::Imm(1));
+        b.set_guard(Some(f_));
+        b.store(a, Operand::Imm(2));
+        b.set_guard(None);
+        b.ret();
+        let f = b.finish();
+        let out = run(&f, &Input::new().memory_size(1)).unwrap();
+        assert_eq!(out.memory[0], 1);
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let mut b = FunctionBuilder::new("inf");
+        let e = b.block("e");
+        b.switch_to(e);
+        b.jump(e);
+        let f = b.finish();
+        assert!(matches!(run(&f, &Input::new().fuel(100)), Err(Trap::OutOfFuel)));
+    }
+
+    #[test]
+    fn memory_bounds_trap() {
+        let mut b = FunctionBuilder::new("oob");
+        let e = b.block("e");
+        b.switch_to(e);
+        let a = b.movi(100);
+        b.store(a, Operand::Imm(1));
+        b.ret();
+        let f = b.finish();
+        assert!(matches!(
+            run(&f, &Input::new().memory_size(4)),
+            Err(Trap::MemoryOutOfBounds { addr: 100, .. })
+        ));
+    }
+
+    #[test]
+    fn divide_by_zero_traps_only_when_executed() {
+        let mut b = FunctionBuilder::new("div");
+        let e = b.block("e");
+        b.switch_to(e);
+        let x = b.movi(1);
+        let zero = b.movi(0);
+        let (never, _) = b.cmpp_un_uc(CmpCond::Ne, x.into(), x.into());
+        b.set_guard(Some(never));
+        b.div(x.into(), zero.into());
+        b.set_guard(None);
+        b.ret();
+        let f = b.finish();
+        // guard is false: the divide is nullified and must not trap.
+        run(&f, &Input::new().memory_size(1)).unwrap();
+
+        let mut b = FunctionBuilder::new("div2");
+        let e = b.block("e");
+        b.switch_to(e);
+        let x = b.movi(1);
+        let zero = b.movi(0);
+        b.div(x.into(), zero.into());
+        b.ret();
+        let f = b.finish();
+        assert!(matches!(
+            run(&f, &Input::new().memory_size(1)),
+            Err(Trap::DivideByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_registers_and_memory() {
+        let mut b = FunctionBuilder::new("arg");
+        let e = b.block("e");
+        b.switch_to(e);
+        let arg = b.reg();
+        let v = b.load(arg);
+        let d = b.movi(1);
+        b.store(d, v.into());
+        b.ret();
+        let f = b.finish();
+        let out = run(
+            &f,
+            &Input::new().memory_size(2).with_memory(0, &[99]).with_reg(arg, 0),
+        )
+        .unwrap();
+        assert_eq!(out.memory[1], 99);
+    }
+
+    #[test]
+    fn branch_target_mismatch_traps() {
+        // Build a branch whose btr register holds the wrong value.
+        let mut b = FunctionBuilder::new("bad");
+        let e = b.block("e");
+        let t = b.block("t");
+        b.switch_to(e);
+        let btr = b.movi(12345);
+        b.emit(Opcode::Branch, vec![], vec![Operand::Reg(btr), Operand::Label(t)]);
+        b.ret();
+        b.switch_to(t);
+        b.ret();
+        let f = b.finish();
+        assert!(matches!(
+            run(&f, &Input::new()),
+            Err(Trap::BranchTargetMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wired_or_accumulation() {
+        // p = (x == 1) || (y == 2), via ON compares after clearing p.
+        use epic_ir::PredAction;
+        let mut b = FunctionBuilder::new("or");
+        let e = b.block("e");
+        b.switch_to(e);
+        let x = b.movi(0);
+        let y = b.movi(2);
+        let p = b.pred();
+        b.pred_init(&[(p, false)]);
+        b.cmpp(CmpCond::Eq, vec![(p, PredAction::ON)], x.into(), Operand::Imm(1));
+        b.cmpp(CmpCond::Eq, vec![(p, PredAction::ON)], y.into(), Operand::Imm(2));
+        let a = b.movi(0);
+        b.set_guard(Some(p));
+        b.store(a, Operand::Imm(77));
+        b.set_guard(None);
+        b.ret();
+        let f = b.finish();
+        let out = run(&f, &Input::new().memory_size(1)).unwrap();
+        assert_eq!(out.memory[0], 77);
+    }
+}

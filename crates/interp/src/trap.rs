@@ -1,0 +1,72 @@
+//! Execution traps.
+
+use std::error::Error;
+use std::fmt;
+
+use epic_ir::OpId;
+
+/// An abnormal termination of interpretation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// The fuel budget was exhausted (probable infinite loop).
+    OutOfFuel,
+    /// A load or store addressed memory outside the allocated image.
+    MemoryOutOfBounds {
+        /// The faulting operation.
+        op: OpId,
+        /// The out-of-range address.
+        addr: i64,
+        /// The size of the memory image.
+        size: usize,
+    },
+    /// An executed `div`/`rem` had a zero divisor.
+    DivideByZero {
+        /// The faulting operation.
+        op: OpId,
+    },
+    /// A taken branch's branch-target register did not match its syntactic
+    /// target label — a transformation moved a branch away from its `pbr`.
+    BranchTargetMismatch {
+        /// The faulting branch.
+        op: OpId,
+        /// The value found in the branch-target register.
+        btr_value: i64,
+        /// The expected target block index.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfFuel => write!(f, "out of fuel (probable infinite loop)"),
+            Trap::MemoryOutOfBounds { op, addr, size } => {
+                write!(f, "{op}: memory access at {addr} outside image of {size} words")
+            }
+            Trap::DivideByZero { op } => write!(f, "{op}: divide by zero"),
+            Trap::BranchTargetMismatch { op, btr_value, expected } => write!(
+                f,
+                "{op}: branch-target register holds {btr_value} but target label is b{expected}"
+            ),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trap::MemoryOutOfBounds { op: OpId(4), addr: -1, size: 16 };
+        let s = t.to_string();
+        assert!(s.contains("op4") && s.contains("-1") && s.contains("16"));
+        assert!(!Trap::OutOfFuel.to_string().is_empty());
+        assert!(Trap::DivideByZero { op: OpId(1) }.to_string().contains("divide"));
+        assert!(Trap::BranchTargetMismatch { op: OpId(2), btr_value: 9, expected: 3 }
+            .to_string()
+            .contains("b3"));
+    }
+}

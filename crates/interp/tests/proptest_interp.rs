@@ -1,0 +1,144 @@
+//! Property tests of the interpreter: determinism, fuel monotonicity, and
+//! predication semantics on randomly generated straight-line programs.
+
+use epic_interp::{run, Input};
+use epic_ir::{CmpCond, FunctionBuilder, Opcode, Operand};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum GenOp {
+    Binary(u8, i64),
+    Load(u8),
+    StoreImm(u8, i64),
+    GuardedStore(u8, i64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0u8..8, -9i64..10).prop_map(|(k, imm)| GenOp::Binary(k, imm)),
+        (0u8..16).prop_map(GenOp::Load),
+        (0u8..16, -9i64..10).prop_map(|(a, v)| GenOp::StoreImm(a, v)),
+        (0u8..16, -9i64..10, -4i64..5).prop_map(|(a, v, t)| GenOp::GuardedStore(a, v, t)),
+    ]
+}
+
+fn build(ops: &[GenOp]) -> epic_ir::Function {
+    let mut fb = FunctionBuilder::new("gen");
+    let b = fb.block("b");
+    fb.switch_to(b);
+    let mut acc = fb.movi(1);
+    for g in ops {
+        match g {
+            GenOp::Binary(k, imm) => {
+                let s = Operand::Imm(*imm);
+                acc = match k % 8 {
+                    0 => fb.add(acc.into(), s),
+                    1 => fb.sub(acc.into(), s),
+                    2 => fb.mul(acc.into(), s),
+                    3 => fb.and(acc.into(), s),
+                    4 => fb.or(acc.into(), s),
+                    5 => fb.xor(acc.into(), s),
+                    6 => fb.shl(acc.into(), Operand::Imm(imm.rem_euclid(8))),
+                    _ => fb.shr(acc.into(), Operand::Imm(imm.rem_euclid(8))),
+                };
+            }
+            GenOp::Load(a) => {
+                let addr = fb.movi(*a as i64);
+                let v = fb.load(addr);
+                acc = fb.add(acc.into(), v.into());
+            }
+            GenOp::StoreImm(a, v) => {
+                let addr = fb.movi(*a as i64);
+                fb.store(addr, Operand::Imm(*v));
+            }
+            GenOp::GuardedStore(a, v, t) => {
+                let p = fb.cmpp_un(CmpCond::Gt, acc.into(), Operand::Imm(*t));
+                let addr = fb.movi(*a as i64);
+                fb.set_guard(Some(p));
+                fb.store(addr, Operand::Imm(*v));
+                fb.set_guard(None);
+            }
+        }
+    }
+    let out = fb.movi(30);
+    fb.store(out, acc.into());
+    fb.ret();
+    fb.finish()
+}
+
+proptest! {
+    /// Execution is deterministic.
+    #[test]
+    fn deterministic(ops in prop::collection::vec(op_strategy(), 0..24)) {
+        let f = build(&ops);
+        epic_ir::verify(&f).expect("generated programs verify");
+        let input = Input::new().memory_size(32);
+        let a = run(&f, &input).expect("runs");
+        let b = run(&f, &input).expect("runs");
+        prop_assert_eq!(a.memory, b.memory);
+        prop_assert_eq!(a.dynamic_ops, b.dynamic_ops);
+    }
+
+    /// Dynamic op count equals static op count for straight-line code, and
+    /// every op was fetched exactly once.
+    #[test]
+    fn straight_line_fetch_counts(ops in prop::collection::vec(op_strategy(), 0..24)) {
+        let f = build(&ops);
+        let out = run(&f, &Input::new().memory_size(32)).expect("runs");
+        prop_assert_eq!(out.dynamic_ops as usize, f.static_op_count());
+        for (_, op) in f.ops_in_layout() {
+            prop_assert_eq!(out.profile.executed_count(op.id), 1);
+        }
+    }
+
+    /// A guarded store under a false guard never writes; under a true guard
+    /// it always writes (checked against a reference simulation).
+    #[test]
+    fn guarded_store_semantics(acc0 in -5i64..6, t in -4i64..5, v in -9i64..10) {
+        let mut fb = FunctionBuilder::new("g");
+        let b = fb.block("b");
+        fb.switch_to(b);
+        let x = fb.movi(acc0);
+        let p = fb.cmpp_un(CmpCond::Gt, x.into(), Operand::Imm(t));
+        let addr = fb.movi(0);
+        fb.set_guard(Some(p));
+        fb.store(addr, Operand::Imm(v));
+        fb.set_guard(None);
+        fb.ret();
+        let f = fb.finish();
+        let out = run(&f, &Input::new().memory_size(4)).expect("runs");
+        let expected = if acc0 > t { v } else { 0 };
+        prop_assert_eq!(out.memory[0], expected);
+    }
+
+    /// Fuel exhaustion is the only effect of lowering fuel: with fuel at
+    /// least the dynamic op count, results are identical.
+    #[test]
+    fn fuel_monotonic(ops in prop::collection::vec(op_strategy(), 0..16)) {
+        let f = build(&ops);
+        let full = run(&f, &Input::new().memory_size(32)).expect("runs");
+        let tight = run(&f, &Input::new().memory_size(32).fuel(full.dynamic_ops)).expect("exact fuel");
+        prop_assert_eq!(full.memory, tight.memory);
+        if full.dynamic_ops > 0 {
+            let starved = run(&f, &Input::new().memory_size(32).fuel(full.dynamic_ops - 1));
+            prop_assert!(starved.is_err(), "one less fuel must trap");
+        }
+    }
+}
+
+/// `load.s` dismisses out-of-bounds accesses rather than trapping.
+#[test]
+fn speculative_load_dismisses() {
+    let mut fb = FunctionBuilder::new("ls");
+    let b = fb.block("b");
+    fb.switch_to(b);
+    let addr = fb.movi(9999);
+    let d = fb.reg();
+    fb.emit(Opcode::LoadS, vec![epic_ir::Dest::Reg(d)], vec![Operand::Reg(addr)]);
+    let out = fb.movi(0);
+    fb.store(out, d.into());
+    fb.ret();
+    let f = fb.finish();
+    let outcome = run(&f, &Input::new().memory_size(4)).expect("dismissible");
+    assert_eq!(outcome.memory[0], 0);
+}

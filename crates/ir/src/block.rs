@@ -1,0 +1,104 @@
+//! Basic blocks (which double as linear regions / superblocks).
+
+use crate::ids::{BlockId, OpId};
+use crate::op::Op;
+
+/// A block of operations.
+///
+/// Unlike a classic basic block, a block may contain conditional branches at
+/// *any* position: this makes a single block able to represent a superblock
+/// or hyperblock — a single-entry, multi-exit linear region — which is the
+/// unit the control CPR transformation operates on. Control enters at the
+/// top, exits at any taken branch, and otherwise falls through to the layout
+/// successor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The block's id.
+    pub id: BlockId,
+    /// Optional human-readable label (used by the printer).
+    pub name: String,
+    /// The operations, in program order.
+    pub ops: Vec<Op>,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new(id: BlockId, name: impl Into<String>) -> Block {
+        Block { id, name: name.into(), ops: Vec::new() }
+    }
+
+    /// Iterates over the conditional branches in the block, with positions.
+    pub fn branches(&self) -> impl Iterator<Item = (usize, &Op)> + '_ {
+        self.ops.iter().enumerate().filter(|(_, op)| op.is_branch())
+    }
+
+    /// Number of branch operations (including `ret`).
+    pub fn branch_count(&self) -> usize {
+        self.branches().count()
+    }
+
+    /// Finds the position of the operation with id `id`.
+    pub fn position_of(&self, id: OpId) -> Option<usize> {
+        self.ops.iter().position(|op| op.id == id)
+    }
+
+    /// Returns the operation with id `id`, if present.
+    pub fn op(&self, id: OpId) -> Option<&Op> {
+        self.ops.iter().find(|op| op.id == id)
+    }
+
+    /// True when the block ends in an operation after which control cannot
+    /// fall through (an unconditional branch or `ret`).
+    pub fn ends_with_unconditional_exit(&self) -> bool {
+        match self.ops.last() {
+            Some(op) => op.is_branch() && op.guard.is_none(),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PredReg, Reg};
+    use crate::op::{Dest, Operand};
+    use crate::opcode::Opcode;
+
+    fn op(id: u32, opcode: Opcode, guard: Option<PredReg>) -> Op {
+        Op {
+            id: OpId(id),
+            opcode,
+            dests: if matches!(opcode, Opcode::Add) { vec![Dest::Reg(Reg(0))] } else { vec![] },
+            srcs: match opcode {
+                Opcode::Branch => vec![Operand::Reg(Reg(9)), Operand::Label(BlockId(1))],
+                _ => vec![Operand::Imm(0), Operand::Imm(0)],
+            },
+            guard,
+        }
+    }
+
+    #[test]
+    fn branches_and_positions() {
+        let mut b = Block::new(BlockId(0), "entry");
+        b.ops.push(op(0, Opcode::Add, None));
+        b.ops.push(op(1, Opcode::Branch, Some(PredReg(0))));
+        b.ops.push(op(2, Opcode::Add, None));
+        b.ops.push(op(3, Opcode::Branch, Some(PredReg(1))));
+        assert_eq!(b.branch_count(), 2);
+        let pos: Vec<usize> = b.branches().map(|(i, _)| i).collect();
+        assert_eq!(pos, vec![1, 3]);
+        assert_eq!(b.position_of(OpId(2)), Some(2));
+        assert_eq!(b.position_of(OpId(9)), None);
+        assert!(b.op(OpId(3)).unwrap().is_branch());
+    }
+
+    #[test]
+    fn unconditional_exit_detection() {
+        let mut b = Block::new(BlockId(0), "x");
+        assert!(!b.ends_with_unconditional_exit());
+        b.ops.push(op(0, Opcode::Branch, Some(PredReg(0))));
+        assert!(!b.ends_with_unconditional_exit());
+        b.ops.push(op(1, Opcode::Branch, None));
+        assert!(b.ends_with_unconditional_exit());
+    }
+}

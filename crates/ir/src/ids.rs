@@ -1,0 +1,98 @@
+//! Identifier newtypes for IR entities.
+//!
+//! All identifiers are dense `u32` indices allocated by a
+//! [`Function`](crate::Function) (or its builder), so they can be used to
+//! index side tables cheaply.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index of this identifier.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A virtual general-purpose register (`r0`, `r1`, ...).
+    ///
+    /// The IR is not in SSA form: registers may be written multiple times,
+    /// mirroring the post-register-candidate Elcor code the paper operates
+    /// on. Branch-target registers produced by `pbr` are ordinary [`Reg`]s.
+    Reg, "r"
+}
+
+id_type! {
+    /// A virtual predicate register (`p0`, `p1`, ...).
+    ///
+    /// Predicates hold booleans and guard the execution of operations. They
+    /// are written by `cmpp` operations and predicate-initialization
+    /// pseudo-ops.
+    PredReg, "p"
+}
+
+id_type! {
+    /// A basic-block identifier (`b0`, `b1`, ...).
+    BlockId, "b"
+}
+
+id_type! {
+    /// An operation identifier, unique within a [`Function`](crate::Function).
+    ///
+    /// Operation identifiers are stable across transformations: passes that
+    /// move or replicate operations allocate fresh ids for the copies, so an
+    /// id can be used to correlate an operation with profile data collected
+    /// before the transformation.
+    OpId, "op"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(PredReg(0).to_string(), "p0");
+        assert_eq!(BlockId(7).to_string(), "b7");
+        assert_eq!(OpId(12).to_string(), "op12");
+    }
+
+    #[test]
+    fn debug_matches_display() {
+        assert_eq!(format!("{:?}", Reg(5)), "r5");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(Reg(9).index(), 9);
+        assert_eq!(BlockId(0).index(), 0);
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(Reg(1) < Reg(2));
+        assert!(OpId(10) > OpId(9));
+    }
+}

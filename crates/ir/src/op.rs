@@ -1,0 +1,305 @@
+//! Operations: guarded, multi-destination IR instructions.
+
+use crate::ids::{BlockId, OpId, PredReg, Reg};
+use crate::opcode::{Opcode, PredAction};
+
+/// A source operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// A predicate register read as a data value (0/1).
+    Pred(PredReg),
+    /// An integer immediate.
+    Imm(i64),
+    /// A code label (branch target). Only meaningful for `pbr`/`branch`.
+    Label(BlockId),
+}
+
+impl Operand {
+    /// The register this operand reads, if any.
+    #[inline]
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The predicate register this operand reads, if any.
+    #[inline]
+    pub fn as_pred(self) -> Option<PredReg> {
+        match self {
+            Operand::Pred(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The label this operand names, if any.
+    #[inline]
+    pub fn as_label(self) -> Option<BlockId> {
+        match self {
+            Operand::Label(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<PredReg> for Operand {
+    fn from(p: PredReg) -> Self {
+        Operand::Pred(p)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+/// A destination operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dest {
+    /// A general-purpose register destination.
+    Reg(Reg),
+    /// A predicate destination with its PlayDoh action specifier. For
+    /// non-`cmpp` predicate writers ([`Opcode::PredInit`]) the action is
+    /// [`PredAction::UN`] by convention.
+    Pred(PredReg, PredAction),
+}
+
+impl Dest {
+    /// The general register written, if any.
+    #[inline]
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Dest::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The predicate register written, if any.
+    #[inline]
+    pub fn as_pred(self) -> Option<PredReg> {
+        match self {
+            Dest::Pred(p, _) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The action of a predicate destination, if this is one.
+    #[inline]
+    pub fn action(self) -> Option<PredAction> {
+        match self {
+            Dest::Pred(_, a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A single guarded operation.
+///
+/// Every operation executes under its `guard`: when the guard predicate is
+/// false the operation is nullified (with the subtlety that *unconditional*
+/// `cmpp` destinations still write `false` — see
+/// [`PredAction::apply`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// Unique id within the function.
+    pub id: OpId,
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Destination operands (0, 1 or 2).
+    pub dests: Vec<Dest>,
+    /// Source operands.
+    pub srcs: Vec<Operand>,
+    /// Guard predicate; `None` means the constant guard `T` (true).
+    pub guard: Option<PredReg>,
+}
+
+impl Op {
+    /// True for control-transfer operations.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.opcode.is_branch()
+    }
+
+    /// The branch target of a `branch` or `pbr`, if present.
+    pub fn branch_target(&self) -> Option<BlockId> {
+        match self.opcode {
+            Opcode::Branch | Opcode::Pbr => {
+                self.srcs.iter().find_map(|s| s.as_label())
+            }
+            _ => None,
+        }
+    }
+
+    /// Replaces the branch target of a `branch`/`pbr` with `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation has no label operand.
+    pub fn set_branch_target(&mut self, new: BlockId) {
+        let slot = self
+            .srcs
+            .iter_mut()
+            .find(|s| matches!(s, Operand::Label(_)))
+            .expect("operation has no label operand");
+        *slot = Operand::Label(new);
+    }
+
+    /// Iterates over the general registers this operation reads.
+    pub fn uses_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().filter_map(|s| s.as_reg())
+    }
+
+    /// Iterates over the predicate registers this operation reads as data
+    /// operands (not including the guard).
+    pub fn uses_preds(&self) -> impl Iterator<Item = PredReg> + '_ {
+        self.srcs.iter().filter_map(|s| s.as_pred())
+    }
+
+    /// Iterates over every predicate register this operation reads,
+    /// including the guard.
+    pub fn uses_preds_with_guard(&self) -> impl Iterator<Item = PredReg> + '_ {
+        self.guard.into_iter().chain(self.uses_preds())
+    }
+
+    /// Iterates over the general registers this operation writes.
+    pub fn defs_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.dests.iter().filter_map(|d| d.as_reg())
+    }
+
+    /// Iterates over the predicate registers this operation writes.
+    pub fn defs_preds(&self) -> impl Iterator<Item = PredReg> + '_ {
+        self.dests.iter().filter_map(|d| d.as_pred())
+    }
+
+    /// True if this operation writes `r`.
+    pub fn defines_reg(&self, r: Reg) -> bool {
+        self.defs_regs().any(|d| d == r)
+    }
+
+    /// True if this operation writes `p`.
+    pub fn defines_pred(&self, p: PredReg) -> bool {
+        self.defs_preds().any(|d| d == p)
+    }
+
+    /// Rewrites every read of predicate `from` (guard and data operands) to
+    /// `to`. Returns `true` if anything changed.
+    ///
+    /// ICBM's restructure step uses this to re-wire uses of predicates
+    /// computed by the original compares to the new on-trace FRP (§5.3).
+    pub fn replace_pred_use(&mut self, from: PredReg, to: PredReg) -> bool {
+        let mut changed = false;
+        if self.guard == Some(from) {
+            self.guard = Some(to);
+            changed = true;
+        }
+        for s in &mut self.srcs {
+            if *s == Operand::Pred(from) {
+                *s = Operand::Pred(to);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// True for `cmpp` operations.
+    #[inline]
+    pub fn is_cmpp(&self) -> bool {
+        matches!(self.opcode, Opcode::Cmpp(_))
+    }
+
+    /// The compare condition of a `cmpp`, if this is one.
+    pub fn cmpp_cond(&self) -> Option<crate::CmpCond> {
+        match self.opcode {
+            Opcode::Cmpp(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::CmpCond;
+
+    fn sample_cmpp() -> Op {
+        Op {
+            id: OpId(1),
+            opcode: Opcode::Cmpp(CmpCond::Eq),
+            dests: vec![
+                Dest::Pred(PredReg(1), PredAction::UN),
+                Dest::Pred(PredReg(2), PredAction::UC),
+            ],
+            srcs: vec![Operand::Reg(Reg(3)), Operand::Imm(0)],
+            guard: Some(PredReg(0)),
+        }
+    }
+
+    #[test]
+    fn def_use_iterators() {
+        let op = sample_cmpp();
+        assert_eq!(op.uses_regs().collect::<Vec<_>>(), vec![Reg(3)]);
+        assert_eq!(
+            op.defs_preds().collect::<Vec<_>>(),
+            vec![PredReg(1), PredReg(2)]
+        );
+        assert!(op.defs_regs().next().is_none());
+        assert_eq!(
+            op.uses_preds_with_guard().collect::<Vec<_>>(),
+            vec![PredReg(0)]
+        );
+        assert!(op.defines_pred(PredReg(1)));
+        assert!(!op.defines_pred(PredReg(0)));
+    }
+
+    #[test]
+    fn replace_pred_use_rewrites_guard_and_operands() {
+        let mut op = sample_cmpp();
+        op.srcs.push(Operand::Pred(PredReg(0)));
+        assert!(op.replace_pred_use(PredReg(0), PredReg(9)));
+        assert_eq!(op.guard, Some(PredReg(9)));
+        assert_eq!(op.srcs[2], Operand::Pred(PredReg(9)));
+        assert!(!op.replace_pred_use(PredReg(0), PredReg(9)));
+    }
+
+    #[test]
+    fn branch_target_extraction_and_rewrite() {
+        let mut br = Op {
+            id: OpId(2),
+            opcode: Opcode::Branch,
+            dests: vec![],
+            srcs: vec![Operand::Reg(Reg(7)), Operand::Label(BlockId(4))],
+            guard: Some(PredReg(5)),
+        };
+        assert_eq!(br.branch_target(), Some(BlockId(4)));
+        br.set_branch_target(BlockId(9));
+        assert_eq!(br.branch_target(), Some(BlockId(9)));
+        let add = Op {
+            id: OpId(3),
+            opcode: Opcode::Add,
+            dests: vec![Dest::Reg(Reg(1))],
+            srcs: vec![Operand::Reg(Reg(2)), Operand::Imm(1)],
+            guard: None,
+        };
+        assert_eq!(add.branch_target(), None);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(1)), Operand::Reg(Reg(1)));
+        assert_eq!(Operand::from(PredReg(2)), Operand::Pred(PredReg(2)));
+        assert_eq!(Operand::from(7i64), Operand::Imm(7));
+        assert_eq!(Operand::Reg(Reg(1)).as_reg(), Some(Reg(1)));
+        assert_eq!(Operand::Imm(0).as_reg(), None);
+        assert_eq!(Operand::Label(BlockId(3)).as_label(), Some(BlockId(3)));
+    }
+}

@@ -1,0 +1,438 @@
+//! Opcodes, compare conditions, and PlayDoh predicate-action specifiers.
+
+use std::fmt;
+
+/// The comparison performed by a `cmpp` operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpCond {
+    /// Evaluates the condition on two integer operand values.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpCond::Eq => a == b,
+            CmpCond::Ne => a != b,
+            CmpCond::Lt => a < b,
+            CmpCond::Le => a <= b,
+            CmpCond::Gt => a > b,
+            CmpCond::Ge => a >= b,
+        }
+    }
+
+    /// Returns the logically inverted condition (`a < b` becomes `a >= b`).
+    ///
+    /// The ICBM *taken variation* uses this to invert the sense of the final
+    /// lookahead compare (paper §5.3: "a less-than condition in the original
+    /// compare becomes a greater-than-or-equals in the new compare").
+    #[inline]
+    pub fn invert(self) -> CmpCond {
+        match self {
+            CmpCond::Eq => CmpCond::Ne,
+            CmpCond::Ne => CmpCond::Eq,
+            CmpCond::Lt => CmpCond::Ge,
+            CmpCond::Le => CmpCond::Gt,
+            CmpCond::Gt => CmpCond::Le,
+            CmpCond::Ge => CmpCond::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpCond::Eq => "eq",
+            CmpCond::Ne => "ne",
+            CmpCond::Lt => "lt",
+            CmpCond::Le => "le",
+            CmpCond::Gt => "gt",
+            CmpCond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The action *type* of a `cmpp` destination: how the destination predicate
+/// is updated ("unconditional", "wired-or", or "wired-and").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PredActionKind {
+    /// `U`: always writes the destination (the AND of guard and condition).
+    Uncond,
+    /// `O`: conditionally sets the destination to **true** (wired-or).
+    Or,
+    /// `A`: conditionally sets the destination to **false** (wired-and).
+    And,
+}
+
+/// The action *mode* of a `cmpp` destination: whether the compare result is
+/// complemented before the action is applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PredSense {
+    /// `N`: normal mode — the compare result is used directly.
+    Normal,
+    /// `C`: complemented mode — the compare result is complemented first.
+    Complement,
+}
+
+/// A two-letter PlayDoh action specifier for one `cmpp` destination
+/// (`UN`, `UC`, `ON`, `OC`, `AN`, `AC`).
+///
+/// [`PredAction::apply`] implements Table 1 of the paper exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PredAction {
+    /// Action type (`U`/`O`/`A`).
+    pub kind: PredActionKind,
+    /// Action mode (`N`/`C`).
+    pub sense: PredSense,
+}
+
+impl PredAction {
+    /// Unconditional-normal (`UN`).
+    pub const UN: PredAction = PredAction { kind: PredActionKind::Uncond, sense: PredSense::Normal };
+    /// Unconditional-complement (`UC`).
+    pub const UC: PredAction = PredAction { kind: PredActionKind::Uncond, sense: PredSense::Complement };
+    /// Wired-or-normal (`ON`).
+    pub const ON: PredAction = PredAction { kind: PredActionKind::Or, sense: PredSense::Normal };
+    /// Wired-or-complement (`OC`).
+    pub const OC: PredAction = PredAction { kind: PredActionKind::Or, sense: PredSense::Complement };
+    /// Wired-and-normal (`AN`).
+    pub const AN: PredAction = PredAction { kind: PredActionKind::And, sense: PredSense::Normal };
+    /// Wired-and-complement (`AC`).
+    pub const AC: PredAction = PredAction { kind: PredActionKind::And, sense: PredSense::Complement };
+
+    /// Computes the update this action performs on its destination predicate.
+    ///
+    /// `guard` is the value of the operation's guarding predicate and `cmp`
+    /// the result of the comparison. Returns `Some(v)` when the destination
+    /// is written with `v`, and `None` when it is left untouched (the "-"
+    /// entries of Table 1 in the paper).
+    #[inline]
+    pub fn apply(self, guard: bool, cmp: bool) -> Option<bool> {
+        let eff = match self.sense {
+            PredSense::Normal => cmp,
+            PredSense::Complement => !cmp,
+        };
+        match self.kind {
+            // The unconditional forms always write: the AND of the guard and
+            // the (possibly complemented) comparison result. With a false
+            // guard they write false.
+            PredActionKind::Uncond => Some(guard && eff),
+            // Wired-or writes true only when guard and effective result are
+            // both true.
+            PredActionKind::Or => (guard && eff).then_some(true),
+            // Wired-and writes false only when the guard is true and the
+            // effective result is false.
+            PredActionKind::And => (guard && !eff).then(|| false),
+        }
+    }
+
+    /// Returns the same action with the opposite sense (`UN` ⇄ `UC`, ...).
+    #[inline]
+    pub fn complemented(self) -> PredAction {
+        PredAction {
+            kind: self.kind,
+            sense: match self.sense {
+                PredSense::Normal => PredSense::Complement,
+                PredSense::Complement => PredSense::Normal,
+            },
+        }
+    }
+}
+
+impl fmt::Display for PredAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            PredActionKind::Uncond => "u",
+            PredActionKind::Or => "o",
+            PredActionKind::And => "a",
+        };
+        let s = match self.sense {
+            PredSense::Normal => "n",
+            PredSense::Complement => "c",
+        };
+        write!(f, "{k}{s}")
+    }
+}
+
+/// The functional-unit class an operation executes on.
+///
+/// The regular EPIC processors of the paper's §7 are described by an
+/// `(I, F, M, B)` tuple of per-class issue widths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnitClass {
+    /// Integer ALU (arithmetic, logic, moves, compares).
+    Int,
+    /// Floating-point unit.
+    Float,
+    /// Memory unit (loads and stores).
+    Mem,
+    /// Branch unit (prepare-to-branch and branches).
+    Branch,
+}
+
+impl fmt::Display for UnitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnitClass::Int => "I",
+            UnitClass::Float => "F",
+            UnitClass::Mem => "M",
+            UnitClass::Branch => "B",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An IR operation code.
+///
+/// The set covers what the paper's experiments need: integer and floating
+/// ALU operations, memory operations, `cmpp`, predicate initialization, and
+/// the `pbr`/`branch` pair. `cmpp` destination actions live on the
+/// operation's destinations (see [`Dest::Pred`](crate::Dest)), not on the
+/// opcode, so a single opcode covers all two-target compare forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Integer addition: `d = add(a, b)`.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (traps on divide-by-zero in the interpreter).
+    Div,
+    /// Integer remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Register/immediate move.
+    Mov,
+    /// Floating-point addition (values are modeled as integers in the
+    /// interpreter; the class/latency distinction is what matters).
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+    /// Memory load: `d = load(addr)`.
+    Load,
+    /// Speculative (dismissible) memory load: like [`Opcode::Load`] but a
+    /// faulting access yields 0 instead of trapping. Predicate speculation
+    /// rewrites promoted loads to this form, mirroring PlayDoh's dismissible
+    /// speculative loads.
+    LoadS,
+    /// Memory store: `store(addr, value)`.
+    Store,
+    /// Compare-to-predicate. The comparison is `cond(srcs[0], srcs[1])`; each
+    /// predicate destination carries its own [`PredAction`].
+    Cmpp(CmpCond),
+    /// Predicate initialization pseudo-op: writes constant `true`/`false`
+    /// values into its predicate destinations (the paper's
+    /// `p71 = 1, p81 = 0, p82 = 0`). Sources give the constant for each
+    /// destination. A false guard nullifies the initialization.
+    PredInit,
+    /// Prepare-to-branch: `btr = pbr(target)`. Defines a branch-target
+    /// register consumed by a later [`Opcode::Branch`].
+    Pbr,
+    /// Conditional branch through a branch-target register. Takes when the
+    /// guard predicate is true. `srcs[0]` is the `btr` register and
+    /// `srcs[1]` the (redundant, syntactic) target label used for CFG
+    /// construction.
+    Branch,
+    /// Function return; ends execution.
+    Ret,
+}
+
+impl Opcode {
+    /// The functional-unit class this opcode executes on.
+    pub fn unit_class(self) -> UnitClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Mov | Cmpp(_)
+            | PredInit => UnitClass::Int,
+            FAdd | FSub | FMul | FDiv => UnitClass::Float,
+            Load | LoadS | Store => UnitClass::Mem,
+            Pbr | Branch | Ret => UnitClass::Branch,
+        }
+    }
+
+    /// True for control-transfer operations (`branch`, `ret`).
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::Branch | Opcode::Ret)
+    }
+
+    /// True if the operation may write memory.
+    pub fn writes_memory(self) -> bool {
+        matches!(self, Opcode::Store)
+    }
+
+    /// True if the operation may read memory.
+    pub fn reads_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::LoadS)
+    }
+
+    /// True for operations with side effects beyond their register
+    /// destinations — these are *non-speculative* and may not be hoisted
+    /// above a branch they were control-dependent on (paper §4.1).
+    pub fn has_side_effects(self) -> bool {
+        matches!(self, Opcode::Store | Opcode::Branch | Opcode::Ret | Opcode::Div | Opcode::Rem)
+    }
+
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Mov => "mov",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            Load => "load",
+            LoadS => "load.s",
+            Store => "store",
+            Cmpp(_) => "cmpp",
+            PredInit => "pinit",
+            Pbr => "pbr",
+            Branch => "branch",
+            Ret => "ret",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 of the paper, row by row. Entries are
+    /// (guard, cmp, un, uc, on, oc, an, ac) with `None` for "-".
+    #[test]
+    fn pred_action_matches_paper_table_1() {
+        let rows: [(bool, bool, [Option<bool>; 6]); 4] = [
+            (false, false, [Some(false), Some(false), None, None, None, None]),
+            (false, true, [Some(false), Some(false), None, None, None, None]),
+            (
+                true,
+                false,
+                [Some(false), Some(true), None, Some(true), Some(false), None],
+            ),
+            (
+                true,
+                true,
+                [Some(true), Some(false), Some(true), None, None, Some(false)],
+            ),
+        ];
+        let actions = [
+            PredAction::UN,
+            PredAction::UC,
+            PredAction::ON,
+            PredAction::OC,
+            PredAction::AN,
+            PredAction::AC,
+        ];
+        for (guard, cmp, expected) in rows {
+            for (action, want) in actions.iter().zip(expected) {
+                assert_eq!(
+                    action.apply(guard, cmp),
+                    want,
+                    "action {action} guard={guard} cmp={cmp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(CmpCond::Eq.eval(3, 3));
+        assert!(!CmpCond::Eq.eval(3, 4));
+        assert!(CmpCond::Lt.eval(-1, 0));
+        assert!(CmpCond::Ge.eval(5, 5));
+        assert!(CmpCond::Gt.eval(6, 5));
+        assert!(CmpCond::Le.eval(5, 5));
+        assert!(CmpCond::Ne.eval(1, 2));
+    }
+
+    #[test]
+    fn cond_invert_is_logical_negation() {
+        let conds = [
+            CmpCond::Eq,
+            CmpCond::Ne,
+            CmpCond::Lt,
+            CmpCond::Le,
+            CmpCond::Gt,
+            CmpCond::Ge,
+        ];
+        for c in conds {
+            for a in -2..=2i64 {
+                for b in -2..=2i64 {
+                    assert_eq!(c.eval(a, b), !c.invert().eval(a, b), "{c} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complemented_flips_sense_only() {
+        assert_eq!(PredAction::UN.complemented(), PredAction::UC);
+        assert_eq!(PredAction::AC.complemented(), PredAction::AN);
+        assert_eq!(PredAction::ON.complemented(), PredAction::OC);
+        assert_eq!(PredAction::OC.complemented().complemented(), PredAction::OC);
+    }
+
+    #[test]
+    fn action_display() {
+        assert_eq!(PredAction::UN.to_string(), "un");
+        assert_eq!(PredAction::AC.to_string(), "ac");
+        assert_eq!(PredAction::ON.to_string(), "on");
+    }
+
+    #[test]
+    fn unit_classes() {
+        assert_eq!(Opcode::Add.unit_class(), UnitClass::Int);
+        assert_eq!(Opcode::Cmpp(CmpCond::Eq).unit_class(), UnitClass::Int);
+        assert_eq!(Opcode::FMul.unit_class(), UnitClass::Float);
+        assert_eq!(Opcode::Load.unit_class(), UnitClass::Mem);
+        assert_eq!(Opcode::Branch.unit_class(), UnitClass::Branch);
+        assert_eq!(Opcode::Pbr.unit_class(), UnitClass::Branch);
+    }
+
+    #[test]
+    fn side_effects_and_memory() {
+        assert!(Opcode::Store.has_side_effects());
+        assert!(Opcode::Branch.has_side_effects());
+        assert!(!Opcode::Load.has_side_effects());
+        assert!(Opcode::Load.reads_memory());
+        assert!(Opcode::Store.writes_memory());
+        assert!(!Opcode::Add.reads_memory());
+    }
+}

@@ -1,0 +1,153 @@
+//! Pretty-printing of IR in a PlayDoh-flavoured assembly syntax.
+//!
+//! The output mirrors the paper's listings, e.g.:
+//!
+//! ```text
+//! loop:                                   ; b0
+//!   r21 = add(r2, 0) if T
+//!   p51, p61 = cmpp.un.uc eq(r31, 0) if T
+//!   branch(r41 -> exit) if p51
+//! ```
+
+use std::fmt;
+
+use crate::block::Block;
+use crate::func::Function;
+use crate::op::{Dest, Op, Operand};
+use crate::opcode::Opcode;
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Pred(p) => write!(f, "{p}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+            Operand::Label(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl fmt::Display for Dest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dest::Reg(r) => write!(f, "{r}"),
+            Dest::Pred(p, _) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.dests.is_empty() {
+            for (i, d) in self.dests.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{d}")?;
+            }
+            write!(f, " = ")?;
+        }
+        match self.opcode {
+            Opcode::Cmpp(cond) => {
+                write!(f, "cmpp")?;
+                for d in &self.dests {
+                    if let Dest::Pred(_, a) = d {
+                        write!(f, ".{a}")?;
+                    }
+                }
+                write!(f, " {cond}(")?;
+                write_srcs(f, &self.srcs)?;
+                write!(f, ")")?;
+            }
+            Opcode::Branch => {
+                let btr = self.srcs.first().map(|s| s.to_string()).unwrap_or_default();
+                match self.branch_target() {
+                    Some(t) => write!(f, "branch({btr} -> {t})")?,
+                    None => write!(f, "branch({btr})")?,
+                }
+            }
+            Opcode::Pbr => {
+                write!(f, "pbr(")?;
+                write_srcs(f, &self.srcs)?;
+                write!(f, ")")?;
+            }
+            _ => {
+                write!(f, "{}(", self.opcode.mnemonic())?;
+                write_srcs(f, &self.srcs)?;
+                write!(f, ")")?;
+            }
+        }
+        match self.guard {
+            Some(p) => write!(f, " if {p}"),
+            None => write!(f, " if T"),
+        }
+    }
+}
+
+fn write_srcs(f: &mut fmt::Formatter<'_>, srcs: &[Operand]) -> fmt::Result {
+    for (i, s) in srcs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{s}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:\t\t; {}", self.name, self.id)?;
+        for op in &self.ops {
+            writeln!(f, "  {op}\t; {}", op.id)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "function {} {{", self.name)?;
+        for block in self.blocks_in_layout() {
+            write!(f, "{block}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::opcode::CmpCond;
+
+    #[test]
+    fn op_rendering() {
+        let mut b = FunctionBuilder::new("p");
+        let blk = b.block("entry");
+        b.switch_to(blk);
+        let x = b.movi(4);
+        let (t, _f) = b.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(0));
+        b.branch_if(t, blk);
+        b.ret();
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("function p {"), "{text}");
+        assert!(text.contains("= mov(4) if T"), "{text}");
+        assert!(text.contains("cmpp.un.uc eq("), "{text}");
+        assert!(text.contains("-> b0)"), "{text}");
+        assert!(text.contains("ret() if T"), "{text}");
+    }
+
+    #[test]
+    fn guarded_op_shows_guard() {
+        let mut b = FunctionBuilder::new("p");
+        let blk = b.block("entry");
+        b.switch_to(blk);
+        let p = b.pred();
+        b.set_guard(Some(p));
+        b.movi(1);
+        b.ret();
+        let f = b.finish();
+        assert!(f.to_string().contains(&format!("if {p}")));
+    }
+}

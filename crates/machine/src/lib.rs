@@ -1,0 +1,246 @@
+//! # epic-machine
+//!
+//! Machine descriptions for the regular EPIC processors of the paper's
+//! evaluation (§7): *sequential*, *narrow*, *medium*, *wide*, and
+//! *infinite*, described by an `(I, F, M, B)` tuple of per-class issue
+//! widths, plus the paper's operation latencies:
+//!
+//! | operation | latency |
+//! |---|---|
+//! | simple integer | 1 |
+//! | simple floating point | 3 |
+//! | memory load | 2 |
+//! | memory store | 1 |
+//! | integer / floating multiply | 3 |
+//! | integer / floating divide | 8 |
+//! | branch | 1 (configurable) |
+//!
+//! ```
+//! use epic_machine::Machine;
+//!
+//! let m = Machine::medium();
+//! assert_eq!(m.name(), "medium");
+//! assert_eq!(m.widths().unwrap().int, 4);
+//! ```
+
+use epic_ir::{Op, Opcode, UnitClass};
+
+/// Per-class issue widths of a regular EPIC processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Widths {
+    /// Integer units (`I`).
+    pub int: u32,
+    /// Floating-point units (`F`).
+    pub float: u32,
+    /// Memory units (`M`).
+    pub mem: u32,
+    /// Branch units (`B`).
+    pub branch: u32,
+}
+
+impl Widths {
+    /// The width of one unit class.
+    pub fn of(&self, class: UnitClass) -> u32 {
+        match class {
+            UnitClass::Int => self.int,
+            UnitClass::Float => self.float,
+            UnitClass::Mem => self.mem,
+            UnitClass::Branch => self.branch,
+        }
+    }
+}
+
+/// Operation latencies in cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latencies {
+    /// Simple integer ALU ops, compares, predicate init, moves.
+    pub int: u32,
+    /// Simple floating-point add/subtract.
+    pub float: u32,
+    /// Integer and floating multiply.
+    pub mul: u32,
+    /// Integer and floating divide / remainder.
+    pub div: u32,
+    /// Memory load.
+    pub load: u32,
+    /// Memory store.
+    pub store: u32,
+    /// Prepare-to-branch.
+    pub pbr: u32,
+    /// Branch (the *exposed* branch latency of §3).
+    pub branch: u32,
+}
+
+impl Default for Latencies {
+    /// The paper's latencies with branch latency 1 (Table 2's setting).
+    fn default() -> Self {
+        Latencies { int: 1, float: 3, mul: 3, div: 8, load: 2, store: 1, pbr: 1, branch: 1 }
+    }
+}
+
+/// A target processor description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Machine {
+    name: String,
+    /// `None` models the *sequential* processor, which issues exactly one
+    /// operation of any type per cycle.
+    widths: Option<Widths>,
+    latencies: Latencies,
+}
+
+impl Machine {
+    /// Creates a custom machine.
+    pub fn new(name: impl Into<String>, widths: Option<Widths>, latencies: Latencies) -> Machine {
+        Machine { name: name.into(), widths, latencies }
+    }
+
+    /// The *sequential* processor: one operation of any type per cycle.
+    pub fn sequential() -> Machine {
+        Machine::new("sequential", None, Latencies::default())
+    }
+
+    /// The *narrow* processor: `(2, 1, 1, 1)`.
+    pub fn narrow() -> Machine {
+        Machine::new("narrow", Some(Widths { int: 2, float: 1, mem: 1, branch: 1 }), Latencies::default())
+    }
+
+    /// The *medium* processor: `(4, 2, 2, 1)`.
+    pub fn medium() -> Machine {
+        Machine::new("medium", Some(Widths { int: 4, float: 2, mem: 2, branch: 1 }), Latencies::default())
+    }
+
+    /// The *wide* processor: `(8, 4, 4, 2)`.
+    pub fn wide() -> Machine {
+        Machine::new("wide", Some(Widths { int: 8, float: 4, mem: 4, branch: 2 }), Latencies::default())
+    }
+
+    /// The *infinite* processor: `(75, 25, 25, 25)`.
+    pub fn infinite() -> Machine {
+        Machine::new(
+            "infinite",
+            Some(Widths { int: 75, float: 25, mem: 25, branch: 25 }),
+            Latencies::default(),
+        )
+    }
+
+    /// The five processors of Table 2, in the paper's column order.
+    pub fn paper_suite() -> Vec<Machine> {
+        vec![
+            Machine::sequential(),
+            Machine::narrow(),
+            Machine::medium(),
+            Machine::wide(),
+            Machine::infinite(),
+        ]
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Issue widths (`None` for the sequential processor).
+    pub fn widths(&self) -> Option<Widths> {
+        self.widths
+    }
+
+    /// The latency table.
+    pub fn latencies(&self) -> Latencies {
+        self.latencies
+    }
+
+    /// Returns a copy with a different exposed branch latency.
+    pub fn with_branch_latency(mut self, branch: u32) -> Machine {
+        self.latencies.branch = branch;
+        self
+    }
+
+    /// The producer latency of an operation on this machine.
+    pub fn latency_of(&self, op: &Op) -> u32 {
+        use Opcode::*;
+        let l = self.latencies;
+        match op.opcode {
+            Add | Sub | And | Or | Xor | Shl | Shr | Mov | Cmpp(_) | PredInit => l.int,
+            Mul | FMul => l.mul,
+            Div | Rem | FDiv => l.div,
+            FAdd | FSub => l.float,
+            Load | LoadS => l.load,
+            Store => l.store,
+            Pbr => l.pbr,
+            Branch | Ret => l.branch,
+        }
+    }
+
+    /// The exposed branch latency.
+    pub fn branch_latency(&self) -> u32 {
+        self.latencies.branch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{Dest, OpId, Operand, Reg};
+
+    fn op(opcode: Opcode) -> Op {
+        Op {
+            id: OpId(0),
+            opcode,
+            dests: vec![Dest::Reg(Reg(0))],
+            srcs: vec![Operand::Imm(0), Operand::Imm(0)],
+            guard: None,
+        }
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(Machine::sequential().widths(), None);
+        assert_eq!(
+            Machine::narrow().widths(),
+            Some(Widths { int: 2, float: 1, mem: 1, branch: 1 })
+        );
+        assert_eq!(
+            Machine::medium().widths(),
+            Some(Widths { int: 4, float: 2, mem: 2, branch: 1 })
+        );
+        assert_eq!(
+            Machine::wide().widths(),
+            Some(Widths { int: 8, float: 4, mem: 4, branch: 2 })
+        );
+        assert_eq!(
+            Machine::infinite().widths(),
+            Some(Widths { int: 75, float: 25, mem: 25, branch: 25 })
+        );
+        assert_eq!(Machine::paper_suite().len(), 5);
+    }
+
+    #[test]
+    fn latencies_match_paper() {
+        let m = Machine::medium();
+        assert_eq!(m.latency_of(&op(Opcode::Add)), 1);
+        assert_eq!(m.latency_of(&op(Opcode::FAdd)), 3);
+        assert_eq!(m.latency_of(&op(Opcode::Load)), 2);
+        assert_eq!(m.latency_of(&op(Opcode::Store)), 1);
+        assert_eq!(m.latency_of(&op(Opcode::Mul)), 3);
+        assert_eq!(m.latency_of(&op(Opcode::FDiv)), 8);
+        assert_eq!(m.latency_of(&op(Opcode::Branch)), 1);
+        assert_eq!(m.latency_of(&op(Opcode::Cmpp(epic_ir::CmpCond::Eq))), 1);
+    }
+
+    #[test]
+    fn branch_latency_override() {
+        let m = Machine::medium().with_branch_latency(3);
+        assert_eq!(m.branch_latency(), 3);
+        assert_eq!(m.latency_of(&op(Opcode::Branch)), 3);
+        assert_eq!(m.latency_of(&op(Opcode::Add)), 1);
+    }
+
+    #[test]
+    fn widths_by_class() {
+        let w = Machine::wide().widths().unwrap();
+        assert_eq!(w.of(UnitClass::Int), 8);
+        assert_eq!(w.of(UnitClass::Float), 4);
+        assert_eq!(w.of(UnitClass::Mem), 4);
+        assert_eq!(w.of(UnitClass::Branch), 2);
+    }
+}

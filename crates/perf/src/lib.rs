@@ -1,0 +1,288 @@
+//! # epic-perf
+//!
+//! The paper's performance-estimation methodology (§7) and the operation
+//! count metrics of Table 3.
+//!
+//! > "Benchmark performance is derived using a compiler estimation
+//! > approach. Code is first scheduled for each processor configuration.
+//! > Then, performance is computed using static schedule lengths and
+//! > profile data. The benchmark execution time is calculated as the sum
+//! > across all blocks in the program of each block's schedule length
+//! > weighted by its dynamic execution frequency."
+//!
+//! [`estimate_cycles`] implements exactly that. [`OpCounts`] captures the
+//! static/dynamic total and branch operation counts whose before/after
+//! ratios Table 3 reports, and [`Speedup`]/[`CountRatios`] package the
+//! comparisons.
+
+use epic_interp::{run, Input, Outcome, Trap};
+use epic_ir::{Function, Profile};
+use epic_machine::Machine;
+use epic_sched::{schedule_function, SchedOptions, ScheduledFunction};
+
+/// Estimated execution time of `func` on `machine`: Σ over blocks of
+/// schedule length × entry frequency.
+///
+/// `profile` must have been collected on this same function (block ids must
+/// match).
+pub fn estimate_cycles(func: &Function, profile: &Profile, machine: &Machine) -> u64 {
+    let sched = schedule_function(func, machine, &SchedOptions::default());
+    weighted_cycles(func, profile, &sched)
+}
+
+/// Like [`estimate_cycles`] with an externally produced schedule.
+pub fn weighted_cycles(func: &Function, profile: &Profile, sched: &ScheduledFunction) -> u64 {
+    func.layout
+        .iter()
+        .map(|&b| profile.entry_count(b) * sched.block(b).length.max(0) as u64)
+        .sum()
+}
+
+/// Static and dynamic operation counts of one compiled function on one
+/// training input (the measurements behind Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Static operations in the layout (`S tot`).
+    pub static_ops: usize,
+    /// Static branch operations (`S br`).
+    pub static_branches: usize,
+    /// Dynamic (fetched) operations (`D tot`).
+    pub dynamic_ops: u64,
+    /// Dynamic branch operations (`D br`).
+    pub dynamic_branches: u64,
+}
+
+/// Profiles `func` on `input`, returning its execution profile and counts.
+///
+/// # Errors
+///
+/// Propagates any interpreter [`Trap`].
+pub fn profile_and_count(func: &Function, input: &Input) -> Result<(Profile, OpCounts), Trap> {
+    let Outcome { profile, dynamic_ops, dynamic_branches, .. } = run(func, input)?;
+    let counts = OpCounts {
+        static_ops: func.static_op_count(),
+        static_branches: func.static_branch_count(),
+        dynamic_ops,
+        dynamic_branches,
+    };
+    Ok((profile, counts))
+}
+
+/// A baseline-vs-optimized cycle comparison on one machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Speedup {
+    /// Machine name.
+    pub machine: String,
+    /// Baseline estimated cycles.
+    pub baseline_cycles: u64,
+    /// Height-reduced (control CPR) estimated cycles.
+    pub optimized_cycles: u64,
+}
+
+impl Speedup {
+    /// `baseline / optimized` — the quantity Table 2 reports.
+    pub fn ratio(&self) -> f64 {
+        if self.optimized_cycles == 0 {
+            return 1.0;
+        }
+        self.baseline_cycles as f64 / self.optimized_cycles as f64
+    }
+}
+
+/// The four operation-count ratios of Table 3
+/// (height-reduced / baseline).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CountRatios {
+    /// `S tot`: static total operations.
+    pub static_total: f64,
+    /// `S br`: static branches.
+    pub static_branches: f64,
+    /// `D tot`: dynamic total operations.
+    pub dynamic_total: f64,
+    /// `D br`: dynamic branches.
+    pub dynamic_branches: f64,
+}
+
+impl CountRatios {
+    /// Computes the ratios of `optimized` to `baseline`.
+    pub fn of(baseline: &OpCounts, optimized: &OpCounts) -> CountRatios {
+        let r = |a: f64, b: f64| if b == 0.0 { 1.0 } else { a / b };
+        CountRatios {
+            static_total: r(optimized.static_ops as f64, baseline.static_ops as f64),
+            static_branches: r(
+                optimized.static_branches as f64,
+                baseline.static_branches as f64,
+            ),
+            dynamic_total: r(optimized.dynamic_ops as f64, baseline.dynamic_ops as f64),
+            dynamic_branches: r(
+                optimized.dynamic_branches as f64,
+                baseline.dynamic_branches as f64,
+            ),
+        }
+    }
+}
+
+/// Geometric mean of a sequence of positive ratios (used for the
+/// `Gmean` rows of both tables). Returns 1.0 for an empty sequence.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{FunctionBuilder, Operand};
+
+    fn simple() -> (Function, epic_ir::BlockId) {
+        let mut b = FunctionBuilder::new("s");
+        let e = b.block("e");
+        b.switch_to(e);
+        let x = b.movi(1);
+        let y = b.add(x.into(), Operand::Imm(2));
+        let d = b.movi(0);
+        b.store(d, y.into());
+        b.ret();
+        (b.finish(), e)
+    }
+
+    #[test]
+    fn cycles_are_weighted_by_frequency() {
+        let (f, e) = simple();
+        let mut profile = Profile::new();
+        for _ in 0..10 {
+            profile.record_block_entry(e);
+        }
+        let one = estimate_cycles(&f, &profile, &Machine::sequential());
+        let mut profile2 = Profile::new();
+        for _ in 0..20 {
+            profile2.record_block_entry(e);
+        }
+        let two = estimate_cycles(&f, &profile2, &Machine::sequential());
+        assert_eq!(two, 2 * one);
+        assert!(one > 0);
+    }
+
+    #[test]
+    fn wider_machines_are_no_slower() {
+        let (f, e) = simple();
+        let mut profile = Profile::new();
+        profile.record_block_entry(e);
+        let seq = estimate_cycles(&f, &profile, &Machine::sequential());
+        let wide = estimate_cycles(&f, &profile, &Machine::wide());
+        assert!(wide <= seq);
+    }
+
+    #[test]
+    fn profile_and_count_measures_dynamics() {
+        let (f, _e) = simple();
+        let (profile, counts) = profile_and_count(&f, &Input::new().memory_size(4)).unwrap();
+        assert_eq!(counts.static_ops, 5);
+        assert_eq!(counts.static_branches, 1); // ret
+        assert_eq!(counts.dynamic_ops, 5);
+        assert_eq!(counts.dynamic_branches, 1);
+        assert_eq!(profile.entry_count(f.entry()), 1);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let s = Speedup {
+            machine: "medium".into(),
+            baseline_cycles: 150,
+            optimized_cycles: 100,
+        };
+        assert!((s.ratio() - 1.5).abs() < 1e-12);
+        let degenerate = Speedup { machine: "x".into(), baseline_cycles: 5, optimized_cycles: 0 };
+        assert_eq!(degenerate.ratio(), 1.0);
+    }
+
+    #[test]
+    fn count_ratios() {
+        let base = OpCounts {
+            static_ops: 100,
+            static_branches: 10,
+            dynamic_ops: 1000,
+            dynamic_branches: 100,
+        };
+        let opt = OpCounts {
+            static_ops: 110,
+            static_branches: 11,
+            dynamic_ops: 900,
+            dynamic_branches: 40,
+        };
+        let r = CountRatios::of(&base, &opt);
+        assert!((r.static_total - 1.1).abs() < 1e-12);
+        assert!((r.static_branches - 1.1).abs() < 1e-12);
+        assert!((r.dynamic_total - 0.9).abs() < 1e-12);
+        assert!((r.dynamic_branches - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_properties() {
+        assert_eq!(geomean([]), 1.0);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod integration_style_tests {
+    use super::*;
+    use epic_ir::{CmpCond, FunctionBuilder, Operand};
+
+    /// Cycles must include compensation blocks weighted by how often the
+    /// off-trace path actually ran.
+    #[test]
+    fn compensation_block_time_is_charged() {
+        // Block A (hot) conditionally branches to block C (cold-ish).
+        let mut b = FunctionBuilder::new("w");
+        let a_blk = b.block("a");
+        let c_blk = b.block("c");
+        b.switch_to(a_blk);
+        let x = b.movi(1);
+        let (t, _) = b.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(1));
+        b.branch_if(t, c_blk);
+        b.ret();
+        b.switch_to(c_blk);
+        let d = b.movi(0);
+        b.store(d, Operand::Imm(1));
+        b.ret();
+        let f = b.finish();
+        let (profile, _) = profile_and_count(&f, &Input::new().memory_size(4)).unwrap();
+        // Both blocks entered once.
+        assert_eq!(profile.entry_count(a_blk), 1);
+        assert_eq!(profile.entry_count(c_blk), 1);
+        let total = estimate_cycles(&f, &profile, &Machine::sequential());
+        // Sequential: every op costs one cycle somewhere; both blocks count.
+        assert!(total as usize >= f.static_op_count());
+    }
+
+    /// A block that is never entered contributes zero cycles regardless of
+    /// its size.
+    #[test]
+    fn unexecuted_blocks_cost_nothing() {
+        let mut b = FunctionBuilder::new("w");
+        let a_blk = b.block("a");
+        let dead = b.block("dead");
+        b.switch_to(a_blk);
+        b.ret();
+        b.switch_to(dead);
+        for _ in 0..32 {
+            b.movi(1);
+        }
+        b.ret();
+        let f = b.finish();
+        let (profile, _) = profile_and_count(&f, &Input::new()).unwrap();
+        let cycles = estimate_cycles(&f, &profile, &Machine::sequential());
+        assert_eq!(cycles, 1, "only the ret of the entered block counts");
+    }
+}

@@ -1,0 +1,224 @@
+//! Induction-variable flattening for unrolled loop bodies.
+//!
+//! Verbatim unrolling leaves pointer-advance chains
+//! (`a₁ = a₀ + 1; a₂ = a₁ + 1; …`) that serialize every iteration's address
+//! computation. Real unrollers rewrite these as offsets from the entry value
+//! (`a₁ = a₀ + 1; a₂ = a₀ + 2; …`), which is precisely the shape of the
+//! paper's Figure 6(b) (`r11 = add(r1, 1)`, `r12 = add(r1, 2)`,
+//! `r13 = add(r1, 3)` all off the same base). Without this, the unrolled
+//! critical path is the induction chain and branch height reduction has
+//! nothing to win.
+//!
+//! The pass tracks, for every register, whether its current value is
+//! `entry_value(base) + constant`, and rewrites `add`/`sub`-immediate and
+//! `mov` operations to compute directly from the base register whenever the
+//! base still holds its entry value at that point.
+
+use std::collections::{HashMap, HashSet};
+
+use epic_ir::{BlockId, Dest, Function, Opcode, Operand, Reg};
+
+/// Flattens affine chains in `block`. Returns the number of operations
+/// rewritten.
+pub fn flatten_induction(func: &mut Function, block: BlockId) -> usize {
+    // value[r] = Some((base, off)): r currently holds entry(base) + off.
+    let mut value: HashMap<Reg, (Reg, i64)> = HashMap::new();
+    let mut redefined: HashSet<Reg> = HashSet::new();
+    let mut rewritten = 0;
+
+    let ops = &mut func.block_mut(block).ops;
+    for op in ops.iter_mut() {
+        // Affine view of one source operand, valid only while its base
+        // register still holds its entry value.
+        let affine = |s: Operand, value: &HashMap<Reg, (Reg, i64)>, redefined: &HashSet<Reg>| {
+            match s {
+                Operand::Reg(r) => {
+                    let (base, off) = value.get(&r).copied().unwrap_or((r, 0));
+                    let usable = if base == r && off == 0 {
+                        !redefined.contains(&r) // r itself is the entry value
+                    } else {
+                        !redefined.contains(&base)
+                    };
+                    if usable {
+                        Some((base, off))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        };
+
+        // Derive the result's affine value (and possibly rewrite) for
+        // unguarded affine ops.
+        let mut result_affine: Option<(Reg, i64)> = None;
+        if op.guard.is_none() {
+            match op.opcode {
+                Opcode::Add | Opcode::Sub => {
+                    let sign = if op.opcode == Opcode::Sub { -1 } else { 1 };
+                    let reg_imm = match (op.srcs[0], op.srcs[1]) {
+                        (Operand::Reg(_), Operand::Imm(k)) => Some((op.srcs[0], sign * k)),
+                        (Operand::Imm(k), Operand::Reg(_)) if sign == 1 => {
+                            Some((op.srcs[1], k))
+                        }
+                        _ => None,
+                    };
+                    if let Some((reg_src, k)) = reg_imm {
+                        if let Some((base, off)) = affine(reg_src, &value, &redefined) {
+                            let total = off + k;
+                            // Rewrite to compute straight off the base
+                            // (unless it already does).
+                            let already = op.opcode == Opcode::Add
+                                && op.srcs == vec![Operand::Reg(base), Operand::Imm(total)];
+                            if !already {
+                                op.opcode = Opcode::Add;
+                                op.srcs = vec![Operand::Reg(base), Operand::Imm(total)];
+                                rewritten += 1;
+                            }
+                            result_affine = Some((base, total));
+                        }
+                    }
+                }
+                Opcode::Mov => {
+                    if let Operand::Reg(_) = op.srcs[0] {
+                        if let Some((base, off)) = affine(op.srcs[0], &value, &redefined) {
+                            if off != 0 {
+                                op.opcode = Opcode::Add;
+                                op.srcs = vec![Operand::Reg(base), Operand::Imm(off)];
+                                rewritten += 1;
+                            } else if op.srcs[0] != Operand::Reg(base) {
+                                op.srcs = vec![Operand::Reg(base)];
+                                rewritten += 1;
+                            }
+                            result_affine = Some((base, off));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Update tracking for destinations.
+        for d in &op.dests {
+            if let Dest::Reg(r) = *d {
+                redefined.insert(r);
+                match result_affine {
+                    Some(v) => {
+                        value.insert(r, v);
+                    }
+                    None => {
+                        value.remove(&r);
+                    }
+                }
+            }
+        }
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{FunctionBuilder, Operand};
+    use epic_interp::{diff_test, Input};
+
+    #[test]
+    fn flattens_advance_chain() {
+        let mut fb = FunctionBuilder::new("chain");
+        let b = fb.block("b");
+        fb.switch_to(b);
+        let a = fb.reg();
+        let a1 = fb.add(a.into(), Operand::Imm(1)); // a+1
+        let a2 = fb.add(a1.into(), Operand::Imm(1)); // should become a+2
+        let a3 = fb.add(a2.into(), Operand::Imm(1)); // should become a+3
+        let d = fb.movi(0);
+        fb.store(d, a3.into());
+        fb.ret();
+        let mut f = fb.finish();
+        let n = flatten_induction(&mut f, b);
+        assert!(n >= 2, "{n}");
+        let ops = &f.block(b).ops;
+        assert_eq!(ops[1].srcs, vec![Operand::Reg(a), Operand::Imm(2)]);
+        assert_eq!(ops[2].srcs, vec![Operand::Reg(a), Operand::Imm(3)]);
+        let _ = (a1, a2);
+    }
+
+    #[test]
+    fn respects_base_redefinition() {
+        let mut fb = FunctionBuilder::new("redef");
+        let b = fb.block("b");
+        fb.switch_to(b);
+        let a = fb.reg();
+        let a1 = fb.add(a.into(), Operand::Imm(1));
+        fb.mov_to(a, Operand::Imm(99)); // a redefined: a1's base is stale
+        let a2 = fb.add(a1.into(), Operand::Imm(1)); // must NOT become add(a, 2)
+        let d = fb.movi(0);
+        fb.store(d, a2.into());
+        fb.ret();
+        let mut f = fb.finish();
+        flatten_induction(&mut f, b);
+        let ops = &f.block(b).ops;
+        assert_eq!(ops[2].srcs[0], Operand::Reg(a1), "stale base must not be used");
+    }
+
+    #[test]
+    fn commit_becomes_single_bump() {
+        // a2 = a+1; a = mov(a2); a3 = a+1 (after commit) …
+        let mut fb = FunctionBuilder::new("commit");
+        let b = fb.block("b");
+        fb.switch_to(b);
+        let a = fb.reg();
+        let a2 = fb.add(a.into(), Operand::Imm(1));
+        fb.mov_to(a, a2.into()); // becomes a = add(a, 1)
+        let d = fb.movi(0);
+        fb.store(d, a.into());
+        fb.ret();
+        let mut f = fb.finish();
+        flatten_induction(&mut f, b);
+        let ops = &f.block(b).ops;
+        assert_eq!(ops[1].opcode, Opcode::Add);
+        assert_eq!(ops[1].srcs, vec![Operand::Reg(a), Operand::Imm(1)]);
+    }
+
+    #[test]
+    fn preserves_semantics_on_strcpy_like_body() {
+        let mut fb = FunctionBuilder::new("s");
+        let b = fb.block("b");
+        fb.switch_to(b);
+        let a = fb.reg();
+        let mut cur = a;
+        for _ in 0..4 {
+            let nxt = fb.add(cur.into(), Operand::Imm(1));
+            let v = fb.load(nxt);
+            let dst = fb.add(nxt.into(), Operand::Imm(100));
+            fb.store(dst, v.into());
+            cur = nxt;
+        }
+        fb.ret();
+        let f = fb.finish();
+        let mut g = f.clone();
+        let n = flatten_induction(&mut g, b);
+        assert!(n > 0);
+        let input = Input::new().memory_size(256).with_memory(0, &[9, 8, 7, 6, 5]).with_reg(a, 0);
+        diff_test(&f, &g, &input).unwrap();
+    }
+
+    #[test]
+    fn guarded_defs_are_left_alone() {
+        let mut fb = FunctionBuilder::new("g");
+        let b = fb.block("b");
+        fb.switch_to(b);
+        let a = fb.reg();
+        let p = fb.pred();
+        let a1 = fb.add(a.into(), Operand::Imm(1));
+        fb.set_guard(Some(p));
+        let a2 = fb.add(a1.into(), Operand::Imm(1)); // guarded: not rewritten
+        fb.set_guard(None);
+        let d = fb.movi(0);
+        fb.store(d, a2.into());
+        fb.ret();
+        let mut f = fb.finish();
+        flatten_induction(&mut f, b);
+        assert_eq!(f.block(b).ops[1].srcs[0], Operand::Reg(a1));
+    }
+}

@@ -1,0 +1,408 @@
+//! Superblock loop unrolling with register renaming.
+//!
+//! Unrolling a loop whose body is one superblock produces exactly the shape
+//! of the paper's Figure 6(b): intermediate copies of a conditional
+//! back-edge branch are replaced by *exit* branches with inverted compare
+//! conditions, and per-iteration values are *renamed* into fresh registers
+//! (`r31`/`r32`/`r33` in the paper's strcpy) so that consecutive iterations
+//! carry no false dependences — which is what lets predicate speculation
+//! and the ICBM separability test see the unrolled compare chain as
+//! independent.
+//!
+//! Registers and predicates that are live at the loop's exit targets keep
+//! their architectural names in every copy (renaming them would leave exit
+//! paths reading stale values); everything else gets a fresh name per copy,
+//! with the final copy writing back to the original names so the back edge
+//! re-enters the loop in a consistent state.
+
+use std::collections::{HashMap, HashSet};
+
+use epic_analysis::GlobalLiveness;
+use epic_ir::{
+    BlockId, CmpCond, Dest, Function, Op, Opcode, Operand, PredAction, PredReg, Reg,
+};
+
+/// Carries the per-copy renaming state.
+struct Renamer {
+    reg_map: HashMap<Reg, Reg>,
+    pred_map: HashMap<PredReg, PredReg>,
+    protected_regs: HashSet<Reg>,
+    protected_preds: HashSet<PredReg>,
+}
+
+impl Renamer {
+    fn new(func: &Function, head: BlockId, live: &GlobalLiveness) -> Renamer {
+        // Values live at any exit target (or the natural fall-through exit)
+        // must stay in their architectural registers. Partially-written
+        // destinations (guarded register defs, wired or guarded predicate
+        // writes) cannot be renamed either: under a false guard the
+        // original keeps its previous value, which a fresh name would not.
+        let mut protected_regs: HashSet<Reg> = HashSet::new();
+        let mut protected_preds: HashSet<PredReg> = HashSet::new();
+        for op in &func.block(head).ops {
+            let guarded = op.guard.is_some();
+            for d in &op.dests {
+                match *d {
+                    Dest::Reg(r) if guarded => {
+                        protected_regs.insert(r);
+                    }
+                    Dest::Pred(pr, a) => {
+                        let partial = a.kind != epic_ir::PredActionKind::Uncond
+                            || (guarded && !matches!(op.opcode, Opcode::Cmpp(_)));
+                        if partial {
+                            protected_preds.insert(pr);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut absorb = |b: BlockId| {
+            if let Some(s) = live.live_in_regs.get(&b) {
+                protected_regs.extend(s.iter().copied());
+            }
+            if let Some(s) = live.live_in_preds.get(&b) {
+                protected_preds.extend(s.iter().copied());
+            }
+        };
+        for (_, br) in func.block(head).branches() {
+            if let Some(t) = br.branch_target() {
+                if t != head {
+                    absorb(t);
+                }
+            }
+        }
+        if !func.block(head).ends_with_unconditional_exit() {
+            if let Some(ft) = func.fallthrough_of(head) {
+                absorb(ft);
+            }
+        }
+        Renamer {
+            reg_map: HashMap::new(),
+            pred_map: HashMap::new(),
+            protected_regs,
+            protected_preds,
+        }
+    }
+
+    fn use_reg(&self, r: Reg) -> Reg {
+        self.reg_map.get(&r).copied().unwrap_or(r)
+    }
+
+    fn use_pred(&self, p: PredReg) -> PredReg {
+        self.pred_map.get(&p).copied().unwrap_or(p)
+    }
+
+    /// Rewrites one cloned op in place: uses through the current map, then
+    /// destinations renamed (fresh in intermediate copies, original names in
+    /// the final copy).
+    fn apply(&mut self, func: &mut Function, op: &mut Op, final_copy: bool) {
+        for s in &mut op.srcs {
+            match *s {
+                Operand::Reg(r) => *s = Operand::Reg(self.use_reg(r)),
+                Operand::Pred(p) => *s = Operand::Pred(self.use_pred(p)),
+                _ => {}
+            }
+        }
+        if let Some(g) = op.guard {
+            op.guard = Some(self.use_pred(g));
+        }
+        for d in &mut op.dests {
+            match *d {
+                Dest::Reg(r) => {
+                    let new = if final_copy || self.protected_regs.contains(&r) {
+                        r
+                    } else {
+                        func.new_reg()
+                    };
+                    self.reg_map.insert(r, new);
+                    *d = Dest::Reg(new);
+                }
+                Dest::Pred(p, a) => {
+                    let new = if final_copy || self.protected_preds.contains(&p) {
+                        p
+                    } else {
+                        func.new_pred()
+                    };
+                    self.pred_map.insert(p, new);
+                    *d = Dest::Pred(new, a);
+                }
+            }
+        }
+    }
+}
+
+/// Unrolls the self-loop at `head` by `factor` (total copies of the body).
+///
+/// Two loop forms are handled:
+///
+/// * **bottom-test** — the block ends with a conditional back-edge branch
+///   whose guard is computed by a unique `cmpp` inside the block:
+///   intermediate copies replace the back edge with an inverted-condition
+///   exit branch;
+/// * **top-test** — the block ends with an unconditional back edge and
+///   exits from within the body: intermediate copies simply drop the back
+///   edge.
+///
+/// Returns `true` when the loop was unrolled; `false` when the block does
+/// not match either pattern.
+pub fn unroll_loop(func: &mut Function, head: BlockId, factor: u32) -> bool {
+    if factor < 2 {
+        return true;
+    }
+    let Some(exit_target) = func.fallthrough_of(head) else { return false };
+    let ops = func.block(head).ops.clone();
+    let Some(back) = ops.last() else { return false };
+    if back.opcode != Opcode::Branch || back.branch_target() != Some(head) {
+        return false;
+    }
+    let live = GlobalLiveness::compute(func);
+    match back.guard {
+        None => unroll_top_test(func, head, factor, &ops, &live),
+        Some(guard) => unroll_bottom_test(func, head, factor, &ops, guard, exit_target, &live),
+    }
+}
+
+fn unroll_bottom_test(
+    func: &mut Function,
+    head: BlockId,
+    factor: u32,
+    ops: &[Op],
+    guard: PredReg,
+    exit_target: BlockId,
+    live: &GlobalLiveness,
+) -> bool {
+    // Find the unique defining cmpp of the back-edge guard, with an
+    // unconditional action.
+    let mut def: Option<(usize, CmpCond, PredAction)> = None;
+    for (i, op) in ops.iter().enumerate() {
+        for d in &op.dests {
+            if let Dest::Pred(p, action) = *d {
+                if p == guard {
+                    match (op.opcode, def) {
+                        (Opcode::Cmpp(c), None)
+                            if action.kind == epic_ir::PredActionKind::Uncond =>
+                        {
+                            def = Some((i, c, action))
+                        }
+                        _ => return false, // multiple defs or non-cmpp def
+                    }
+                }
+            }
+        }
+    }
+    let Some((def_idx, cond, action)) = def else { return false };
+
+    let mut ren = Renamer::new(func, head, live);
+    let mut new_ops: Vec<Op> = Vec::with_capacity(ops.len() * factor as usize);
+    for copy in 0..factor {
+        let last_copy = copy == factor - 1;
+        let exit_pred = if last_copy { None } else { Some(func.new_pred()) };
+        for (i, op) in ops.iter().enumerate() {
+            // Drop the back-edge pbr in intermediate copies.
+            if !last_copy && op.opcode == Opcode::Pbr && op.branch_target() == Some(head) {
+                continue;
+            }
+            if !last_copy && i == ops.len() - 1 {
+                // The back-edge branch becomes an exit branch guarded by
+                // the inverted condition.
+                let btr = func.new_reg();
+                new_ops.push(Op {
+                    id: func.new_op_id(),
+                    opcode: Opcode::Pbr,
+                    dests: vec![Dest::Reg(btr)],
+                    srcs: vec![Operand::Label(exit_target)],
+                    guard: None,
+                });
+                new_ops.push(Op {
+                    id: func.new_op_id(),
+                    opcode: Opcode::Branch,
+                    dests: vec![],
+                    srcs: vec![Operand::Reg(btr), Operand::Label(exit_target)],
+                    guard: exit_pred,
+                });
+                continue;
+            }
+            let mut cloned = func.clone_op(op);
+            ren.apply(func, &mut cloned, last_copy);
+            let cloned_srcs = cloned.srcs.clone();
+            let cloned_guard = cloned.guard;
+            new_ops.push(cloned);
+            if !last_copy && i == def_idx {
+                // Inverted compare right after the defining cmpp, observing
+                // the same (renamed) sources.
+                let inv_cond = match action.sense {
+                    epic_ir::PredSense::Normal => cond.invert(),
+                    epic_ir::PredSense::Complement => cond,
+                };
+                new_ops.push(Op {
+                    id: func.new_op_id(),
+                    opcode: Opcode::Cmpp(inv_cond),
+                    dests: vec![Dest::Pred(exit_pred.expect("intermediate"), PredAction::UN)],
+                    srcs: cloned_srcs,
+                    guard: cloned_guard,
+                });
+            }
+        }
+    }
+    func.block_mut(head).ops = new_ops;
+    true
+}
+
+fn unroll_top_test(
+    func: &mut Function,
+    head: BlockId,
+    factor: u32,
+    ops: &[Op],
+    live: &GlobalLiveness,
+) -> bool {
+    // The body must contain at least one conditional exit, otherwise the
+    // loop is infinite and unrolling is pointless.
+    if !ops.iter().any(|o| o.opcode == Opcode::Branch && o.guard.is_some()) {
+        return false;
+    }
+    let mut ren = Renamer::new(func, head, live);
+    let mut new_ops: Vec<Op> = Vec::with_capacity(ops.len() * factor as usize);
+    for copy in 0..factor {
+        let last_copy = copy == factor - 1;
+        for (i, op) in ops.iter().enumerate() {
+            let is_back_pbr = op.opcode == Opcode::Pbr && op.branch_target() == Some(head);
+            let is_back_branch = i == ops.len() - 1;
+            if !last_copy && (is_back_pbr || is_back_branch) {
+                continue;
+            }
+            let mut cloned = func.clone_op(op);
+            ren.apply(func, &mut cloned, last_copy);
+            new_ops.push(cloned);
+        }
+    }
+    func.block_mut(head).ops = new_ops;
+    true
+}
+
+/// Unrolls every hot self-loop superblock in `func` by `factor`.
+///
+/// A block qualifies when its entry count is at least `min_count` and it
+/// matches the [`unroll_loop`] pattern. Returns the number of loops
+/// unrolled.
+pub fn unroll_hot_loops(
+    func: &mut Function,
+    profile: &epic_ir::Profile,
+    factor: u32,
+    min_count: u64,
+) -> usize {
+    let candidates: Vec<BlockId> = func
+        .layout
+        .iter()
+        .copied()
+        .filter(|&b| profile.entry_count(b) >= min_count)
+        .collect();
+    let mut n = 0;
+    for b in candidates {
+        if unroll_loop(func, b, factor) && factor >= 2 {
+            // unroll_loop returns true for factor<2 too; only count real work
+            if func.block(b).branch_count() >= factor as usize {
+                crate::flatten_induction(func, b);
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::FunctionBuilder;
+    use epic_interp::{diff_test, run, Input};
+
+    /// strcpy-style loop: copy words from src (reg a) to dst (reg b2)
+    /// until a zero terminator.
+    fn strcpy_loop() -> (Function, epic_ir::Reg, epic_ir::Reg, BlockId) {
+        let mut fb = FunctionBuilder::new("strcpy");
+        let loop_ = fb.block("loop");
+        let exit = fb.block("exit");
+        fb.switch_to(loop_);
+        let a = fb.reg();
+        let d = fb.reg();
+        let v = fb.load(a);
+        fb.store(d, v.into());
+        let a2 = fb.add(a.into(), Operand::Imm(1));
+        fb.mov_to(a, a2.into());
+        let d2 = fb.add(d.into(), Operand::Imm(1));
+        fb.mov_to(d, d2.into());
+        let (cont, _stop) = fb.cmpp_un_uc(CmpCond::Ne, v.into(), Operand::Imm(0));
+        fb.branch_if(cont, loop_);
+        fb.switch_to(exit);
+        fb.ret();
+        (fb.finish(), a, d, loop_)
+    }
+
+    fn strcpy_input(a: epic_ir::Reg, d: epic_ir::Reg) -> Input {
+        Input::new()
+            .memory_size(64)
+            .with_memory(0, &[7, 7, 7, 5, 3, 2, 1, 0])
+            .with_reg(a, 0)
+            .with_reg(d, 32)
+    }
+
+    #[test]
+    fn unroll_preserves_semantics() {
+        for factor in [2u32, 4, 8] {
+            let (f, a, d, head) = strcpy_loop();
+            let mut u = f.clone();
+            assert!(unroll_loop(&mut u, head, factor), "factor {factor}");
+            epic_ir::verify(&u).unwrap();
+            diff_test(&f, &u, &strcpy_input(a, d)).unwrap();
+            // Exactly `factor` branches in the unrolled body.
+            assert_eq!(u.block(head).branch_count(), factor as usize, "\n{u}");
+        }
+    }
+
+    #[test]
+    fn unrolled_loop_executes_fewer_branch_fetches_per_element() {
+        let (f, a, d, head) = strcpy_loop();
+        let mut u = f.clone();
+        unroll_loop(&mut u, head, 4);
+        let base = run(&f, &strcpy_input(a, d)).unwrap();
+        let unrolled = run(&u, &strcpy_input(a, d)).unwrap();
+        assert_eq!(
+            base.memory, unrolled.memory,
+            "same result"
+        );
+        // Unrolling reduces back-edge branch executions.
+        assert!(unrolled.profile.entry_count(head) < base.profile.entry_count(head));
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let (f, _a, _d, head) = strcpy_loop();
+        let mut u = f.clone();
+        assert!(unroll_loop(&mut u, head, 1));
+        assert_eq!(u.block(head).ops.len(), f.block(head).ops.len());
+    }
+
+    #[test]
+    fn non_loop_is_rejected() {
+        let mut fb = FunctionBuilder::new("nl");
+        let e = fb.block("e");
+        fb.switch_to(e);
+        fb.ret();
+        let mut f = fb.finish();
+        assert!(!unroll_loop(&mut f, e, 4));
+    }
+
+    #[test]
+    fn unroll_hot_loops_uses_profile() {
+        let (f, a, d, head) = strcpy_loop();
+        let profile = run(&f, &strcpy_input(a, d)).unwrap().profile;
+        let mut u = f.clone();
+        let n = unroll_hot_loops(&mut u, &profile, 4, 1);
+        assert_eq!(n, 1);
+        diff_test(&f, &u, &strcpy_input(a, d)).unwrap();
+        // With a sky-high threshold nothing unrolls.
+        let mut u2 = f.clone();
+        assert_eq!(unroll_hot_loops(&mut u2, &profile, 4, u64::MAX), 0);
+        assert_eq!(u2.block(head).ops.len(), f.block(head).ops.len());
+    }
+}

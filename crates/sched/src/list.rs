@@ -1,0 +1,180 @@
+//! The per-block list scheduler.
+
+use epic_analysis::DepGraph;
+use epic_ir::{Op, UnitClass};
+use epic_machine::Machine;
+
+/// The schedule of one block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Issue cycle of each op, indexed by position in the block.
+    pub cycles: Vec<i64>,
+    /// Schedule length in cycles: the number of cycles the block occupies
+    /// (`max(issue + latency)` over all ops, at least 1 for non-empty
+    /// blocks).
+    pub length: i64,
+}
+
+impl Schedule {
+    /// An empty schedule (for empty blocks).
+    pub fn empty() -> Schedule {
+        Schedule { cycles: Vec::new(), length: 0 }
+    }
+}
+
+/// List-schedules the ops of one block.
+///
+/// Priorities are longest-path-to-exit through the dependence graph
+/// (critical-path scheduling). Resources are the machine's per-class issue
+/// widths; the *sequential* machine issues one op of any class per cycle.
+/// Negative edge latencies (availability constraints relative to branch
+/// take-time) are honored as minimum cycle distances.
+pub fn schedule_block(ops: &[Op], graph: &DepGraph, machine: &Machine) -> Schedule {
+    let n = ops.len();
+    if n == 0 {
+        return Schedule::empty();
+    }
+
+    // Priority: longest path from each op to any sink, counting latencies.
+    let mut prio = vec![0i64; n];
+    for i in (0..n).rev() {
+        let lat = machine.latency_of(&ops[i]) as i64;
+        prio[i] = lat;
+        for e in graph.succs(i) {
+            prio[i] = prio[i].max(e.latency as i64 + prio[e.to]);
+        }
+    }
+
+    let mut unscheduled = n;
+    let mut cycles = vec![i64::MIN; n];
+    let mut n_preds_left: Vec<usize> = (0..n).map(|i| graph.preds(i).count()).collect();
+    // Earliest cycle each op may issue, tightened as predecessors schedule.
+    let mut earliest = vec![0i64; n];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| n_preds_left[i] == 0).collect();
+
+    let mut cycle = 0i64;
+    // Per-cycle resource usage.
+    let classes = [UnitClass::Int, UnitClass::Float, UnitClass::Mem, UnitClass::Branch];
+    let mut used = [0u32; 4];
+    let mut used_total = 0u32;
+    let class_index = |c: UnitClass| classes.iter().position(|&x| x == c).expect("all classes");
+
+    while unscheduled > 0 {
+        used = [0, 0, 0, 0];
+        used_total = 0;
+        loop {
+            // Pick the highest-priority ready op that fits this cycle.
+            let mut best: Option<usize> = None;
+            for (slot, &i) in ready.iter().enumerate() {
+                if earliest[i] > cycle {
+                    continue;
+                }
+                let fits = match machine.widths() {
+                    None => used_total < 1,
+                    Some(w) => {
+                        let ci = class_index(ops[i].opcode.unit_class());
+                        used[ci] < w.of(ops[i].opcode.unit_class())
+                    }
+                };
+                if !fits {
+                    continue;
+                }
+                match best {
+                    Some(b) if (prio[ready[b]], std::cmp::Reverse(ready[b])) >= (prio[i], std::cmp::Reverse(i)) => {}
+                    _ => best = Some(slot),
+                }
+            }
+            let Some(slot) = best else { break };
+            let i = ready.swap_remove(slot);
+            cycles[i] = cycle;
+            unscheduled -= 1;
+            match machine.widths() {
+                None => used_total += 1,
+                Some(_) => {
+                    let ci = class_index(ops[i].opcode.unit_class());
+                    used[ci] += 1;
+                }
+            }
+            for e in graph.succs(i) {
+                earliest[e.to] = earliest[e.to].max(cycle + e.latency as i64);
+                n_preds_left[e.to] -= 1;
+                if n_preds_left[e.to] == 0 {
+                    ready.push(e.to);
+                }
+            }
+        }
+        cycle += 1;
+    }
+    let _ = (used, used_total);
+
+    let length = (0..n)
+        .map(|i| cycles[i] + machine.latency_of(&ops[i]) as i64)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    Schedule { cycles, length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_analysis::{DepOptions, PredFacts};
+    use epic_ir::{FunctionBuilder, Operand};
+
+    #[test]
+    fn empty_block() {
+        let s = schedule_block(&[], &empty_graph(), &Machine::wide());
+        assert_eq!(s, Schedule::empty());
+    }
+
+    fn empty_graph() -> DepGraph {
+        let mut facts = PredFacts::compute(&[]);
+        DepGraph::build(&[], &mut facts, &|_| 1, &DepOptions::default(), None)
+    }
+
+    #[test]
+    fn all_ops_get_cycles() {
+        let mut b = FunctionBuilder::new("t");
+        let e = b.block("e");
+        b.switch_to(e);
+        let x = b.movi(1);
+        let y = b.add(x.into(), Operand::Imm(2));
+        let _ = b.mul(y.into(), Operand::Imm(3));
+        b.ret();
+        let f = b.finish();
+        let ops = &f.block(e).ops;
+        let machine = Machine::medium();
+        let mut facts = PredFacts::compute(ops);
+        let lat = |o: &Op| machine.latency_of(o);
+        let g = DepGraph::build(ops, &mut facts, &lat, &DepOptions::default(), None);
+        let s = schedule_block(ops, &g, &machine);
+        assert_eq!(s.cycles.len(), ops.len());
+        assert!(s.cycles.iter().all(|&c| c >= 0));
+        // Flow constraints hold.
+        for e in g.edges() {
+            assert!(
+                s.cycles[e.to] >= s.cycles[e.from] + e.latency as i64,
+                "edge {e:?} violated: {:?}",
+                s.cycles
+            );
+        }
+        // mul must wait for add (1) which waits for mov (1); mul latency 3.
+        assert_eq!(s.length, s.cycles[2] + 3);
+    }
+
+    #[test]
+    fn length_is_at_least_one() {
+        let mut b = FunctionBuilder::new("t");
+        let e = b.block("e");
+        b.switch_to(e);
+        b.ret();
+        let f = b.finish();
+        let ops = &f.block(e).ops;
+        let machine = Machine::wide();
+        let mut facts = PredFacts::compute(ops);
+        let lat = |o: &Op| machine.latency_of(o);
+        let g = DepGraph::build(ops, &mut facts, &lat, &DepOptions::default(), None);
+        let s = schedule_block(ops, &g, &machine);
+        assert!(s.length >= 1);
+    }
+}

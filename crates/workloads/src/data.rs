@@ -1,0 +1,112 @@
+//! Synthetic input-data generators.
+//!
+//! Each workload's branch biases come from the *data* it processes, just as
+//! in the real benchmarks — profiles are measured by executing the programs,
+//! never fabricated. Generators are seeded so the suite is deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for one workload.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A "string": values in `1..=max` terminated by a single 0.
+pub fn sentinel_string(rng: &mut StdRng, len: usize, max: i64) -> Vec<i64> {
+    let mut v: Vec<i64> = (0..len).map(|_| rng.gen_range(1..=max)).collect();
+    v.push(0);
+    v
+}
+
+/// Text with a character-class distribution: `weights[k]` is the relative
+/// frequency of class value `k + 1` (value 0 is reserved for the
+/// terminator).
+pub fn classed_text(rng: &mut StdRng, len: usize, weights: &[u32]) -> Vec<i64> {
+    let total: u32 = weights.iter().sum();
+    assert!(total > 0, "need at least one class");
+    let mut v = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        let mut pick = rng.gen_range(0..total);
+        let mut class = 0usize;
+        for (k, &w) in weights.iter().enumerate() {
+            if pick < w {
+                class = k;
+                break;
+            }
+            pick -= w;
+        }
+        v.push(class as i64 + 1);
+    }
+    v.push(0);
+    v
+}
+
+/// Uniform random values in `lo..hi` (no terminator).
+pub fn uniform(rng: &mut StdRng, len: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Values that equal `common` with probability `bias` (percent) and a
+/// random other value in `1..=max` otherwise, terminated by 0.
+pub fn biased_stream(rng: &mut StdRng, len: usize, common: i64, bias: u32, max: i64) -> Vec<i64> {
+    let mut v = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        if rng.gen_range(0..100) < bias {
+            v.push(common);
+        } else {
+            let mut x = rng.gen_range(1..=max);
+            if x == common {
+                x = if x == max { x - 1 } else { x + 1 };
+            }
+            v.push(x.max(1));
+        }
+    }
+    v.push(0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_string_terminates() {
+        let mut r = rng(1);
+        let v = sentinel_string(&mut r, 100, 9);
+        assert_eq!(v.len(), 101);
+        assert_eq!(*v.last().unwrap(), 0);
+        assert!(v[..100].iter().all(|&x| (1..=9).contains(&x)));
+    }
+
+    #[test]
+    fn classed_text_obeys_weights_roughly() {
+        let mut r = rng(2);
+        let v = classed_text(&mut r, 10_000, &[90, 10]);
+        let ones = v.iter().filter(|&&x| x == 1).count();
+        assert!(ones > 8_500 && ones < 9_500, "{ones}");
+        assert_eq!(*v.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn biased_stream_is_biased() {
+        let mut r = rng(3);
+        let v = biased_stream(&mut r, 10_000, 7, 80, 20);
+        let common = v.iter().filter(|&&x| x == 7).count();
+        assert!(common > 7_500 && common < 8_500, "{common}");
+        assert!(v[..10_000].iter().all(|&x| x != 0));
+    }
+
+    #[test]
+    fn determinism() {
+        let a = sentinel_string(&mut rng(42), 50, 5);
+        let b = sentinel_string(&mut rng(42), 50, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let v = uniform(&mut rng(4), 1000, -5, 5);
+        assert!(v.iter().all(|&x| (-5..5).contains(&x)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Machine-width sweep for one benchmark: compiles the workload once and
+//! evaluates the baseline/height-reduced pair across the paper's five
+//! processors plus extra custom widths and branch latencies, illustrating
+//! the public API of `epic-machine`, `epic-sched`, and `epic-perf`.
+//!
+//! ```sh
+//! cargo run -p epic-bench --example machine_sweep -- cmp
+//! ```
+
+use epic_bench::{compile, PipelineConfig};
+use epic_machine::{Latencies, Machine, Widths};
+use epic_perf::weighted_cycles;
+use epic_sched::{schedule_function, SchedOptions};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cmp".to_string());
+    let Some(w) = epic_workloads::by_name(&name) else {
+        eprintln!("unknown workload {name}; try one of:");
+        for w in epic_workloads::all() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    };
+    let c = compile(&w, &PipelineConfig::default()).expect("workloads always compile");
+    println!("{name}: {:?}", c.stats);
+    println!();
+    println!("{:<22} {:>10} {:>10} {:>8}", "machine", "baseline", "cpr", "speedup");
+
+    let mut machines = Machine::paper_suite();
+    // Extra design points beyond the paper's table.
+    machines.push(Machine::new(
+        "very-wide(16,8,8,4)",
+        Some(Widths { int: 16, float: 8, mem: 8, branch: 4 }),
+        Latencies::default(),
+    ));
+    machines.push(Machine::medium().with_branch_latency(2));
+    machines.push(Machine::medium().with_branch_latency(3));
+
+    for (i, m) in machines.iter().enumerate() {
+        let opts = SchedOptions::default();
+        let bs = schedule_function(&c.baseline, m, &opts);
+        let os = schedule_function(&c.optimized, m, &opts);
+        let base = weighted_cycles(&c.baseline, &c.base_profile, &bs);
+        let opt = weighted_cycles(&c.optimized, &c.opt_profile, &os);
+        let label = if i >= 6 {
+            format!("{} (blat {})", m.name(), m.branch_latency())
+        } else {
+            m.name().to_string()
+        };
+        println!(
+            "{:<22} {:>10} {:>10} {:>8.3}",
+            label,
+            base,
+            opt,
+            base as f64 / opt as f64
+        );
+    }
+}
