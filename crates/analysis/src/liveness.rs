@@ -17,13 +17,13 @@
 
 use std::collections::{HashMap, HashSet};
 
-use epic_ir::{BlockId, Function, Op, Opcode, PredReg, Reg};
+use epic_ir::{Block, BlockId, Function, Op, Opcode, PredReg, Reg};
 
 use crate::bdd::Bdd;
 use crate::pred_facts::PredFacts;
 
 /// Per-block may-live register and predicate sets.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GlobalLiveness {
     /// Registers live on entry to each block.
     pub live_in_regs: HashMap<BlockId, HashSet<Reg>>,
@@ -41,125 +41,196 @@ impl GlobalLiveness {
     /// be nullified, leaving the previous value live through it); `cmpp`
     /// unconditional destinations always write and therefore kill.
     pub fn compute(func: &Function) -> GlobalLiveness {
-        // Per-block gen (upward-exposed uses) and kill (definite defs).
-        let mut gen_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
-        let mut kill_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
-        let mut gen_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
-        let mut kill_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
+        let summaries: HashMap<BlockId, BlockSummary> = func
+            .blocks_in_layout()
+            .map(|block| (block.id, BlockSummary::of(block)))
+            .collect();
+        solve(func, &summaries)
+    }
+}
 
+/// Per-block gen (upward-exposed uses) and kill (definite defs) sets — the
+/// expensive, predicate-aware half of [`GlobalLiveness::compute`]. A summary
+/// depends only on the block's own ops, which is what makes incremental
+/// repair sound: editing one block invalidates exactly that block's summary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct BlockSummary {
+    gen_regs: HashSet<Reg>,
+    kill_regs: HashSet<Reg>,
+    gen_preds: HashSet<PredReg>,
+    kill_preds: HashSet<PredReg>,
+}
+
+impl BlockSummary {
+    /// Predicate-aware gen/kill in the style of [JS96]: a read is
+    /// upward-exposed only if it can execute under conditions not covered by
+    /// prior (possibly guarded) definitions, and a register is killed only
+    /// when the accumulated definition condition is provably `true`. Without
+    /// this, FRP-converted code (where *every* definition is guarded) would
+    /// never kill anything and liveness would defeat predicate speculation.
+    fn of(block: &Block) -> BlockSummary {
+        let mut facts = crate::pred_facts::PredFacts::compute(&block.ops);
+        let mut gr = HashSet::new();
+        let mut kr = HashSet::new();
+        let mut gp = HashSet::new();
+        let mut kp = HashSet::new();
+        let mut def_cond_r: HashMap<Reg, Bdd> = HashMap::new();
+        let mut def_cond_p: HashMap<PredReg, Bdd> = HashMap::new();
+        for (i, op) in block.ops.iter().enumerate() {
+            let g = facts.guard(i);
+            for r in op.uses_regs() {
+                let d = def_cond_r.get(&r).copied().unwrap_or(Bdd::FALSE);
+                if !facts.manager().implies(g, d) {
+                    gr.insert(r);
+                }
+            }
+            for p in op.uses_preds_with_guard() {
+                let d = def_cond_p.get(&p).copied().unwrap_or(Bdd::FALSE);
+                if !facts.manager().implies(g, d) {
+                    gp.insert(p);
+                }
+            }
+            for r in op.defs_regs() {
+                let d = def_cond_r.get(&r).copied().unwrap_or(Bdd::FALSE);
+                let nd = facts.manager().or(d, g);
+                def_cond_r.insert(r, nd);
+            }
+            for dst in &op.dests {
+                if let epic_ir::Dest::Pred(p, a) = dst {
+                    // Unconditional cmpp destinations write regardless
+                    // of the guard; other predicate writes are partial.
+                    let cond = match (op.opcode, a.kind) {
+                        (Opcode::Cmpp(_), epic_ir::PredActionKind::Uncond) => Bdd::TRUE,
+                        (Opcode::PredInit, _) => g,
+                        _ => Bdd::FALSE,
+                    };
+                    let d = def_cond_p.get(p).copied().unwrap_or(Bdd::FALSE);
+                    let nd = facts.manager().or(d, cond);
+                    def_cond_p.insert(*p, nd);
+                }
+            }
+        }
+        for (r, d) in def_cond_r {
+            if d.is_true() {
+                kr.insert(r);
+            }
+        }
+        for (p, d) in def_cond_p {
+            if d.is_true() {
+                kp.insert(p);
+            }
+        }
+        BlockSummary { gen_regs: gr, kill_regs: kr, gen_preds: gp, kill_preds: kp }
+    }
+}
+
+/// The cheap half of liveness: the iterative backward fixpoint over
+/// precomputed per-block summaries. Always solved from empty sets — a
+/// may-liveness restart from a stale solution is unsound because stale live
+/// bits can self-sustain around loop cycles.
+fn solve(func: &Function, summaries: &HashMap<BlockId, BlockSummary>) -> GlobalLiveness {
+    let mut live_in_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
+    let mut live_out_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
+    let mut live_in_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
+    let mut live_out_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
+    for &b in &func.layout {
+        live_in_regs.insert(b, HashSet::new());
+        live_out_regs.insert(b, HashSet::new());
+        live_in_preds.insert(b, HashSet::new());
+        live_out_preds.insert(b, HashSet::new());
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in func.layout.iter().rev() {
+            let summary = &summaries[&b];
+            let mut out_r: HashSet<Reg> = HashSet::new();
+            let mut out_p: HashSet<PredReg> = HashSet::new();
+            for s in func.successors(b) {
+                out_r.extend(live_in_regs[&s].iter().copied());
+                out_p.extend(live_in_preds[&s].iter().copied());
+            }
+            let mut in_r: HashSet<Reg> = out_r
+                .iter()
+                .filter(|r| !summary.kill_regs.contains(r))
+                .copied()
+                .collect();
+            in_r.extend(summary.gen_regs.iter().copied());
+            let mut in_p: HashSet<PredReg> = out_p
+                .iter()
+                .filter(|p| !summary.kill_preds.contains(p))
+                .copied()
+                .collect();
+            in_p.extend(summary.gen_preds.iter().copied());
+            if in_r != live_in_regs[&b]
+                || out_r != live_out_regs[&b]
+                || in_p != live_in_preds[&b]
+                || out_p != live_out_preds[&b]
+            {
+                changed = true;
+            }
+            live_in_regs.insert(b, in_r);
+            live_out_regs.insert(b, out_r);
+            live_in_preds.insert(b, in_p);
+            live_out_preds.insert(b, out_p);
+        }
+    }
+
+    GlobalLiveness { live_in_regs, live_out_regs, live_in_preds, live_out_preds }
+}
+
+/// A liveness cache that survives CFG edits.
+///
+/// [`GlobalLiveness::compute`] does two very differently priced things: the
+/// predicate-aware gen/kill summaries (BDD work proportional to *every* op
+/// in the function) and the backward set fixpoint (cheap set unions). The
+/// ICBM driver edits only one or two blocks per CPR restructuring, so this
+/// cache keeps the summaries and, on [`repair`](IncrementalLiveness::repair),
+/// recomputes them for just the touched blocks before re-solving the cheap
+/// fixpoint. The result is always identical to a from-scratch `compute` —
+/// the `incremental_liveness` property test in `control-cpr` asserts this
+/// after every ICBM mutation.
+#[derive(Clone, Debug)]
+pub struct IncrementalLiveness {
+    summaries: HashMap<BlockId, BlockSummary>,
+    live: GlobalLiveness,
+}
+
+impl IncrementalLiveness {
+    /// Computes liveness from scratch and caches the per-block summaries.
+    pub fn new(func: &Function) -> IncrementalLiveness {
+        let summaries: HashMap<BlockId, BlockSummary> = func
+            .blocks_in_layout()
+            .map(|block| (block.id, BlockSummary::of(block)))
+            .collect();
+        let live = solve(func, &summaries);
+        IncrementalLiveness { summaries, live }
+    }
+
+    /// The current (always up-to-date) liveness solution.
+    pub fn live(&self) -> &GlobalLiveness {
+        &self.live
+    }
+
+    /// Repairs the cache after the ops of `touched` blocks changed (blocks
+    /// newly added to the layout are picked up whether listed or not, and
+    /// summaries of blocks no longer in the layout are dropped). Only the
+    /// touched/new blocks pay the expensive summary recomputation; the
+    /// fixpoint is then re-solved from scratch, which is what keeps
+    /// may-liveness exact in the presence of removed edges.
+    pub fn repair(&mut self, func: &Function, touched: &[BlockId]) {
+        let in_layout: HashSet<BlockId> = func.layout.iter().copied().collect();
+        self.summaries.retain(|b, _| in_layout.contains(b));
+        for &b in touched {
+            if in_layout.contains(&b) {
+                self.summaries.insert(b, BlockSummary::of(func.block(b)));
+            }
+        }
         for block in func.blocks_in_layout() {
-            // Predicate-aware gen/kill in the style of [JS96]: a read is
-            // upward-exposed only if it can execute under conditions not
-            // covered by prior (possibly guarded) definitions, and a
-            // register is killed only when the accumulated definition
-            // condition is provably `true`. Without this, FRP-converted
-            // code (where *every* definition is guarded) would never kill
-            // anything and liveness would defeat predicate speculation.
-            let mut facts = crate::pred_facts::PredFacts::compute(&block.ops);
-            let mut gr = HashSet::new();
-            let mut kr = HashSet::new();
-            let mut gp = HashSet::new();
-            let mut kp = HashSet::new();
-            let mut def_cond_r: HashMap<Reg, Bdd> = HashMap::new();
-            let mut def_cond_p: HashMap<PredReg, Bdd> = HashMap::new();
-            for (i, op) in block.ops.iter().enumerate() {
-                let g = facts.guard(i);
-                for r in op.uses_regs() {
-                    let d = def_cond_r.get(&r).copied().unwrap_or(Bdd::FALSE);
-                    if !facts.manager().implies(g, d) {
-                        gr.insert(r);
-                    }
-                }
-                for p in op.uses_preds_with_guard() {
-                    let d = def_cond_p.get(&p).copied().unwrap_or(Bdd::FALSE);
-                    if !facts.manager().implies(g, d) {
-                        gp.insert(p);
-                    }
-                }
-                for r in op.defs_regs() {
-                    let d = def_cond_r.get(&r).copied().unwrap_or(Bdd::FALSE);
-                    let nd = facts.manager().or(d, g);
-                    def_cond_r.insert(r, nd);
-                }
-                for dst in &op.dests {
-                    if let epic_ir::Dest::Pred(p, a) = dst {
-                        // Unconditional cmpp destinations write regardless
-                        // of the guard; other predicate writes are partial.
-                        let cond = match (op.opcode, a.kind) {
-                            (Opcode::Cmpp(_), epic_ir::PredActionKind::Uncond) => Bdd::TRUE,
-                            (Opcode::PredInit, _) => g,
-                            _ => Bdd::FALSE,
-                        };
-                        let d = def_cond_p.get(p).copied().unwrap_or(Bdd::FALSE);
-                        let nd = facts.manager().or(d, cond);
-                        def_cond_p.insert(*p, nd);
-                    }
-                }
-            }
-            for (r, d) in def_cond_r {
-                if d.is_true() {
-                    kr.insert(r);
-                }
-            }
-            for (p, d) in def_cond_p {
-                if d.is_true() {
-                    kp.insert(p);
-                }
-            }
-            gen_regs.insert(block.id, gr);
-            kill_regs.insert(block.id, kr);
-            gen_preds.insert(block.id, gp);
-            kill_preds.insert(block.id, kp);
+            self.summaries.entry(block.id).or_insert_with(|| BlockSummary::of(block));
         }
-
-        let mut live_in_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
-        let mut live_out_regs: HashMap<BlockId, HashSet<Reg>> = HashMap::new();
-        let mut live_in_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
-        let mut live_out_preds: HashMap<BlockId, HashSet<PredReg>> = HashMap::new();
-        for &b in &func.layout {
-            live_in_regs.insert(b, HashSet::new());
-            live_out_regs.insert(b, HashSet::new());
-            live_in_preds.insert(b, HashSet::new());
-            live_out_preds.insert(b, HashSet::new());
-        }
-
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for &b in func.layout.iter().rev() {
-                let mut out_r: HashSet<Reg> = HashSet::new();
-                let mut out_p: HashSet<PredReg> = HashSet::new();
-                for s in func.successors(b) {
-                    out_r.extend(live_in_regs[&s].iter().copied());
-                    out_p.extend(live_in_preds[&s].iter().copied());
-                }
-                let mut in_r: HashSet<Reg> = out_r
-                    .iter()
-                    .filter(|r| !kill_regs[&b].contains(r))
-                    .copied()
-                    .collect();
-                in_r.extend(gen_regs[&b].iter().copied());
-                let mut in_p: HashSet<PredReg> = out_p
-                    .iter()
-                    .filter(|p| !kill_preds[&b].contains(p))
-                    .copied()
-                    .collect();
-                in_p.extend(gen_preds[&b].iter().copied());
-                if in_r != live_in_regs[&b]
-                    || out_r != live_out_regs[&b]
-                    || in_p != live_in_preds[&b]
-                    || out_p != live_out_preds[&b]
-                {
-                    changed = true;
-                }
-                live_in_regs.insert(b, in_r);
-                live_out_regs.insert(b, out_r);
-                live_in_preds.insert(b, in_p);
-                live_out_preds.insert(b, out_p);
-            }
-        }
-
-        GlobalLiveness { live_in_regs, live_out_regs, live_in_preds, live_out_preds }
+        self.live = solve(func, &self.summaries);
     }
 }
 

@@ -4,11 +4,16 @@
 //! * the taken variation on/off (§5.3),
 //! * predicate speculation on/off (§5.1),
 //! * uniform whole-superblock CPR vs profile-driven blocking.
+//!
+//! The configurations are independent, so they are evaluated in parallel
+//! (each one additionally fans out over its workloads inside `table2`);
+//! output order is fixed regardless of thread count.
 
 use control_cpr::CprConfig;
 use epic_bench::{table2, PipelineConfig};
 use epic_perf::geomean;
 use epic_regions::IfConvertConfig;
+use rayon::prelude::*;
 
 fn gmean_all(cfg: &PipelineConfig, machine_idx: usize, names: &[&str]) -> f64 {
     let workloads: Vec<_> = names
@@ -27,33 +32,38 @@ fn main() {
     println!("Ablations (geomean speedup on the medium processor, subset: {names:?})");
     println!();
 
-    let base = PipelineConfig::default();
-    println!("  default configuration:          {:.3}", gmean_all(&base, medium, &names));
+    let mut configs: Vec<(String, PipelineConfig)> = Vec::new();
+    configs.push(("default configuration:          ".to_string(), PipelineConfig::default()));
 
     let mut no_taken = PipelineConfig::default();
     no_taken.cpr.enable_taken_variation = false;
-    println!("  taken variation disabled:       {:.3}", gmean_all(&no_taken, medium, &names));
+    configs.push(("taken variation disabled:       ".to_string(), no_taken));
 
     let mut no_spec = PipelineConfig::default();
     no_spec.cpr.speculate = false;
-    println!("  predicate speculation disabled: {:.3}", gmean_all(&no_spec, medium, &names));
+    configs.push(("predicate speculation disabled: ".to_string(), no_spec));
 
     let uniform = PipelineConfig { cpr: CprConfig::uniform(), ..PipelineConfig::default() };
-    println!("  uniform (unblocked) CPR:        {:.3}", gmean_all(&uniform, medium, &names));
+    configs.push(("uniform (unblocked) CPR:        ".to_string(), uniform));
 
     // The paper's named enhancement: traditional if-conversion first.
     let ifc = PipelineConfig {
         if_convert: Some(IfConvertConfig::default()),
         ..PipelineConfig::default()
     };
-    println!("  with if-conversion first:       {:.3}", gmean_all(&ifc, medium, &names));
+    configs.push(("with if-conversion first:       ".to_string(), ifc));
 
     for thresh in [0.05, 0.2, 0.35, 0.6, 0.9] {
         let mut cfg = PipelineConfig::default();
         cfg.cpr.exit_weight_threshold = thresh;
-        println!(
-            "  exit-weight threshold {thresh:>4}:     {:.3}",
-            gmean_all(&cfg, medium, &names)
-        );
+        configs.push((format!("exit-weight threshold {thresh:>4}:     "), cfg));
+    }
+
+    let results: Vec<(String, f64)> = configs
+        .par_iter()
+        .map(|(label, cfg)| (label.clone(), gmean_all(cfg, medium, &names)))
+        .collect();
+    for (label, g) in results {
+        println!("  {label}{g:.3}");
     }
 }

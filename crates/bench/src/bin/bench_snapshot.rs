@@ -1,0 +1,59 @@
+//! Writes a harness-performance snapshot (`BENCH_pr1.json` by default):
+//! wall-clock of a full serial `table2` run vs the parallel path, the
+//! thread count used, and per-workload pass timings from the parallel run.
+//!
+//! The two runs are also cross-checked for identical rows, so every
+//! snapshot doubles as a determinism check. Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p epic-bench --bin bench_snapshot [out.json]
+//! ```
+
+use std::time::Instant;
+
+use epic_bench::{table2_serial, table2_with_timings, timings_to_json, PipelineConfig};
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr1.json".to_string());
+    let workloads = epic_workloads::all();
+    let cfg = PipelineConfig::default();
+
+    eprintln!("serial table2 ({} workloads)...", workloads.len());
+    let t0 = Instant::now();
+    let serial_rows = table2_serial(&workloads, &cfg);
+    let serial = t0.elapsed();
+
+    let threads = rayon::current_num_threads();
+    eprintln!("parallel table2 ({threads} threads)...");
+    let t0 = Instant::now();
+    let (rows, timings) = table2_with_timings(&workloads, &cfg);
+    let parallel = t0.elapsed();
+
+    // Determinism cross-check: the parallel path must reproduce the serial
+    // reference exactly (same order, same cycle counts).
+    assert_eq!(serial_rows.len(), rows.len());
+    for (s, p) in serial_rows.iter().zip(&rows) {
+        assert_eq!(s.name, p.name, "row order must match");
+        assert_eq!(s.cycles, p.cycles, "{}: cycles must match", s.name);
+    }
+
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"snapshot\": \"pr1\",\n  \"generator\": \"bench_snapshot\",\n  \
+         \"workloads\": {},\n  \"threads\": {},\n  \"table2_serial_ms\": {:.1},\n  \
+         \"table2_parallel_ms\": {:.1},\n  \"parallel_speedup\": {:.2},\n  \
+         \"rows_identical\": true,\n  \"per_workload_timings\": {}\n}}\n",
+        workloads.len(),
+        threads,
+        serial.as_secs_f64() * 1e3,
+        parallel.as_secs_f64() * 1e3,
+        speedup,
+        timings_to_json(&timings)
+    );
+    std::fs::write(&out, json).expect("write snapshot");
+    println!(
+        "serial {:.1} ms, parallel {:.1} ms on {threads} thread(s) ({speedup:.2}x); wrote {out}",
+        serial.as_secs_f64() * 1e3,
+        parallel.as_secs_f64() * 1e3
+    );
+}

@@ -100,7 +100,8 @@ fn main() {
             if !check(&w.func, &opt, &w, "  restructure") {
                 return;
             }
-            let moved = off_trace_motion(&mut opt, &r);
+            let live = GlobalLiveness::compute(&opt);
+            let moved = off_trace_motion(&mut opt, &r, &live);
             if !moved {
                 println!("  motion: skipped (legality)");
             }

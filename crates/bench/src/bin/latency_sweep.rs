@@ -4,17 +4,21 @@
 //! branch latency and limited branch throughput; control CPR's value should
 //! therefore grow as branch latency grows. This binary regenerates the
 //! Table 2 geomean on the medium machine for branch latencies 1..4.
+//!
+//! Workloads compile in parallel, and each latency point schedules its
+//! compiled pairs in parallel; output order is fixed.
 
 use epic_bench::{compile, PipelineConfig};
 use epic_machine::Machine;
 use epic_perf::{geomean, weighted_cycles};
 use epic_sched::{schedule_function, SchedOptions};
+use rayon::prelude::*;
 
 fn main() {
     let workloads = epic_workloads::all();
     let cfg = PipelineConfig::default();
     let compiled: Vec<_> = workloads
-        .iter()
+        .par_iter()
         .map(|w| compile(w, &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name)))
         .collect();
 
@@ -25,7 +29,7 @@ fn main() {
         let m = Machine::medium().with_branch_latency(blat);
         let opts = SchedOptions::default();
         let speedups: Vec<f64> = compiled
-            .iter()
+            .par_iter()
             .map(|c| {
                 let bs = schedule_function(&c.baseline, &m, &opts);
                 let os = schedule_function(&c.optimized, &m, &opts);

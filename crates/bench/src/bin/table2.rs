@@ -1,12 +1,36 @@
 //! Regenerates the paper's Table 2: ICBM speedup over the superblock
 //! baseline on the five EPIC processors, per benchmark plus geometric
 //! means.
+//!
+//! Workloads compile and schedule in parallel (`RAYON_NUM_THREADS`
+//! controls the fan-out); `--serial` forces the single-thread reference
+//! path. `--timings out.json` writes per-workload pass timings.
 
-use epic_bench::{render_table2, table2, PipelineConfig};
+use epic_bench::{
+    render_table2, table2_serial, table2_with_timings, take_timings_flag, timings_to_json,
+    PipelineConfig,
+};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let timings_path = take_timings_flag(&mut args);
+    let serial = args.iter().any(|a| a == "--serial");
+
     let workloads = epic_workloads::all();
-    let rows = table2(&workloads, &PipelineConfig::default());
+    let cfg = PipelineConfig::default();
+    let rows = if serial {
+        table2_serial(&workloads, &cfg)
+    } else {
+        let (rows, timings) = table2_with_timings(&workloads, &cfg);
+        if let Some(path) = &timings_path {
+            std::fs::write(path, timings_to_json(&timings)).expect("write timings");
+            eprintln!("pass timings written to {path}");
+        }
+        rows
+    };
+    if serial && timings_path.is_some() {
+        eprintln!("--timings is only recorded on the parallel path; ignoring");
+    }
     println!("Table 2: speedup of control CPR (ICBM) over the superblock baseline");
     println!("(branch latency 1; estimation: schedule length x profile frequency)");
     println!();

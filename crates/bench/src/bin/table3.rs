@@ -1,11 +1,35 @@
 //! Regenerates the paper's Table 3: static and dynamic operation-count
 //! ratios (height-reduced / baseline), total and branches-only.
+//!
+//! Workloads compile in parallel (`RAYON_NUM_THREADS` controls the
+//! fan-out); `--serial` forces the single-thread reference path.
+//! `--timings out.json` writes per-workload pass timings.
 
-use epic_bench::{render_table3, table3, PipelineConfig};
+use epic_bench::{
+    render_table3, table3_serial, table3_with_timings, take_timings_flag, timings_to_json,
+    PipelineConfig,
+};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let timings_path = take_timings_flag(&mut args);
+    let serial = args.iter().any(|a| a == "--serial");
+
     let workloads = epic_workloads::all();
-    let rows = table3(&workloads, &PipelineConfig::default());
+    let cfg = PipelineConfig::default();
+    let rows = if serial {
+        table3_serial(&workloads, &cfg)
+    } else {
+        let (rows, timings) = table3_with_timings(&workloads, &cfg);
+        if let Some(path) = &timings_path {
+            std::fs::write(path, timings_to_json(&timings)).expect("write timings");
+            eprintln!("pass timings written to {path}");
+        }
+        rows
+    };
+    if serial && timings_path.is_some() {
+        eprintln!("--timings is only recorded on the parallel path; ignoring");
+    }
     println!("Table 3: operation-count ratios (height-reduced / baseline)");
     println!();
     print!("{}", render_table3(&rows));

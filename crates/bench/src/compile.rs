@@ -4,12 +4,16 @@
 //! optimized superblock code ... The height-reduced code is the baseline
 //! code to which FRP conversion and the ICBM schema are applied."
 
+use std::time::Instant;
+
 use control_cpr::{apply_icbm, CprConfig, IcbmStats};
 use epic_interp::{diff_test, DiffError, Trap};
 use epic_ir::{Function, Profile};
 use epic_perf::{profile_and_count, OpCounts};
 use epic_regions::{form_superblocks, frp_convert, if_convert, unroll_hot_loops, IfConvertConfig, TraceConfig};
 use epic_workloads::Workload;
+
+use crate::timing::PassTimings;
 
 /// Configuration of the whole pipeline.
 #[derive(Clone, Debug, Default)]
@@ -42,6 +46,8 @@ pub struct Compiled {
     pub opt_counts: OpCounts,
     /// ICBM transformation statistics.
     pub stats: IcbmStats,
+    /// Per-stage wall-clock and op-count observations from this compile.
+    pub timings: PassTimings,
 }
 
 /// Compiles `w` through both pipelines.
@@ -51,29 +57,56 @@ pub struct Compiled {
 /// Propagates interpreter traps from the profiling runs (a trap indicates a
 /// broken workload or a miscompilation and is always a bug).
 pub fn compile(w: &Workload, cfg: &PipelineConfig) -> Result<Compiled, Trap> {
+    let mut timings = PassTimings::new(w.name);
     // Optional if-conversion on the raw CFG, then profile to drive trace
     // selection.
     let mut source = w.func.clone();
     if let Some(ic) = &cfg.if_convert {
+        let n = source.static_op_count();
+        let t0 = Instant::now();
         let (p, _) = profile_and_count(&source, &w.training)?;
+        timings.push("profile:if-convert", t0.elapsed(), n, n);
+        let t0 = Instant::now();
         if_convert(&mut source, &p, ic);
+        timings.push("if-convert", t0.elapsed(), n, source.static_op_count());
     }
+    let n = source.static_op_count();
+    let t0 = Instant::now();
     let (p0, _) = profile_and_count(&source, &w.training)?;
+    timings.push("profile:trace", t0.elapsed(), n, n);
+    let t0 = Instant::now();
     let mut base = form_superblocks(&source, &p0, &cfg.trace);
+    timings.push("superblock", t0.elapsed(), n, base.static_op_count());
     // Unrolling wants fresh frequencies for the merged blocks.
+    let n = base.static_op_count();
+    let t0 = Instant::now();
     let (p1, _) = profile_and_count(&base, &w.training)?;
+    timings.push("profile:unroll", t0.elapsed(), n, n);
+    let t0 = Instant::now();
     unroll_hot_loops(&mut base, &p1, w.unroll, cfg.trace.min_count);
     // Clean the baseline too (fair comparison: the optimized side gets a
     // DCE pass as part of ICBM).
     control_cpr::dce(&mut base);
+    timings.push("unroll", t0.elapsed(), n, base.static_op_count());
+    let n = base.static_op_count();
+    let t0 = Instant::now();
     let (base_profile, base_counts) = profile_and_count(&base, &w.training)?;
+    timings.push("profile:baseline", t0.elapsed(), n, n);
 
     let mut opt = base.clone();
+    let t0 = Instant::now();
     frp_convert(&mut opt);
+    timings.push("frp-convert", t0.elapsed(), n, opt.static_op_count());
     // FRP conversion preserves block and branch ids, so the baseline
     // profile remains valid for the ICBM heuristics.
+    let n = opt.static_op_count();
+    let t0 = Instant::now();
     let stats = apply_icbm(&mut opt, &base_profile, &cfg.cpr);
+    timings.push("icbm", t0.elapsed(), n, opt.static_op_count());
+    let n = opt.static_op_count();
+    let t0 = Instant::now();
     let (opt_profile, opt_counts) = profile_and_count(&opt, &w.training)?;
+    timings.push("profile:optimized", t0.elapsed(), n, n);
 
     Ok(Compiled {
         baseline: base,
@@ -83,6 +116,7 @@ pub fn compile(w: &Workload, cfg: &PipelineConfig) -> Result<Compiled, Trap> {
         base_counts,
         opt_counts,
         stats,
+        timings,
     })
 }
 

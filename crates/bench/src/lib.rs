@@ -13,6 +13,11 @@
 
 pub mod compile;
 pub mod tables;
+pub mod timing;
 
 pub use compile::{check_equivalence, compile, Compiled, PipelineConfig};
-pub use tables::{render_table2, render_table3, table2, table2_row, table2_row_bench, table3, Table2Row, Table3Row};
+pub use tables::{
+    render_table2, render_table3, table2, table2_row, table2_row_bench, table2_serial,
+    table2_with_timings, table3, table3_serial, table3_with_timings, Table2Row, Table3Row,
+};
+pub use timing::{take_timings_flag, timings_to_json, PassTimings, StageTiming};

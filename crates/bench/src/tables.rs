@@ -1,11 +1,22 @@
 //! Regeneration of the paper's Table 2 and Table 3.
+//!
+//! Workload compilations are independent (`compile` takes only `&self`
+//! inputs), so the table drivers fan out over workloads — and `table2_row`
+//! over machine models — with rayon. Results are collected in input order,
+//! keeping parallel output byte-identical to the serial reference paths
+//! (`table2_serial`/`table3_serial`), which the `table_determinism`
+//! integration test asserts.
+
+use std::time::Instant;
 
 use epic_machine::Machine;
 use epic_perf::{geomean, weighted_cycles, CountRatios};
 use epic_sched::{schedule_function, SchedOptions};
 use epic_workloads::{Group, Workload};
+use rayon::prelude::*;
 
 use crate::compile::{compile, Compiled, PipelineConfig};
+use crate::timing::PassTimings;
 
 /// One row of Table 2: per-machine speedups for one benchmark.
 #[derive(Clone, Debug)]
@@ -21,42 +32,85 @@ pub struct Table2Row {
 
 impl Table2Row {
     /// Speedup on machine `i`.
+    ///
+    /// Degenerate cycle counts are handled explicitly rather than silently:
+    /// a weighted estimate of zero cycles means the profile never entered
+    /// the scheduled region. When *both* sides are zero there is no signal
+    /// and the speedup is neutral (`1.0`); when only the optimized side is
+    /// zero it is clamped to one cycle (the same convention the latency
+    /// sweep uses), keeping the ratio finite so geomeans stay well-defined.
     pub fn speedup(&self, i: usize) -> f64 {
         let (_, base, opt) = &self.cycles[i];
-        if *opt == 0 {
-            1.0
-        } else {
-            *base as f64 / *opt as f64
+        match (*base, *opt) {
+            (0, 0) => 1.0,
+            (b, 0) => b as f64,
+            (b, o) => b as f64 / o as f64,
         }
     }
 }
 
-/// Computes Table 2 for the given workloads.
+/// Computes Table 2 for the given workloads, compiling and scheduling them
+/// in parallel. Row order matches `workloads` order exactly.
 pub fn table2(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table2Row> {
+    table2_with_timings(workloads, cfg).0
+}
+
+/// [`table2`] plus the per-workload pass timings (including a `schedule`
+/// stage covering all machine models of the row).
+pub fn table2_with_timings(
+    workloads: &[Workload],
+    cfg: &PipelineConfig,
+) -> (Vec<Table2Row>, Vec<PassTimings>) {
     let machines = Machine::paper_suite();
+    let pairs: Vec<(Table2Row, PassTimings)> = workloads
+        .par_iter()
+        .map(|w| {
+            let mut c = compile(w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let n = c.optimized.static_op_count();
+            let t0 = Instant::now();
+            let row = table2_row(w, &c, &machines);
+            c.timings.push("schedule", t0.elapsed(), n, n);
+            (row, c.timings)
+        })
+        .collect();
+    pairs.into_iter().unzip()
+}
+
+/// The serial reference for [`table2`]: same results, no thread pool. Kept
+/// for the determinism test and for clean single-thread baselines in
+/// `BENCH_pr1.json`.
+pub fn table2_serial(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table2Row> {
+    let machines = Machine::paper_suite();
+    let opts = SchedOptions::default();
     workloads
         .iter()
         .map(|w| {
             let c = compile(w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            table2_row(w, &c, &machines)
+            let cycles = machines
+                .iter()
+                .map(|m| machine_cycles(&c, m, &opts))
+                .collect();
+            Table2Row { name: w.name.to_string(), group: w.group, cycles }
         })
         .collect()
 }
 
-/// Computes one row from an already compiled pair.
+/// Computes one row from an already compiled pair, scheduling the machine
+/// models in parallel (results stay in `machines` order).
 pub fn table2_row(w: &Workload, c: &Compiled, machines: &[Machine]) -> Table2Row {
     let opts = SchedOptions::default();
-    let cycles = machines
-        .iter()
-        .map(|m| {
-            let base_sched = schedule_function(&c.baseline, m, &opts);
-            let opt_sched = schedule_function(&c.optimized, m, &opts);
-            let base = weighted_cycles(&c.baseline, &c.base_profile, &base_sched);
-            let opt = weighted_cycles(&c.optimized, &c.opt_profile, &opt_sched);
-            (m.name().to_string(), base, opt)
-        })
-        .collect();
+    let cycles = machines.par_iter().map(|m| machine_cycles(c, m, &opts)).collect();
     Table2Row { name: w.name.to_string(), group: w.group, cycles }
+}
+
+/// Schedules both sides of a compiled pair on one machine and returns the
+/// profile-weighted cycle estimates.
+fn machine_cycles(c: &Compiled, m: &Machine, opts: &SchedOptions) -> (String, u64, u64) {
+    let base_sched = schedule_function(&c.baseline, m, opts);
+    let opt_sched = schedule_function(&c.optimized, m, opts);
+    let base = weighted_cycles(&c.baseline, &c.base_profile, &base_sched);
+    let opt = weighted_cycles(&c.optimized, &c.opt_profile, &opt_sched);
+    (m.name().to_string(), base, opt)
 }
 
 /// One row of Table 3: operation-count ratios for one benchmark.
@@ -70,8 +124,34 @@ pub struct Table3Row {
     pub ratios: CountRatios,
 }
 
-/// Computes Table 3 for the given workloads.
+/// Computes Table 3 for the given workloads, compiling them in parallel.
+/// Row order matches `workloads` order exactly.
 pub fn table3(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table3Row> {
+    table3_with_timings(workloads, cfg).0
+}
+
+/// [`table3`] plus the per-workload pass timings.
+pub fn table3_with_timings(
+    workloads: &[Workload],
+    cfg: &PipelineConfig,
+) -> (Vec<Table3Row>, Vec<PassTimings>) {
+    let pairs: Vec<(Table3Row, PassTimings)> = workloads
+        .par_iter()
+        .map(|w| {
+            let c = compile(w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let row = Table3Row {
+                name: w.name.to_string(),
+                group: w.group,
+                ratios: CountRatios::of(&c.base_counts, &c.opt_counts),
+            };
+            (row, c.timings)
+        })
+        .collect();
+    pairs.into_iter().unzip()
+}
+
+/// The serial reference for [`table3`] (see [`table2_serial`]).
+pub fn table3_serial(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table3Row> {
     workloads
         .iter()
         .map(|w| {
@@ -160,7 +240,10 @@ pub fn table2_row_bench(w: &Workload) -> Table2Row {
     table2_row(w, &c, &Machine::paper_suite())
 }
 
-fn gmean_groups() -> Vec<(&'static str, fn(Group) -> bool)> {
+/// A predicate selecting rows for one `Gmean` line.
+type GroupFilter = fn(Group) -> bool;
+
+fn gmean_groups() -> Vec<(&'static str, GroupFilter)> {
     vec![
         ("Gmean-spec95", |g| g == Group::Spec95),
         ("Gmean-all", |_| true),
@@ -194,6 +277,33 @@ mod tests {
         let text = render_table2(&[row]);
         assert!(text.contains("strcpy"));
         assert!(text.contains("Gmean-all"));
+    }
+
+    fn row_with_cycles(base: u64, opt: u64) -> Table2Row {
+        Table2Row {
+            name: "synthetic".to_string(),
+            group: Group::Unix,
+            cycles: vec![("m".to_string(), base, opt)],
+        }
+    }
+
+    #[test]
+    fn speedup_is_neutral_when_both_sides_are_zero() {
+        assert_eq!(row_with_cycles(0, 0).speedup(0), 1.0);
+    }
+
+    #[test]
+    fn speedup_clamps_zero_optimized_cycles_to_one() {
+        // base > 0 with opt == 0 would divide by zero; the documented
+        // convention clamps the optimized side to one cycle.
+        assert_eq!(row_with_cycles(42, 0).speedup(0), 42.0);
+    }
+
+    #[test]
+    fn speedup_is_plain_ratio_otherwise() {
+        assert_eq!(row_with_cycles(10, 4).speedup(0), 2.5);
+        // Slowdowns are reported as-is, not clamped to 1.0.
+        assert_eq!(row_with_cycles(4, 10).speedup(0), 0.4);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Per-pass wall-clock and op-count observability.
+//!
+//! Every [`compile`](crate::compile::compile) run records, for each pipeline
+//! stage (if-convert, superblock formation, unrolling, FRP conversion, ICBM,
+//! the profiling runs, and — added by the table drivers — scheduling), how
+//! long the stage took and how the static operation count changed across it.
+//! The result is machine-readable JSON (hand-rolled: the build environment
+//! has no serde), emitted by the bench bins under `--timings out.json` and
+//! snapshotted into `BENCH_pr1.json` so the performance trajectory of the
+//! harness itself is tracked in-repo.
+
+use std::time::Duration;
+
+/// One timed pipeline stage.
+#[derive(Clone, Debug)]
+pub struct StageTiming {
+    /// Stage name (e.g. `"icbm"`, `"profile:baseline"`).
+    pub stage: String,
+    /// Wall-clock time spent in the stage.
+    pub wall: Duration,
+    /// Static operation count entering the stage.
+    pub ops_before: usize,
+    /// Static operation count leaving the stage.
+    pub ops_after: usize,
+}
+
+/// All stage timings for one workload's compilation.
+#[derive(Clone, Debug, Default)]
+pub struct PassTimings {
+    /// The workload the timings belong to.
+    pub workload: String,
+    /// Stages in execution order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl PassTimings {
+    /// An empty timing record for `workload`.
+    pub fn new(workload: impl Into<String>) -> PassTimings {
+        PassTimings { workload: workload.into(), stages: Vec::new() }
+    }
+
+    /// Appends one stage record.
+    pub fn push(
+        &mut self,
+        stage: impl Into<String>,
+        wall: Duration,
+        ops_before: usize,
+        ops_after: usize,
+    ) {
+        self.stages.push(StageTiming { stage: stage.into(), wall, ops_before, ops_after });
+    }
+
+    /// Total wall-clock across all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// This record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"workload\":{},\"total_ms\":{:.3},\"stages\":[",
+            json_string(&self.workload),
+            self.total().as_secs_f64() * 1e3
+        ));
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":{},\"wall_ms\":{:.3},\"ops_before\":{},\"ops_after\":{}}}",
+                json_string(&s.stage),
+                s.wall.as_secs_f64() * 1e3,
+                s.ops_before,
+                s.ops_after
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Renders a set of per-workload timings as a JSON array.
+pub fn timings_to_json(timings: &[PassTimings]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a `--timings <path>` (or `--timings=<path>`) flag out of `args`,
+/// returning the remaining arguments and the requested output path.
+pub fn take_timings_flag(args: &mut Vec<String>) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == "--timings") {
+        if i + 1 < args.len() {
+            let path = args.remove(i + 1);
+            args.remove(i);
+            return Some(path);
+        }
+        args.remove(i);
+        eprintln!("--timings requires a path argument");
+        return None;
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--timings=")) {
+        let a = args.remove(i);
+        return Some(a["--timings=".len()..].to_string());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn timings_render_as_json_array() {
+        let mut t = PassTimings::new("w1");
+        t.push("icbm", Duration::from_micros(1500), 10, 12);
+        let json = timings_to_json(&[t]);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"workload\":\"w1\""));
+        assert!(json.contains("\"stage\":\"icbm\""));
+        assert!(json.contains("\"ops_before\":10"));
+        assert!(json.contains("\"ops_after\":12"));
+        assert!(json.ends_with(']'));
+    }
+
+    #[test]
+    fn total_sums_stage_walls() {
+        let mut t = PassTimings::new("w");
+        t.push("a", Duration::from_millis(2), 0, 0);
+        t.push("b", Duration::from_millis(3), 0, 0);
+        assert_eq!(t.total(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn timings_flag_is_extracted() {
+        let mut args = vec!["bin".to_string(), "--timings".to_string(), "out.json".to_string()];
+        assert_eq!(take_timings_flag(&mut args), Some("out.json".to_string()));
+        assert_eq!(args, vec!["bin".to_string()]);
+        let mut args = vec!["bin".to_string(), "--timings=x.json".to_string()];
+        assert_eq!(take_timings_flag(&mut args), Some("x.json".to_string()));
+        let mut args = vec!["bin".to_string()];
+        assert_eq!(take_timings_flag(&mut args), None);
+    }
+}

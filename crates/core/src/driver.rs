@@ -1,7 +1,7 @@
 //! The ICBM pipeline driver: speculate → match → restructure → off-trace
 //! motion → dead code elimination, per hyperblock (paper §5).
 
-use epic_analysis::GlobalLiveness;
+use epic_analysis::IncrementalLiveness;
 use epic_ir::{BlockId, Function, Profile};
 
 use crate::config::CprConfig;
@@ -63,21 +63,33 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
         })
         .collect();
 
+    // The mem-class map is append-only (cloned ops inherit their source's
+    // class), so the snapshot taken here stays valid for matching every
+    // still-unprocessed hyperblock: restructure/motion only edit the
+    // hyperblock they are applied to.
+    let mem_classes = func.mem_classes().clone();
+    // Liveness is maintained incrementally: restructure and off-trace motion
+    // touch exactly the CPR block and its compensation block, so only those
+    // two summaries are recomputed per mutation instead of re-analyzing the
+    // whole function per CPR block.
+    let mut live = IncrementalLiveness::new(func);
+
     for hb in hyperblocks {
         stats.hyperblocks += 1;
-        let cpr_blocks = match_cpr_blocks(&func.block(hb).ops, profile, cfg, &func.mem_classes().clone());
+        let cpr_blocks = match_cpr_blocks(&func.block(hb).ops, profile, cfg, &mem_classes);
         // Forward order: each block's on-trace FRP becomes the root
         // predicate of the next via the re-wiring step.
         for cpr in &cpr_blocks {
             if !cpr.is_nontrivial() {
                 continue;
             }
-            let live = GlobalLiveness::compute(func);
-            let Some(r) = restructure(func, hb, cpr, &live) else {
+            let Some(r) = restructure(func, hb, cpr, live.live()) else {
                 stats.skipped += 1;
                 continue;
             };
-            if off_trace_motion(func, &r) {
+            live.repair(func, &r.touched_blocks());
+            if off_trace_motion(func, &r, live.live()) {
+                live.repair(func, &r.touched_blocks());
                 stats.cpr_blocks += 1;
                 if r.taken_variation {
                     stats.taken_blocks += 1;

@@ -28,11 +28,15 @@ use crate::restructure::Restructured;
 
 /// Applies off-trace motion for one restructured CPR block.
 ///
+/// `global` must reflect `func` *after* [`restructure`](crate::restructure)
+/// ran for `r` (the driver keeps an [`epic_analysis::IncrementalLiveness`]
+/// cache current instead of recomputing liveness per CPR block).
+///
 /// Returns `false` (leaving the function in its restructured-but-unmoved —
 /// still correct — state) when a legality check fails: a moved operation's
 /// inputs would be clobbered on-trace before the bypass, or memory ordering
 /// between moved and unmoved operations cannot be preserved.
-pub fn off_trace_motion(func: &mut Function, r: &Restructured) -> bool {
+pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLiveness) -> bool {
     let ops: Vec<Op> = func.block(r.block).ops.clone();
     let n = ops.len();
     let pos_of = |id: epic_ir::OpId| ops.iter().position(|o| o.id == id);
@@ -131,7 +135,6 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured) -> bool {
     // Registers live at the on-trace continuations (fall-through successor
     // and targets of unmoved branches): values the on-trace path must still
     // produce.
-    let global = GlobalLiveness::compute(func);
     let mut live_on_trace: HashSet<epic_ir::Reg> = HashSet::new();
     if let Some(ft) = func.fallthrough_of(r.block) {
         if let Some(s) = global.live_in_regs.get(&ft) {
@@ -264,13 +267,13 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured) -> bool {
     let moved: HashSet<usize> = set1.union(&set3).copied().collect();
     let mut comp_ops: Vec<Op> = Vec::new();
     let mut on_trace_copies: Vec<Op> = Vec::new();
-    for i in 0..n {
+    for (i, op) in ops.iter().enumerate() {
         if !moved.contains(&i) {
             continue;
         }
-        comp_ops.push(ops[i].clone());
+        comp_ops.push(op.clone());
         if set2.contains(&i) {
-            let mut copy = func.clone_op(&ops[i]);
+            let mut copy = func.clone_op(op);
             if let Some(g) = copy.guard {
                 if r.internal_preds.contains(&g) {
                     copy.guard = Some(r.on_frp);
@@ -290,11 +293,11 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured) -> bool {
         }
         let is_bypass = op.id == r.bypass;
         if is_bypass && r.taken_variation {
-            new_ops.extend(on_trace_copies.drain(..));
+            new_ops.append(&mut on_trace_copies);
         }
         new_ops.push(op);
         if is_bypass && !r.taken_variation {
-            new_ops.extend(on_trace_copies.drain(..));
+            new_ops.append(&mut on_trace_copies);
         }
     }
     func.block_mut(r.block).ops = new_ops;
@@ -365,7 +368,8 @@ mod tests {
         let blocks = match_cpr_blocks(&f.block(sb).ops, &Profile::new(), &cfg, f.mem_classes());
         let live = GlobalLiveness::compute(f);
         let r = restructure(f, sb, &blocks[0], &live).expect("restructures");
-        assert!(off_trace_motion(f, &r), "motion must succeed");
+        let live = GlobalLiveness::compute(f);
+        assert!(off_trace_motion(f, &r, &live), "motion must succeed");
         r
     }
 

@@ -64,6 +64,17 @@ pub struct Restructured {
     pub taken_variation: bool,
 }
 
+impl Restructured {
+    /// The blocks whose ops restructure (and the subsequent off-trace
+    /// motion) edit: exactly the transformed hyperblock and its compensation
+    /// block. This is the invalidation set an
+    /// [`epic_analysis::IncrementalLiveness`] cache must repair after each
+    /// phase.
+    pub fn touched_blocks(&self) -> [BlockId; 2] {
+        [self.block, self.comp]
+    }
+}
+
 /// Applies the restructure step to one CPR block of `block`.
 ///
 /// Returns `None` (leaving the function unchanged) when the block is
@@ -258,12 +269,8 @@ pub fn restructure(
     {
         let ops = &mut func.block_mut(block).ops;
         // Insert from the bottom up so positions stay valid.
-        if !bypass_ops.is_empty() {
-            let mut at = last_branch + 1;
-            for op in bypass_ops {
-                ops.insert(at, op);
-                at += 1;
-            }
+        for (k, op) in bypass_ops.into_iter().enumerate() {
+            ops.insert(last_branch + 1 + k, op);
         }
         for (after, op) in lookaheads.into_iter().rev() {
             ops.insert(after + 1, op);

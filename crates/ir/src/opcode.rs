@@ -135,7 +135,7 @@ impl PredAction {
             PredActionKind::Or => (guard && eff).then_some(true),
             // Wired-and writes false only when the guard is true and the
             // effective result is false.
-            PredActionKind::And => (guard && !eff).then(|| false),
+            PredActionKind::And => (guard && !eff).then_some(false),
         }
     }
 

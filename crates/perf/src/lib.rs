@@ -123,11 +123,20 @@ impl CountRatios {
 }
 
 /// Geometric mean of a sequence of positive ratios (used for the
-/// `Gmean` rows of both tables). Returns 1.0 for an empty sequence.
+/// `Gmean` rows of both tables).
+///
+/// Degenerate inputs are handled explicitly rather than leaking through the
+/// log-sum: non-finite and non-positive values (a zero-cycle estimate
+/// produces a `0.0` or `inf` ratio upstream) carry no signal and are
+/// skipped. An empty sequence — or one where every value was skipped —
+/// yields the neutral ratio `1.0`.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0f64;
     let mut n = 0usize;
     for v in values {
+        if !v.is_finite() || v <= 0.0 {
+            continue;
+        }
         log_sum += v.ln();
         n += 1;
     }
@@ -231,6 +240,17 @@ mod tests {
         assert_eq!(geomean([]), 1.0);
         assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_skips_degenerate_values() {
+        // Zero-cycle ratios (0.0, inf) and NaN carry no signal: skipped.
+        assert!((geomean([2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([2.0, f64::INFINITY, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([2.0, f64::NAN, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([4.0, -1.0]) - 4.0).abs() < 1e-12);
+        // All values degenerate → neutral, never NaN.
+        assert_eq!(geomean([0.0, f64::NAN]), 1.0);
     }
 }
 

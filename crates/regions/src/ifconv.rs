@@ -47,10 +47,7 @@ impl Default for IfConvertConfig {
 /// branches eliminated.
 pub fn if_convert(func: &mut Function, profile: &Profile, cfg: &IfConvertConfig) -> usize {
     let mut converted = 0;
-    loop {
-        let Some((block, branch_pos, side)) = find_candidate(func, profile, cfg) else {
-            break;
-        };
+    while let Some((block, branch_pos, side)) = find_candidate(func, profile, cfg) {
         apply(func, block, branch_pos, side);
         converted += 1;
     }

@@ -362,7 +362,7 @@ pub fn grep() -> Workload {
     let mut rng = data::rng(107);
     // Byte 7 appears rarely (~1% of the stream).
     let text = data::biased_stream(&mut rng, 3200, 1, 60, 40);
-    let dense: Vec<i64> = std::iter::repeat([7i64, 8, 9]).take(40).flatten().chain([0]).collect();
+    let dense: Vec<i64> = std::iter::repeat_n([7i64, 8, 9], 40).flatten().chain([0]).collect();
     Workload {
         name: "grep",
         group: Group::Unix,

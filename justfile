@@ -1,0 +1,16 @@
+# Project task runner. `just --list` shows recipes.
+
+# Full pre-merge gate: release build, tests, clippy clean.
+bench-check:
+    cargo build --release
+    cargo test -q
+    cargo clippy --all-targets -- -D warnings
+
+# Regenerate the committed serial-vs-parallel timing snapshot.
+bench-snapshot:
+    cargo run --release -p epic-bench --bin bench_snapshot
+
+# Regenerate the paper tables.
+tables:
+    cargo run --release -p epic-bench --bin table2
+    cargo run --release -p epic-bench --bin table3

@@ -1,0 +1,182 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors the slice of criterion's API its benches use: `bench_function`
+//! with `iter`/`iter_batched`, `sample_size`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is plain
+//! wall-clock sampling (median + min over `sample_size` samples) with no
+//! statistical machinery — enough for the coarse pass-throughput numbers
+//! the repository tracks, with zero dependencies.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; the shim treats every variant
+/// as one-setup-per-routine-call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is cheap to set up.
+    SmallInput,
+    /// Routine input is large; same behavior in the shim.
+    LargeInput,
+    /// Setup runs once per sample; same behavior in the shim.
+    PerIteration,
+}
+
+/// Benchmark driver: collects named measurements and prints a summary line
+/// per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` (which drives a [`Bencher`]) and prints the result.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size), target: self.sample_size };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let min = sorted.first().copied().unwrap_or_default();
+        println!("{id:<40} median {median:>12?}   min {min:>12?}   ({} samples)", sorted.len());
+        self
+    }
+
+    /// Upstream-compatibility no-op: the shim has no config files to load.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs final reporting; the shim prints per-benchmark, so this is a
+    /// no-op kept for `criterion_main!` compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Per-benchmark timing harness handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        // One warmup call outside the timed region.
+        std::hint::black_box(routine());
+        for _ in 0..self.target {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.target {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Prevents the optimizer from eliding a value, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group: a generated function running each target
+/// against the given config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_requested_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut calls = 0usize;
+        c.bench_function("shim/iter", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        // 1 warmup + 5 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0usize;
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!(setups, 5);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

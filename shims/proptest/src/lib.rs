@@ -1,0 +1,227 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors the slice of proptest's API its property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_recursive` / `boxed`, [`strategy::Just`], weighted
+//! [`prop_oneof!`], [`collection::vec`], [`arbitrary::any`], integer-range
+//! strategies, and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its assertion message and the
+//!   case number; rerunning is deterministic (fixed seed, overridable with
+//!   `PROPTEST_SEED`), so failures reproduce exactly.
+//! * **Value streams differ** from upstream proptest; only determinism per
+//!   seed is promised.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The ready-to-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a test that samples the strategies [`ProptestConfig::cases`]
+/// times and runs the body; `prop_assert*` failures abort with the case
+/// number and message.
+///
+/// [`ProptestConfig::cases`]: crate::test_runner::ProptestConfig
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ( $( $strat, )+ );
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let outcome = runner.run(&strategy, |( $( $arg, )+ )| {
+                    $body
+                    Ok(())
+                });
+                if let Err(message) = outcome {
+                    panic!("{}", message);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case
+/// (with an optional formatted message) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test; both sides must be `Debug`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (it does not count toward the case budget) when
+/// the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Chooses among several strategies, optionally weighted
+/// (`weight => strategy`). All arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($( $weight:literal => $strat:expr ),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($( $strat:expr ),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i64..6, y in 0u8..4, z in 1usize..=9) {
+            prop_assert!((-5..6).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((1..=9).contains(&z));
+        }
+
+        #[test]
+        fn vec_lengths_obey_size_range(v in prop::collection::vec(0i64..10, 2..8)) {
+            prop_assert!((2..8).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&e| (0..10).contains(&e)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![3 => (0u8..4).prop_map(|k| k as i64), 1 => Just(-1i64)]) {
+            prop_assert!(v == -1 || (0..4).contains(&v));
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(
+            t in (0u8..8).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            })
+        ) {
+            prop_assert!(depth(&t) <= 5, "depth {}", depth(&t));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failures_carry_the_message() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+        let err = runner
+            .run(&(0i64..10,), |(x,)| {
+                prop_assert!(x < 0, "x was {}", x);
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.contains("x was"), "{err}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        fn collect_values() -> Vec<i64> {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+            runner
+                .run(&(0i64..1000,), |(x,)| {
+                    out.push(x);
+                    Ok(())
+                })
+                .unwrap();
+            out
+        }
+        assert_eq!(collect_values(), collect_values());
+    }
+}

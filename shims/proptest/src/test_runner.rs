@@ -1,0 +1,142 @@
+//! Deterministic test runner: samples a strategy `cases` times and reports
+//! the first failure. No shrinking — the fixed seed makes every failure
+//! exactly reproducible instead.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; the shim trims that so the pipeline
+        // property tests (which interpret whole programs per case) keep
+        // `cargo test` quick. Tests needing more set it explicitly.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion: the whole test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`: it is retried with fresh
+    /// inputs and does not count toward the case budget.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejected (skipped) case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// The per-case result type the `proptest!` closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic random source strategies sample from (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % bound
+    }
+}
+
+/// Samples a strategy repeatedly and applies the test closure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a fixed seed (override with `PROPTEST_SEED`).
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0x5EED_1CB0_0000_0001);
+        TestRunner { config, rng: TestRng::from_seed(seed) }
+    }
+
+    /// Runs `test` on `config.cases` accepted samples of `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing case's message (prefixed with the case
+    /// number). Rejections are retried with fresh inputs, up to a bounded
+    /// number of attempts; running out of attempts passes with however many
+    /// cases were accepted, mirroring upstream's tolerance of sparse
+    /// assumptions without hanging the suite.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut accepted: u32 = 0;
+        let max_attempts: u64 = u64::from(self.config.cases) * 20 + 100;
+        let mut attempts: u64 = 0;
+        while accepted < self.config.cases && attempts < max_attempts {
+            attempts += 1;
+            let value = strategy.sample(&mut self.rng);
+            match test(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "proptest case #{} (of {}) failed:\n{}",
+                        accepted + 1,
+                        self.config.cases,
+                        message
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors the small slice of `rand` it actually uses: a seedable
+//! deterministic RNG ([`rngs::StdRng`]) and [`Rng::gen_range`] over integer
+//! ranges. The generator is SplitMix64 — statistically fine for synthetic
+//! benchmark data, stable across platforms, and dependency-free. It does
+//! **not** reproduce upstream `rand`'s exact streams; workload data is
+//! deterministic per seed, which is all the suite relies on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+/// Integer types uniformly samplable over a range (the shim's analogue of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Widens to `i128` (every supported integer fits).
+    fn to_i128(self) -> i128;
+    /// Narrows back from `i128`; the value is always in the type's range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// A range that can be sampled uniformly. The single blanket impl per range
+/// shape keeps type inference identical to upstream `rand`: the element
+/// type unifies with the call site's expected result type.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        let off = (rng.next_u64() as u128) % ((hi - lo) as u128);
+        T::from_i128(lo + off as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "empty range");
+        let off = (rng.next_u64() as u128) % ((hi - lo) as u128 + 1);
+        T::from_i128(lo + off as i128)
+    }
+}
+
+/// Named RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): full-period, passes BigCrush.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<i64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..64).map(|_| r.gen_range(-5i64..100)).collect()
+        };
+        let b: Vec<i64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..64).map(|_| r.gen_range(-5i64..100)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (-5..100).contains(&x)));
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..256 {
+            let v = r.gen_range(1i64..=3);
+            seen[(v - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

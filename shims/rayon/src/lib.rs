@@ -1,0 +1,248 @@
+//! Offline drop-in subset of the `rayon` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors the slice of rayon's API the benchmark harness uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` (plus `for_each` and
+//! indexed `map_with_index`). The implementation distributes indices over
+//! `std::thread::scope` workers through an atomic cursor (self-balancing for
+//! uneven item costs) and **always returns results in input order**, which
+//! is what keeps the parallel tables byte-identical to the serial ones.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (0 or unset ⇒ all available
+//! cores), matching upstream rayon's environment variable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads a parallel iterator will use.
+///
+/// `RAYON_NUM_THREADS` overrides the detected core count; values of 0 (or
+/// unparsable values) fall back to `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// returning results in input order. Panics in `f` propagate to the caller.
+fn ordered_parallel_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'a T) -> R + Sync,
+{
+    ordered_parallel_map_with(items, current_num_threads(), f)
+}
+
+fn ordered_parallel_map_with<'a, T, R, F>(items: &'a [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'a T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(i, &items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("parallel worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every index produced")).collect()
+}
+
+/// Conversion of a borrowed collection into a parallel iterator
+/// (`.par_iter()`), mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type yielded by reference.
+    type Item: Sync + 'a;
+    /// Creates an ordered parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// An ordered parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Maps each `(index, element)` pair through `f` in parallel. Not part
+    /// of upstream rayon's surface (which spells it `enumerate().map()`);
+    /// provided directly to keep the shim small.
+    pub fn map_with_index<R, F>(self, f: F) -> ParMapIndexed<'a, T, F>
+    where
+        R: Send,
+        F: Fn(usize, &'a T) -> R + Sync,
+    {
+        ParMapIndexed { items: self.items, f }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        ordered_parallel_map(self.items, |_, t| f(t));
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal operations execute it.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Executes the parallel map, collecting results in input order.
+    pub fn collect<C: FromOrderedResults<R>>(self) -> C {
+        C::from_ordered(ordered_parallel_map(self.items, |_, t| (self.f)(t)))
+    }
+}
+
+/// The result of [`ParIter::map_with_index`].
+pub struct ParMapIndexed<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMapIndexed<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'a T) -> R + Sync,
+{
+    /// Executes the parallel map, collecting results in input order.
+    pub fn collect<C: FromOrderedResults<R>>(self) -> C {
+        C::from_ordered(ordered_parallel_map(self.items, &self.f))
+    }
+}
+
+/// Collections buildable from an ordered result vector (the shim's analogue
+/// of rayon's `FromParallelIterator`).
+pub trait FromOrderedResults<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromOrderedResults<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Vec<R> {
+        results
+    }
+}
+
+/// The traits needed to call `.par_iter().map().collect()`, mirroring
+/// `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromOrderedResults, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multithreaded_map_preserves_input_order() {
+        // Force real worker threads regardless of the host's core count.
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys = super::ordered_parallel_map_with(&xs, 8, |_, &x| x * 2);
+        assert_eq!(ys, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let xs: Vec<u64> = (0..64).collect();
+        let ys = super::ordered_parallel_map_with(&xs, 4, |_, &x| {
+            // Make early items much more expensive than late ones.
+            let spins = if x < 4 { 100_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            let _ = acc;
+            x
+        });
+        assert_eq!(ys, xs);
+    }
+
+    #[test]
+    fn indexed_map_sees_input_positions() {
+        let xs = vec!["a", "b", "c"];
+        let ys: Vec<String> = xs.par_iter().map_with_index(|i, s| format!("{i}{s}")).collect();
+        assert_eq!(ys, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panics_propagate() {
+        let xs = vec![1, 2, 3];
+        let _ = super::ordered_parallel_map_with(&xs, 3, |_, &x: &i32| {
+            if x == 2 {
+                panic!("boom")
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

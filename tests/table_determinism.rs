@@ -1,0 +1,50 @@
+//! The parallel table drivers must be bit-for-bit deterministic: same row
+//! order and same cycle counts as the serial reference path, regardless of
+//! thread count or scheduling interleavings.
+
+use epic_bench::{
+    render_table2, render_table3, table2, table2_serial, table3, table3_serial, PipelineConfig,
+};
+use epic_workloads::Workload;
+
+/// A representative subset (branchy utilities + SPEC entries) keeps the
+/// double compilation affordable in debug builds; `bench_snapshot` performs
+/// the same cross-check over the full suite on every snapshot run.
+fn subset() -> Vec<Workload> {
+    ["strcpy", "cmp", "wc", "grep", "023.eqntott", "126.gcc"]
+        .iter()
+        .map(|n| epic_workloads::by_name(n).expect("known workload"))
+        .collect()
+}
+
+#[test]
+fn parallel_table2_matches_serial_reference() {
+    let workloads = subset();
+    let cfg = PipelineConfig::default();
+    let serial = table2_serial(&workloads, &cfg);
+    let parallel = table2(&workloads, &cfg);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "row order must match input order");
+        assert_eq!(s.group, p.group);
+        assert_eq!(s.cycles, p.cycles, "{}: cycle counts must match", s.name);
+    }
+    // Byte-identical rendered output, geomean rows included.
+    assert_eq!(render_table2(&serial), render_table2(&parallel));
+}
+
+#[test]
+fn parallel_table3_matches_serial_reference() {
+    let workloads = subset();
+    let cfg = PipelineConfig::default();
+    let serial = table3_serial(&workloads, &cfg);
+    let parallel = table3(&workloads, &cfg);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "row order must match input order");
+        assert_eq!(s.ratios, p.ratios, "{}: ratios must match", s.name);
+    }
+    assert_eq!(render_table3(&serial), render_table3(&parallel));
+}
