@@ -43,7 +43,7 @@ impl GlobalLiveness {
     pub fn compute(func: &Function) -> GlobalLiveness {
         let summaries: HashMap<BlockId, BlockSummary> = func
             .blocks_in_layout()
-            .map(|block| (block.id, BlockSummary::of(block)))
+            .map(|block| (block.id, BlockSummary::of(block, func.live_outs())))
             .collect();
         solve(func, &summaries)
     }
@@ -59,6 +59,22 @@ struct BlockSummary {
     kill_regs: HashSet<Reg>,
     gen_preds: HashSet<PredReg>,
     kill_preds: HashSet<PredReg>,
+    /// One entry per branch in the block, in program order. Mid-block exits
+    /// must be modeled separately from the fallthrough: a value live at a
+    /// branch target flows to block entry unless it is defined *before the
+    /// branch*, so the whole-block kill sets (which include definitions
+    /// after the branch) must not filter it.
+    exits: Vec<ExitSummary>,
+}
+
+/// What a single branch exit blocks from flowing through to block entry:
+/// everything whose accumulated definition condition at the branch covers
+/// the branch's taken condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ExitSummary {
+    target: BlockId,
+    blocked_regs: HashSet<Reg>,
+    blocked_preds: HashSet<PredReg>,
 }
 
 impl BlockSummary {
@@ -68,7 +84,11 @@ impl BlockSummary {
     /// when the accumulated definition condition is provably `true`. Without
     /// this, FRP-converted code (where *every* definition is guarded) would
     /// never kill anything and liveness would defeat predicate speculation.
-    fn of(block: &Block) -> BlockSummary {
+    ///
+    /// `live_outs` are the function's designated live-out registers: every
+    /// `ret` reads them (the caller observes their values), so they are
+    /// upward-exposed at each return.
+    fn of(block: &Block, live_outs: &[Reg]) -> BlockSummary {
         let mut facts = crate::pred_facts::PredFacts::compute(&block.ops);
         let mut gr = HashSet::new();
         let mut kr = HashSet::new();
@@ -76,8 +96,37 @@ impl BlockSummary {
         let mut kp = HashSet::new();
         let mut def_cond_r: HashMap<Reg, Bdd> = HashMap::new();
         let mut def_cond_p: HashMap<PredReg, Bdd> = HashMap::new();
+        let mut exits = Vec::new();
         for (i, op) in block.ops.iter().enumerate() {
             let g = facts.guard(i);
+            if op.opcode == Opcode::Branch {
+                if let Some(target) = op.branch_target() {
+                    // A register reaches this exit's target unless its
+                    // definition condition so far covers the branch's taken
+                    // condition. (`g` may over-state takenness — it ignores
+                    // earlier exits — which only shrinks the blocked sets:
+                    // conservative for may-liveness.)
+                    let blocked_regs = def_cond_r
+                        .iter()
+                        .filter(|(_, d)| facts.manager().implies(g, **d))
+                        .map(|(r, _)| *r)
+                        .collect();
+                    let blocked_preds = def_cond_p
+                        .iter()
+                        .filter(|(_, d)| facts.manager().implies(g, **d))
+                        .map(|(p, _)| *p)
+                        .collect();
+                    exits.push(ExitSummary { target, blocked_regs, blocked_preds });
+                }
+            }
+            if op.opcode == Opcode::Ret {
+                for &r in live_outs {
+                    let d = def_cond_r.get(&r).copied().unwrap_or(Bdd::FALSE);
+                    if !facts.manager().implies(g, d) {
+                        gr.insert(r);
+                    }
+                }
+            }
             for r in op.uses_regs() {
                 let d = def_cond_r.get(&r).copied().unwrap_or(Bdd::FALSE);
                 if !facts.manager().implies(g, d) {
@@ -120,7 +169,7 @@ impl BlockSummary {
                 kp.insert(p);
             }
         }
-        BlockSummary { gen_regs: gr, kill_regs: kr, gen_preds: gp, kill_preds: kp }
+        BlockSummary { gen_regs: gr, kill_regs: kr, gen_preds: gp, kill_preds: kp, exits }
     }
 }
 
@@ -151,17 +200,33 @@ fn solve(func: &Function, summaries: &HashMap<BlockId, BlockSummary>) -> GlobalL
                 out_r.extend(live_in_regs[&s].iter().copied());
                 out_p.extend(live_in_preds[&s].iter().copied());
             }
-            let mut in_r: HashSet<Reg> = out_r
-                .iter()
-                .filter(|r| !summary.kill_regs.contains(r))
-                .copied()
-                .collect();
+            // Entry liveness is assembled per exit: each branch routes its
+            // target's live-ins through that branch's own blocked sets, and
+            // only the fallthrough edge is filtered by the whole-block kill
+            // sets. Filtering everything through the block kills would
+            // wrongly drop a value that a mid-block exit needs but a later
+            // definition overwrites.
+            let mut in_r: HashSet<Reg> = HashSet::new();
+            let mut in_p: HashSet<PredReg> = HashSet::new();
+            if !func.block(b).ends_with_unconditional_exit() {
+                if let Some(ft) = func.fallthrough_of(b) {
+                    in_r.extend(
+                        live_in_regs[&ft].iter().filter(|r| !summary.kill_regs.contains(r)),
+                    );
+                    in_p.extend(
+                        live_in_preds[&ft].iter().filter(|p| !summary.kill_preds.contains(p)),
+                    );
+                }
+            }
+            for e in &summary.exits {
+                if let Some(t_r) = live_in_regs.get(&e.target) {
+                    in_r.extend(t_r.iter().filter(|r| !e.blocked_regs.contains(r)));
+                }
+                if let Some(t_p) = live_in_preds.get(&e.target) {
+                    in_p.extend(t_p.iter().filter(|p| !e.blocked_preds.contains(p)));
+                }
+            }
             in_r.extend(summary.gen_regs.iter().copied());
-            let mut in_p: HashSet<PredReg> = out_p
-                .iter()
-                .filter(|p| !summary.kill_preds.contains(p))
-                .copied()
-                .collect();
             in_p.extend(summary.gen_preds.iter().copied());
             if in_r != live_in_regs[&b]
                 || out_r != live_out_regs[&b]
@@ -202,7 +267,7 @@ impl IncrementalLiveness {
     pub fn new(func: &Function) -> IncrementalLiveness {
         let summaries: HashMap<BlockId, BlockSummary> = func
             .blocks_in_layout()
-            .map(|block| (block.id, BlockSummary::of(block)))
+            .map(|block| (block.id, BlockSummary::of(block, func.live_outs())))
             .collect();
         let live = solve(func, &summaries);
         IncrementalLiveness { summaries, live }
@@ -224,11 +289,13 @@ impl IncrementalLiveness {
         self.summaries.retain(|b, _| in_layout.contains(b));
         for &b in touched {
             if in_layout.contains(&b) {
-                self.summaries.insert(b, BlockSummary::of(func.block(b)));
+                self.summaries.insert(b, BlockSummary::of(func.block(b), func.live_outs()));
             }
         }
         for block in func.blocks_in_layout() {
-            self.summaries.entry(block.id).or_insert_with(|| BlockSummary::of(block));
+            self.summaries
+                .entry(block.id)
+                .or_insert_with(|| BlockSummary::of(block, func.live_outs()));
         }
         self.live = solve(func, &self.summaries);
     }
@@ -368,6 +435,30 @@ mod tests {
         let live = GlobalLiveness::compute(&f);
         assert!(!live.live_in_regs[&b0].contains(&x));
         assert!(live.live_out_regs[&b0].contains(&x));
+    }
+
+    #[test]
+    fn live_outs_are_live_at_ret() {
+        let mut b = FunctionBuilder::new("lo");
+        let b0 = b.block("b0");
+        let b1 = b.block("b1");
+        b.switch_to(b0);
+        let x = b.movi(5);
+        b.jump(b1);
+        b.switch_to(b1);
+        b.ret();
+        let mut f = b.finish();
+        // Without designation, x is dead past its definition.
+        let live = GlobalLiveness::compute(&f);
+        assert!(!live.live_in_regs[&b1].contains(&x));
+        // Designating x live-out makes it live through to the ret.
+        f.mark_live_out(x);
+        let live = GlobalLiveness::compute(&f);
+        assert!(live.live_in_regs[&b1].contains(&x));
+        assert!(live.live_out_regs[&b0].contains(&x));
+        // Incremental liveness agrees.
+        let inc = IncrementalLiveness::new(&f);
+        assert_eq!(inc.live(), &live);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub fn dce(func: &mut Function) -> usize {
 
 fn dce_pass(func: &mut Function) -> usize {
     let live = epic_analysis::GlobalLiveness::compute(func);
+    let live_outs: Vec<Reg> = func.live_outs().to_vec();
     let mut removed = 0;
     let blocks: Vec<BlockId> = func.layout.clone();
     for b in blocks {
@@ -35,6 +36,23 @@ fn dce_pass(func: &mut Function) -> usize {
         let ops = &mut func.block_mut(b).ops;
         let mut keep: Vec<bool> = vec![true; ops.len()];
         for (i, op) in ops.iter_mut().enumerate().rev() {
+            // A `ret` hands the live-out registers to the caller.
+            if op.opcode == Opcode::Ret {
+                live_regs.extend(live_outs.iter().copied());
+            }
+            // A mid-block exit makes its target's live-ins live here —
+            // seeding only from block live-out would let a later
+            // (post-branch) redefinition hide values the taken edge needs.
+            if op.opcode == Opcode::Branch {
+                if let Some(t) = op.branch_target() {
+                    if let Some(s) = live.live_in_regs.get(&t) {
+                        live_regs.extend(s.iter().copied());
+                    }
+                    if let Some(s) = live.live_in_preds.get(&t) {
+                        live_preds.extend(s.iter().copied());
+                    }
+                }
+            }
             let has_live_dest = op.dests.iter().any(|d| match d {
                 Dest::Reg(r) => live_regs.contains(r),
                 Dest::Pred(p, _) => live_preds.contains(p),

@@ -83,6 +83,11 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
             if !cpr.is_nontrivial() {
                 continue;
             }
+            // Motion can still refuse after a successful restructure (its
+            // legality checks see the moved-set closure, which restructure
+            // cannot predict); snapshot the hyperblock so a refusal leaves
+            // no lookahead/bypass overhead behind.
+            let saved_ops = func.block(hb).ops.clone();
             let Some(r) = restructure(func, hb, cpr, live.live()) else {
                 stats.skipped += 1;
                 continue;
@@ -96,8 +101,11 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
                 }
                 stats.branches_collapsed += cpr.branches.len();
             } else {
-                // Restructure already happened; the code is still correct
-                // (the bypass is merely redundant), but count it skipped.
+                // Roll the restructure back: restore the hyperblock and
+                // detach the compensation block from the layout.
+                func.block_mut(hb).ops = saved_ops;
+                func.layout.retain(|&b| b != r.comp);
+                live.repair(func, &[hb]);
                 stats.skipped += 1;
             }
         }

@@ -98,6 +98,65 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
         }
         return false;
     }
+    // Only the matched branches may leave the on-trace path: the bypass
+    // FRP is exactly the disjunction of *their* taken conditions. A branch
+    // pulled into the closure through a guard dependence (its guard flows
+    // from a moved compare) is not covered by the bypass, so moving it
+    // would lose an on-trace exit.
+    let branch_positions: Vec<usize> =
+        r.moved_branches.iter().filter_map(|&id| pos_of(id)).collect();
+    for &i in &set1 {
+        if ops[i].is_branch() && !branch_positions.contains(&i) {
+            if std::env::var("MATCH_DEBUG").is_ok() {
+                eprintln!("MOTION-FAIL: unmatched branch [{}] in set1", ops[i]);
+            }
+            return false;
+        }
+    }
+    // Moving the matched branches off-trace makes every *unmoved* op
+    // between them execute on-trace even when a branch above it would
+    // have been taken — implicit speculation. That is only legal when the
+    // op's effects are invisible on the off-trace path: it must not store,
+    // and must not define a register or predicate that is live where a
+    // moved branch resumes (or a designated live-out), unless its guard is
+    // provably disjoint from every earlier moved branch's taken condition
+    // (fall-through FRPs are: that is the FRP-converted common case).
+    let mut off_trace_live_regs: HashSet<epic_ir::Reg> =
+        func.live_outs().iter().copied().collect();
+    let mut off_trace_live_preds: HashSet<PredReg> = HashSet::new();
+    for &bp in &branch_positions {
+        if let Some(t) = ops[bp].branch_target() {
+            if let Some(s) = global.live_in_regs.get(&t) {
+                off_trace_live_regs.extend(s.iter().copied());
+            }
+            if let Some(s) = global.live_in_preds.get(&t) {
+                off_trace_live_preds.extend(s.iter().copied());
+            }
+        }
+    }
+    for (j, op) in ops.iter().enumerate().take(bypass_pos) {
+        if set1.contains(&j) {
+            continue;
+        }
+        let observable = op.opcode == Opcode::Store
+            || op.defs_regs().any(|d| off_trace_live_regs.contains(&d))
+            || op.dests.iter().any(|d| match d {
+                epic_ir::Dest::Pred(p, _) => off_trace_live_preds.contains(p),
+                epic_ir::Dest::Reg(_) => false,
+            });
+        if !observable {
+            continue;
+        }
+        let speculative = branch_positions
+            .iter()
+            .any(|&bp| bp < j && !facts.guards_disjoint(bp, j));
+        if speculative {
+            if std::env::var("MATCH_DEBUG").is_ok() {
+                eprintln!("MOTION-FAIL: [{}] becomes speculative on-trace", ops[j]);
+            }
+            return false;
+        }
+    }
 
     // --- legality: anti/output hazards between moved and unmoved ops ---
     for e in graph.edges() {
@@ -124,18 +183,31 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
         }
     }
 
-    // Taken predicates (branch guards): defs guarded by these never execute
-    // on-trace, so they move without splitting.
-    let taken_preds: HashSet<PredReg> = r
-        .moved_branches
-        .iter()
-        .filter_map(|&id| pos_of(id).and_then(|p| ops[p].guard))
-        .collect();
+    // An operation's effects are needed on-trace only if its guard can be
+    // true on the on-trace path. The bypass guard encodes that path
+    // exactly: in the taken variation it *is* the on-trace condition (the
+    // re-guarded final branch takes), so the op must not be disjoint from
+    // it; in the fall-through variation it is the off-trace condition, so
+    // a guard implying it (e.g. a taken predicate) never fires on-trace.
+    // Deciding this on the BDD facts rather than per-predicate matters for
+    // the taken variation, where the final branch's *fall-through*
+    // predicate is an off-trace-only guard even though its branch moved
+    // nowhere.
+    let executes_on_trace = |facts: &mut PredFacts, i: usize| -> bool {
+        if r.taken_variation {
+            !facts.guards_disjoint(i, bypass_pos)
+        } else {
+            !facts.guard_implies(i, bypass_pos)
+        }
+    };
 
     // Registers live at the on-trace continuations (fall-through successor
     // and targets of unmoved branches): values the on-trace path must still
     // produce.
     let mut live_on_trace: HashSet<epic_ir::Reg> = HashSet::new();
+    // Designated live-out registers are observed by every `ret`, on-trace
+    // rets included; treat them as live at every continuation.
+    live_on_trace.extend(func.live_outs().iter().copied());
     if let Some(ft) = func.fallthrough_of(r.block) {
         if let Some(s) = global.live_in_regs.get(&ft) {
             live_on_trace.extend(s.iter().copied());
@@ -162,12 +234,6 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
     }
 
     // set 2: moved ops whose effects are also needed on-trace.
-    let executes_on_trace = |op: &Op| -> bool {
-        match op.guard {
-            None => true,
-            Some(g) => !taken_preds.contains(&g),
-        }
-    };
     // The CPR block's own compares are replaced on-trace by the lookahead
     // compares and are never split; *other* moved compares (e.g.
     // if-conversion compares of a hyperblock) are ordinary producers and
@@ -180,7 +246,7 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
         if op.is_branch() || own_compares.contains(&i) {
             continue;
         }
-        if !executes_on_trace(op) {
+        if !executes_on_trace(&mut facts, i) {
             continue;
         }
         if op.opcode == Opcode::Store {
@@ -210,7 +276,7 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
             if op.is_branch() || own_compares.contains(&i) {
                 continue;
             }
-            if !executes_on_trace(op) {
+            if !executes_on_trace(&mut facts, i) {
                 continue;
             }
             let feeds_split = graph

@@ -106,8 +106,10 @@ pub fn restructure(
     // Predicates computed by the original compares.
     let mut original_preds: HashSet<PredReg> = HashSet::new();
     let mut internal_preds: HashSet<PredReg> = HashSet::new();
+    let mut taken_guards: HashSet<PredReg> = HashSet::new();
     for (&c, &br) in cmpp_pos.iter().zip(&branch_pos) {
         let taken_guard = ops[br].guard.expect("conditional branch");
+        taken_guards.insert(taken_guard);
         for d in &ops[c].dests {
             if let Dest::Pred(p, _) = *d {
                 original_preds.insert(p);
@@ -195,10 +197,20 @@ pub fn restructure(
     // 2. Lookahead compares: one per original compare.
     let n = cmpp_pos.len();
     let mut lookaheads: Vec<(usize, Op)> = Vec::new(); // (insert after pos, op)
-    for (k, &c) in cmpp_pos.iter().enumerate() {
+    for (k, (&c, &br)) in cmpp_pos.iter().zip(&branch_pos).enumerate() {
         let orig = func.block(block).ops[c].clone();
         let cond = orig.cmpp_cond().expect("compare");
-        let invert = taken_variation && k == n - 1;
+        // The lookahead must accumulate the branch's *taken* condition. A
+        // branch guarded by the compare's complement-sense (`UC`) output is
+        // taken when the compare is false — e.g. both exits of a two-way
+        // `cmpp.un.uc` dispatch — so its lookahead uses the inverted
+        // condition.
+        let taken_guard = func.block(block).ops[br].guard.expect("conditional branch");
+        let uc_guarded = orig.dests.iter().any(|d| match d {
+            Dest::Pred(p, a) => *p == taken_guard && a.sense == epic_ir::PredSense::Complement,
+            Dest::Reg(_) => false,
+        });
+        let invert = (taken_variation && k == n - 1) ^ uc_guarded;
         let cond = if invert { cond.invert() } else { cond };
         lookaheads.push((
             c,
@@ -302,7 +314,15 @@ pub fn restructure(
                 break;
             }
             for &p in &pending {
-                op.replace_pred_use(p, on_frp);
+                // Past the bypass, a fall-through (internal) predicate is
+                // equivalent to the on-trace FRP — but a *taken* predicate
+                // is false there (its branch did not take), and the
+                // off-trace FRP is exactly false past the bypass, so taken
+                // predicates rewire to it. Rewiring them to the on-trace
+                // FRP would resurrect sequentially dead operations on the
+                // fall-through path.
+                let repl = if taken_guards.contains(&p) { off_frp } else { on_frp };
+                op.replace_pred_use(p, repl);
             }
             for d in op.defs_preds() {
                 pending.remove(&d);

@@ -70,7 +70,9 @@ fn speculate_block(func: &mut Function, block: BlockId, global: &GlobalLiveness)
     }
     let mut facts = PredFacts::compute(&ops_snapshot);
 
-    // Exit liveness for the region-liveness pass.
+    // Exit liveness for the region-liveness pass. A `ret` exits to the
+    // caller, where exactly the designated live-out registers are observed.
+    let ret_live: HashSet<Reg> = func.live_outs().iter().copied().collect();
     let live_at_exit = |i: usize| -> HashSet<Reg> {
         let op = &ops_snapshot[i];
         match op.opcode {
@@ -78,6 +80,7 @@ fn speculate_block(func: &mut Function, block: BlockId, global: &GlobalLiveness)
                 .branch_target()
                 .and_then(|t| global.live_in_regs.get(&t).cloned())
                 .unwrap_or_default(),
+            Opcode::Ret => ret_live.clone(),
             _ => HashSet::new(),
         }
     };

@@ -1,0 +1,235 @@
+//! The per-stage differential harness.
+//!
+//! A generated program is pushed through the same stage sequence as the
+//! bench pipeline (`crates/bench/src/compile.rs`), but with the verifier
+//! and the differential oracle run after **every** stage against that
+//! stage's own input program, so a failure names the guilty stage instead
+//! of surfacing as an end-to-end mystery. The ICBM driver is additionally
+//! decomposed into its phases (speculate, then per-CPR-block restructure
+//! and off-trace motion, then DCE), mirroring `apply_icbm` exactly, so a
+//! divergence is pinned to a phase rather than to the driver as a whole;
+//! an `apply_icbm` end-to-end check still runs afterwards to catch
+//! phase-interaction bugs the decomposition could mask.
+
+use control_cpr::{dce, match_cpr_blocks, off_trace_motion, restructure, speculate};
+use epic_analysis::IncrementalLiveness;
+use epic_interp::{diff_test, run, Input};
+use epic_ir::{verify, BlockId, Function, Opcode, Profile};
+use epic_perf::profile_and_count;
+use epic_regions::{form_superblocks, frp_convert, if_convert, unroll_hot_loops, IfConvertConfig};
+
+use crate::generator::GenCase;
+
+/// A divergence (or verifier violation) pinned to one pipeline stage.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The stage whose output diverged from its input.
+    pub stage: &'static str,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+    /// The program that was fed *into* the guilty stage — re-running the
+    /// stage on this function reproduces the failure.
+    pub before: Function,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stage `{}`: {}", self.stage, self.detail)
+    }
+}
+
+/// Verifies `after` and diffs it against `before` on every input; on
+/// success the stage output becomes the next stage's input.
+fn checked(
+    stage: &'static str,
+    before: &Function,
+    after: Function,
+    inputs: &[Input],
+) -> Result<Function, Failure> {
+    if let Err(e) = verify(&after) {
+        return Err(Failure {
+            stage,
+            detail: format!("verifier rejected stage output: {e}"),
+            before: before.clone(),
+        });
+    }
+    for (k, input) in inputs.iter().enumerate() {
+        if let Err(e) = diff_test(before, &after, input) {
+            return Err(Failure {
+                stage,
+                detail: format!("divergence on input {k}: {e}"),
+                before: before.clone(),
+            });
+        }
+    }
+    Ok(after)
+}
+
+fn profiled(f: &Function, input: &Input, stage: &'static str) -> Result<Profile, Failure> {
+    profile_and_count(f, input).map(|(p, _)| p).map_err(|t| Failure {
+        stage,
+        detail: format!("profiling run trapped: {t}"),
+        before: f.clone(),
+    })
+}
+
+/// Runs the staged pipeline over `case`'s generated program.
+///
+/// # Errors
+///
+/// Returns the first per-stage [`Failure`].
+pub fn check_case(case: &GenCase) -> Result<(), Failure> {
+    check_from(&case.func, case)
+}
+
+/// Like [`check_case`] but starting from `src` instead of the generated
+/// program — the shrinker re-checks its smaller candidates through this.
+///
+/// # Errors
+///
+/// Returns the first per-stage [`Failure`].
+pub fn check_from(src: &Function, case: &GenCase) -> Result<(), Failure> {
+    // Stage 0: the generator's own promises. A violation here is a bug in
+    // the generator (or a shrink candidate to reject), not in the pipeline.
+    if let Err(e) = verify(src) {
+        return Err(Failure {
+            stage: "generate",
+            detail: format!("generated program does not verify: {e}"),
+            before: src.clone(),
+        });
+    }
+    for (k, input) in case.inputs.iter().enumerate() {
+        if let Err(t) = run(src, input) {
+            return Err(Failure {
+                stage: "generate",
+                detail: format!("reference run trapped on input {k}: {t}"),
+                before: src.clone(),
+            });
+        }
+    }
+
+    let training = &case.inputs[0];
+    let mut cur = src.clone();
+
+    if case.use_if_convert {
+        let profile = profiled(&cur, training, "if-convert")?;
+        let mut next = cur.clone();
+        if_convert(&mut next, &profile, &IfConvertConfig::default());
+        cur = checked("if-convert", &cur, next, &case.inputs)?;
+    }
+
+    let profile = profiled(&cur, training, "superblock")?;
+    let next = form_superblocks(&cur, &profile, &case.trace);
+    cur = checked("superblock", &cur, next, &case.inputs)?;
+
+    let profile = profiled(&cur, training, "unroll")?;
+    let mut next = cur.clone();
+    unroll_hot_loops(&mut next, &profile, case.unroll_factor, case.trace.min_count);
+    cur = checked("unroll", &cur, next, &case.inputs)?;
+
+    let mut next = cur.clone();
+    dce(&mut next);
+    cur = checked("dce", &cur, next, &case.inputs)?;
+
+    let mut next = cur.clone();
+    frp_convert(&mut next);
+    cur = checked("frp-convert", &cur, next, &case.inputs)?;
+
+    // The ICBM heuristics are profile-driven but must preserve semantics
+    // under any profile; FRP conversion preserves block/branch ids, so the
+    // post-FRP profile is also the one the real pipeline would use.
+    let frp = cur.clone();
+    let profile = profiled(&cur, training, "speculate")?;
+
+    let mut next = cur.clone();
+    speculate(&mut next);
+    cur = checked("speculate", &cur, next, &case.inputs)?;
+
+    // Decomposed driver loop, mirroring `apply_icbm`.
+    let hyperblocks: Vec<BlockId> = cur
+        .layout
+        .iter()
+        .copied()
+        .filter(|&b| {
+            let branches = cur
+                .block(b)
+                .ops
+                .iter()
+                .filter(|o| o.opcode == Opcode::Branch && o.guard.is_some())
+                .count();
+            branches >= 2 && profile.entry_count(b) >= case.cpr.min_entry_count
+        })
+        .collect();
+    let mem_classes = cur.mem_classes().clone();
+    let mut live = IncrementalLiveness::new(&cur);
+    for hb in hyperblocks {
+        let cpr_blocks = match_cpr_blocks(&cur.block(hb).ops, &profile, &case.cpr, &mem_classes);
+        for cpr in &cpr_blocks {
+            if !cpr.is_nontrivial() {
+                continue;
+            }
+            let snap = cur.clone();
+            let Some(r) = restructure(&mut cur, hb, cpr, live.live()) else {
+                continue;
+            };
+            cur = checked("restructure", &snap, cur, &case.inputs)?;
+            live.repair(&cur, &r.touched_blocks());
+            let snap = cur.clone();
+            let moved = off_trace_motion(&mut cur, &r, live.live());
+            cur = checked("motion", &snap, cur, &case.inputs)?;
+            if moved {
+                live.repair(&cur, &r.touched_blocks());
+            }
+        }
+    }
+
+    let snap = cur.clone();
+    dce(&mut cur);
+    checked("dce-final", &snap, cur, &case.inputs)?;
+
+    // End-to-end driver check over the same post-FRP program: catches any
+    // divergence arising from phase interactions inside `apply_icbm` that
+    // the decomposed replay above did not reproduce exactly.
+    let mut e2e = frp.clone();
+    control_cpr::apply_icbm(&mut e2e, &profile, &case.cpr);
+    checked("icbm-e2e", &frp, e2e, &case.inputs)?;
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn failure_display_names_the_stage() {
+        let case = generate(0);
+        let f = Failure {
+            stage: "unroll",
+            detail: "divergence on input 1: memory differs".into(),
+            before: case.func,
+        };
+        let s = f.to_string();
+        assert!(s.contains("unroll") && s.contains("input 1"), "{s}");
+    }
+
+    #[test]
+    fn rejects_a_trapping_source_as_generator_bug() {
+        // A program that traps (unmasked OOB store) must be reported at the
+        // "generate" stage, not blamed on a pipeline pass.
+        let mut case = generate(3);
+        let mut b = epic_ir::FunctionBuilder::new("oob");
+        let e = b.block("e");
+        b.switch_to(e);
+        let a = b.movi(crate::generator::MEM_WORDS as i64 + 7);
+        b.store(a, epic_ir::Operand::Imm(1));
+        b.ret();
+        case.func = b.finish();
+        // The generated inputs reference registers of the replaced
+        // function; swap in inputs that only size the memory image.
+        case.inputs = vec![Input::new().memory_size(crate::generator::MEM_WORDS)];
+        let err = check_case(&case).unwrap_err();
+        assert_eq!(err.stage, "generate");
+    }
+}

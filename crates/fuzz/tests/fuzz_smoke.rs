@@ -1,0 +1,31 @@
+//! The deterministic fuzz smoke corpus: `FUZZ_CASES` (default 256) fixed
+//! seeds starting at `FUZZ_SEED` (default 20990), each pushed through the
+//! full per-stage differential pipeline. Runs in seconds and is wired into
+//! the tier-1 flow via `just fuzz-smoke`.
+//!
+//! On failure the panic message contains, per failing seed, the guilty
+//! stage and a minimized reproducer in IR text form; see EXPERIMENTS.md
+//! ("Fuzzing the pipeline") for how to turn one into a checked-in
+//! regression test.
+
+use epic_fuzz::{env_u64, run_fuzz};
+
+#[test]
+fn fixed_seed_corpus_has_no_divergences() {
+    let seed = env_u64("FUZZ_SEED", 20990);
+    let cases = env_u64("FUZZ_CASES", 256);
+    let failures = run_fuzz(seed, cases);
+    if failures.is_empty() {
+        return;
+    }
+    let mut msg = format!(
+        "{} of {cases} cases diverged (base seed {seed}). Re-run one with \
+         FUZZ_SEED=<seed> FUZZ_CASES=1 cargo test -p epic-fuzz --test fuzz_smoke\n\n",
+        failures.len()
+    );
+    for f in &failures {
+        msg.push_str(&f.to_string());
+        msg.push('\n');
+    }
+    panic!("{msg}");
+}

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use epic_ir::Function;
+use epic_ir::{Function, Reg};
 
 use crate::exec::{run, Input};
 use crate::trap::Trap;
@@ -31,6 +31,15 @@ pub enum DiffError {
         /// Transformed image length.
         transformed: usize,
     },
+    /// A designated live-out register holds different final values.
+    LiveOutMismatch {
+        /// The diverging register.
+        reg: Reg,
+        /// Final value in the reference run.
+        reference: i64,
+        /// Final value in the transformed run.
+        transformed: i64,
+    },
 }
 
 impl fmt::Display for DiffError {
@@ -45,18 +54,39 @@ impl fmt::Display for DiffError {
             DiffError::MemoryLengthMismatch { reference, transformed } => {
                 write!(f, "memory lengths differ: {reference} vs {transformed}")
             }
+            DiffError::LiveOutMismatch { reg, reference, transformed } => write!(
+                f,
+                "live-out {reg} differs: reference {reference}, transformed {transformed}"
+            ),
         }
     }
 }
 
 impl Error for DiffError {}
 
+/// Fuel head-room multiplier for the transformed run. A transformed program
+/// may legitimately execute a different dynamic operation count (the paper's
+/// Table 3 measures exactly this ratio), so the transformed run gets an
+/// independent budget proportional to what the reference actually used
+/// rather than sharing its literal budget.
+const FUEL_SCALE: u64 = 4;
+/// Constant fuel head-room, covering small programs where a multiple of a
+/// tiny reference count would still be unfairly tight.
+const FUEL_SLACK: u64 = 1024;
+
 /// Runs `reference` and `transformed` on the same input and compares their
-/// final memory images — the observable effect of a program in this IR.
+/// observable effects: the final memory image and the final values of the
+/// reference's designated live-out registers
+/// ([`Function::live_outs`]).
 ///
 /// This is the correctness oracle for the whole pipeline: FRP conversion,
-/// ICBM, dead-code elimination and scheduling must all preserve the memory
-/// image on every input.
+/// ICBM, dead-code elimination and scheduling must all preserve both
+/// observables on every input.
+///
+/// Fuel is compared loosely: the transformed run receives an independent
+/// budget of `max(input budget, FUEL_SCALE x reference ops + FUEL_SLACK)`,
+/// and when *both* programs exhaust their budgets the runs are deemed to
+/// agree (both diverge) rather than reported as a trap mismatch.
 ///
 /// # Errors
 ///
@@ -66,8 +96,30 @@ pub fn diff_test(
     transformed: &Function,
     input: &Input,
 ) -> Result<(), DiffError> {
-    let ref_out = run(reference, input).map_err(DiffError::ReferenceTrapped)?;
-    let new_out = run(transformed, input).map_err(DiffError::TransformedTrapped)?;
+    let ref_out = match run(reference, input) {
+        Ok(out) => out,
+        Err(Trap::OutOfFuel) => {
+            // The reference diverged (or the budget was too small). The
+            // transformed program agrees iff it also fails to terminate
+            // within a proportionally scaled budget.
+            let scaled = input
+                .fuel_budget()
+                .saturating_mul(FUEL_SCALE)
+                .saturating_add(FUEL_SLACK);
+            return match run(transformed, &input.clone().fuel(scaled)) {
+                Err(Trap::OutOfFuel) => Ok(()),
+                _ => Err(DiffError::ReferenceTrapped(Trap::OutOfFuel)),
+            };
+        }
+        Err(t) => return Err(DiffError::ReferenceTrapped(t)),
+    };
+    let budget = ref_out
+        .dynamic_ops
+        .saturating_mul(FUEL_SCALE)
+        .saturating_add(FUEL_SLACK)
+        .max(input.fuel_budget());
+    let new_out =
+        run(transformed, &input.clone().fuel(budget)).map_err(DiffError::TransformedTrapped)?;
     if ref_out.memory.len() != new_out.memory.len() {
         return Err(DiffError::MemoryLengthMismatch {
             reference: ref_out.memory.len(),
@@ -79,13 +131,20 @@ pub fn diff_test(
             return Err(DiffError::MemoryMismatch { addr, reference: *r, transformed: *t });
         }
     }
+    for &reg in reference.live_outs() {
+        let r = ref_out.regs.get(reg.index()).copied().unwrap_or(0);
+        let t = new_out.regs.get(reg.index()).copied().unwrap_or(0);
+        if r != t {
+            return Err(DiffError::LiveOutMismatch { reg, reference: r, transformed: t });
+        }
+    }
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use epic_ir::{FunctionBuilder, Operand};
+    use epic_ir::{CmpCond, FunctionBuilder, Operand};
 
     fn store_const(name: &str, value: i64) -> Function {
         let mut b = FunctionBuilder::new(name);
@@ -129,6 +188,123 @@ mod tests {
         assert!(matches!(
             diff_test(&f, &g, &Input::new().memory_size(2)),
             Err(DiffError::TransformedTrapped(_))
+        ));
+    }
+
+    /// A store-free program whose only observable is the live-out register.
+    fn ret_const(name: &str, value: i64, live_out: bool) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let e = b.block("e");
+        b.switch_to(e);
+        let x = b.movi(value);
+        b.ret();
+        if live_out {
+            b.mark_live_out(x);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn detects_live_out_mismatch_that_memory_oracle_misses() {
+        // The regression the memory-only oracle would have passed: a
+        // transformation corrupts the returned value of a store-free
+        // program. Without the live-out designation the divergence is
+        // invisible; with it, the oracle reports the corrupted register.
+        let f_blind = ret_const("ref", 5, false);
+        let g_blind = ret_const("bad", 6, false);
+        diff_test(&f_blind, &g_blind, &Input::new().memory_size(2))
+            .expect("memory-only view cannot see the corrupted return value");
+
+        let f = ret_const("ref", 5, true);
+        let g = ret_const("bad", 6, true);
+        let err = diff_test(&f, &g, &Input::new().memory_size(2)).unwrap_err();
+        assert!(
+            matches!(err, DiffError::LiveOutMismatch { reference: 5, transformed: 6, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("live-out"));
+    }
+
+    #[test]
+    fn live_out_agreement_passes() {
+        let f = ret_const("a", 7, true);
+        let g = ret_const("b", 7, true);
+        diff_test(&f, &g, &Input::new().memory_size(2)).unwrap();
+    }
+
+    /// Builds a counted loop that executes roughly `iters * 5` operations
+    /// and then stores a result.
+    fn counted_loop(name: &str, iters: i64) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let head = b.block("head");
+        let exit = b.block("exit");
+        b.switch_to(head);
+        let i = b.reg();
+        let i2 = b.add(i.into(), Operand::Imm(1));
+        b.mov_to(i, i2.into());
+        let (t, _) = b.cmpp_un_uc(CmpCond::Lt, i.into(), Operand::Imm(iters));
+        b.branch_if(t, head);
+        let a = b.movi(0);
+        b.store(a, i.into());
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn fuel_scaled_for_slower_transformed_program() {
+        // The "transformed" program does ~3x the dynamic ops of the
+        // reference but computes the same result. A shared literal budget
+        // that just covers the reference would misreport OutOfFuel as a
+        // transformation bug; the scaled budget must absorb it.
+        let f = counted_loop("fast", 10);
+        let mut slow = counted_loop("slow", 30);
+        // Same observable: overwrite the stored value with the reference's.
+        let head = slow.entry();
+        for op in &mut slow.block_mut(head).ops {
+            if op.opcode == epic_ir::Opcode::Store {
+                op.srcs[1] = Operand::Imm(10);
+            }
+        }
+        let f_ops = run(&f, &Input::new().memory_size(2)).unwrap().dynamic_ops;
+        let slow_ops = run(&slow, &Input::new().memory_size(2)).unwrap().dynamic_ops;
+        assert!(slow_ops > f_ops, "premise: transformed is dynamically longer");
+        // Budget exactly covering the reference only.
+        diff_test(&f, &slow, &Input::new().memory_size(2).fuel(f_ops)).unwrap();
+    }
+
+    #[test]
+    fn mutual_divergence_is_agreement() {
+        // Two infinite loops: OutOfFuel on both sides is agreement, not a
+        // TransformedTrapped false positive.
+        let mut b = FunctionBuilder::new("inf1");
+        let e = b.block("e");
+        b.switch_to(e);
+        b.jump(e);
+        let f = b.finish();
+        let mut b = FunctionBuilder::new("inf2");
+        let e = b.block("e");
+        b.switch_to(e);
+        b.movi(1);
+        b.jump(e);
+        let g = b.finish();
+        diff_test(&f, &g, &Input::new().fuel(100)).unwrap();
+    }
+
+    #[test]
+    fn one_sided_divergence_is_still_reported() {
+        // Reference runs out of fuel, transformed terminates: reported as a
+        // reference trap (the pair is not equivalent under this budget).
+        let mut b = FunctionBuilder::new("inf");
+        let e = b.block("e");
+        b.switch_to(e);
+        b.jump(e);
+        let f = b.finish();
+        let g = store_const("fin", 1);
+        assert!(matches!(
+            diff_test(&f, &g, &Input::new().memory_size(2).fuel(100)),
+            Err(DiffError::ReferenceTrapped(Trap::OutOfFuel))
         ));
     }
 }

@@ -53,6 +53,11 @@ impl Input {
         self.fuel = fuel;
         self
     }
+
+    /// The current fuel budget.
+    pub fn fuel_budget(&self) -> u64 {
+        self.fuel
+    }
 }
 
 /// The result of a completed execution.

@@ -276,6 +276,11 @@ impl FunctionBuilder {
         self.guard = saved;
     }
 
+    /// Marks `r` as live-out (observable by the caller after `ret`).
+    pub fn mark_live_out(&mut self, r: Reg) {
+        self.func.mark_live_out(r);
+    }
+
     /// Read-only access to the function under construction.
     pub fn func(&self) -> &Function {
         &self.func

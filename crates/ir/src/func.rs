@@ -29,6 +29,12 @@ pub struct Function {
     /// points-to / type-based alias analysis). Operations without a class
     /// may alias anything.
     mem_class: HashMap<OpId, u32>,
+    /// Registers observable after the function returns (the calling
+    /// convention's return value / live-out set). Every `ret` is treated as
+    /// reading these registers: liveness, DCE and the differential oracle
+    /// all respect them, so a transformation that corrupts a live-out value
+    /// of a store-free program is still caught.
+    live_outs: Vec<Reg>,
 }
 
 impl Function {
@@ -42,6 +48,7 @@ impl Function {
             next_pred: 0,
             next_op: 0,
             mem_class: HashMap::new(),
+            live_outs: Vec::new(),
         }
     }
 
@@ -234,6 +241,20 @@ impl Function {
     pub fn mem_classes(&self) -> &HashMap<OpId, u32> {
         &self.mem_class
     }
+
+    /// Marks `r` as live-out: observable by the caller after any `ret`.
+    /// Idempotent.
+    pub fn mark_live_out(&mut self, r: Reg) {
+        if !self.live_outs.contains(&r) {
+            self.live_outs.push(r);
+        }
+    }
+
+    /// The registers observable after the function returns, in the order
+    /// they were designated.
+    pub fn live_outs(&self) -> &[Reg] {
+        &self.live_outs
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +341,19 @@ mod tests {
         let copy = f.clone_op(&op);
         assert_ne!(copy.id, op.id);
         assert_eq!(copy.opcode, op.opcode);
+    }
+
+    #[test]
+    fn live_outs_are_deduplicated_and_cloned() {
+        let mut f = Function::new("t");
+        let r0 = f.new_reg();
+        let r1 = f.new_reg();
+        f.mark_live_out(r1);
+        f.mark_live_out(r0);
+        f.mark_live_out(r1);
+        assert_eq!(f.live_outs(), &[r1, r0]);
+        let g = f.clone();
+        assert_eq!(g.live_outs(), &[r1, r0]);
     }
 
     #[test]

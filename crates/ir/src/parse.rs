@@ -76,6 +76,9 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
             name = Some(n.to_string());
             continue;
         }
+        if line.starts_with("live-out:") {
+            continue;
+        }
         if let Some(label) = line.strip_suffix(':') {
             labels.push((label.trim().to_string(), ln + 1));
         }
@@ -104,6 +107,7 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
     let mut max_reg = 0u32;
     let mut max_pred = 0u32;
     let mut parsed: Vec<(BlockId, Op)> = Vec::new();
+    let mut live_outs: Vec<Reg> = Vec::new();
     for (ln0, raw) in src.lines().enumerate() {
         let ln = ln0 + 1;
         let line = strip_comment(raw).trim();
@@ -111,6 +115,13 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
             || line == "}"
             || line.starts_with("function ")
         {
+            continue;
+        }
+        if let Some(list) = line.strip_prefix("live-out:") {
+            for r in list.split(',').map(|r| r.trim()).filter(|r| !r.is_empty()) {
+                let reg = parse_reg(r, ln, &mut max_reg)?;
+                live_outs.push(reg);
+            }
             continue;
         }
         if let Some(label) = line.strip_suffix(':') {
@@ -132,6 +143,9 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
     }
     while func.pred_count() <= max_pred as usize {
         func.new_pred();
+    }
+    for r in live_outs {
+        func.mark_live_out(r);
     }
     Ok(func)
 }
@@ -427,6 +441,23 @@ exit:
         let fg: Vec<_> = f.ops_in_layout().map(|(_, o)| o.guard).collect();
         let gg: Vec<_> = g.ops_in_layout().map(|(_, o)| o.guard).collect();
         assert_eq!(fg, gg);
+    }
+
+    #[test]
+    fn roundtrips_live_outs() {
+        let mut b = FunctionBuilder::new("lo");
+        let e = b.block("entry");
+        b.switch_to(e);
+        let x = b.movi(3);
+        let y = b.add(x.into(), Operand::Imm(4));
+        b.ret();
+        b.mark_live_out(y);
+        b.mark_live_out(x);
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("live-out: r1, r0"), "{text}");
+        let g = parse_function(&text).unwrap();
+        assert_eq!(g.live_outs(), f.live_outs());
     }
 
     #[test]

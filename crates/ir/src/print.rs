@@ -107,6 +107,13 @@ impl fmt::Display for Block {
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "function {} {{", self.name)?;
+        if !self.live_outs().is_empty() {
+            write!(f, "live-out:")?;
+            for (i, r) in self.live_outs().iter().enumerate() {
+                write!(f, "{}{r}", if i == 0 { " " } else { ", " })?;
+            }
+            writeln!(f)?;
+        }
         for block in self.blocks_in_layout() {
             write!(f, "{block}")?;
         }

@@ -37,6 +37,14 @@ fn frp_convert_block(func: &mut Function, block: BlockId) -> usize {
     let nops = func.block(block).ops.len();
     // Current fall-through FRP: None = T (entry condition of the block).
     let mut current_frp: Option<PredReg> = None;
+    // Index of the most recently converted branch. The next chain compare
+    // must come *after* it: re-guarding a compare with the chain FRP is a
+    // no-op on every executed path only when the compare itself is reached
+    // exactly when the FRP is true, i.e. when it sits below every converted
+    // branch so far. (The degenerate violation: one two-target cmpp feeding
+    // two branches — converting the second would guard the cmpp with its
+    // own output.)
+    let mut last_converted: Option<usize> = None;
     let mut converted = 0;
 
     let mut i = 0;
@@ -83,6 +91,21 @@ fn frp_convert_block(func: &mut Function, block: BlockId) -> usize {
             i += 1;
             continue;
         }
+        // The compare must be in chain position: below every converted
+        // branch, and either unguarded (we will chain it under the current
+        // FRP) or already guarded by exactly the current FRP. A compare
+        // above a converted branch, or one under an unrelated guard `q`,
+        // does not compute the fall-through condition — its complementary
+        // output is `q && !eff`, which is false (not "fall through") when
+        // `q` is false — so converting would skip ops the original
+        // executes.
+        if last_converted.is_some_and(|lb| def_idx < lb)
+            || (def.guard.is_some() && def.guard != current_frp)
+        {
+            current_frp = None;
+            i += 1;
+            continue;
+        }
         // Locate or create the complementary (fall-through) output.
         let taken_action = def
             .dests
@@ -103,7 +126,21 @@ fn frp_convert_block(func: &mut Function, block: BlockId) -> usize {
             _ => None,
         });
         let fall_through = match existing {
-            Some(p) => p,
+            Some(p) => {
+                // The complementary output is the FRP for everything below
+                // the branch; a later redefinition would make those reads
+                // observe the wrong value. (A freshly created output can
+                // never be redefined.)
+                let redefined = func.block(block).ops[def_idx + 1..]
+                    .iter()
+                    .any(|o| o.dests.iter().any(|d| d.as_pred() == Some(p)));
+                if redefined {
+                    current_frp = None;
+                    i += 1;
+                    continue;
+                }
+                p
+            }
             None => {
                 if def.dests.len() >= 2 {
                     // No room for a second destination: skip conversion.
@@ -123,6 +160,7 @@ fn frp_convert_block(func: &mut Function, block: BlockId) -> usize {
             func.block_mut(block).ops[def_idx].guard = current_frp;
         }
         current_frp = Some(fall_through);
+        last_converted = Some(i);
         converted += 1;
         i += 1;
     }

@@ -1,10 +1,16 @@
 # Project task runner. `just --list` shows recipes.
 
-# Full pre-merge gate: release build, tests, clippy clean.
-bench-check:
+# Full pre-merge gate: release build, tests, clippy clean, fuzz corpus.
+bench-check: fuzz-smoke
     cargo build --release
     cargo test -q
     cargo clippy --all-targets -- -D warnings
+
+# Differential pipeline fuzzing over the fixed-seed smoke corpus (256
+# cases). Override with FUZZ_SEED=<base> and/or FUZZ_CASES=<n>, e.g.
+# `FUZZ_CASES=4096 just fuzz-smoke` for a deeper sweep.
+fuzz-smoke:
+    cargo test --release -q -p epic-fuzz --test fuzz_smoke
 
 # Regenerate the committed serial-vs-parallel timing snapshot.
 bench-snapshot:
