@@ -7,20 +7,28 @@
 //!
 //! The configurations are independent, so they are evaluated in parallel
 //! (each one additionally fans out over its workloads inside `table2`);
-//! output order is fixed regardless of thread count.
+//! output order is fixed regardless of thread count. All configurations
+//! share one compile cache: stage keys hash only the configuration fields
+//! each stage consumes, so e.g. every CPR-only variation reuses the
+//! superblock and baseline artifacts the default configuration computed.
 
 use control_cpr::CprConfig;
-use epic_bench::{table2, PipelineConfig};
+use epic_bench::{table2_cached, CompileCache, PipelineConfig};
 use epic_perf::geomean;
 use epic_regions::IfConvertConfig;
 use rayon::prelude::*;
 
-fn gmean_all(cfg: &PipelineConfig, machine_idx: usize, names: &[&str]) -> f64 {
+fn gmean_all(
+    cfg: &PipelineConfig,
+    machine_idx: usize,
+    names: &[&str],
+    cache: &CompileCache,
+) -> f64 {
     let workloads: Vec<_> = names
         .iter()
         .map(|n| epic_workloads::by_name(n).expect("known workload"))
         .collect();
-    let rows = table2(&workloads, cfg);
+    let rows = table2_cached(&workloads, cfg, cache);
     geomean(rows.iter().map(|r| r.speedup(machine_idx)))
 }
 
@@ -59,11 +67,19 @@ fn main() {
         configs.push((format!("exit-weight threshold {thresh:>4}:     "), cfg));
     }
 
+    let cache = CompileCache::from_env();
     let results: Vec<(String, f64)> = configs
         .par_iter()
-        .map(|(label, cfg)| (label.clone(), gmean_all(cfg, medium, &names)))
+        .map(|(label, cfg)| (label.clone(), gmean_all(cfg, medium, &names, &cache)))
         .collect();
     for (label, g) in results {
         println!("  {label}{g:.3}");
     }
+    let s = cache.stats();
+    eprintln!(
+        "cache: {} hits, {} misses across {} configurations",
+        s.hits,
+        s.misses,
+        configs.len()
+    );
 }

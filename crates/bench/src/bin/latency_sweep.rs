@@ -8,7 +8,7 @@
 //! Workloads compile in parallel, and each latency point schedules its
 //! compiled pairs in parallel; output order is fixed.
 
-use epic_bench::{compile, PipelineConfig};
+use epic_bench::{compile_cached, CompileCache, PipelineConfig};
 use epic_machine::Machine;
 use epic_perf::{geomean, weighted_cycles};
 use epic_sched::{schedule_function, SchedOptions};
@@ -17,9 +17,13 @@ use rayon::prelude::*;
 fn main() {
     let workloads = epic_workloads::all();
     let cfg = PipelineConfig::default();
+    // The sweep reschedules one compiled pair per workload at several
+    // branch latencies; the cache keeps those compiles shared with any
+    // other tool pointed at the same `EPIC_CACHE_DIR`.
+    let cache = CompileCache::from_env();
     let compiled: Vec<_> = workloads
         .par_iter()
-        .map(|w| compile(w, &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name)))
+        .map(|w| compile_cached(w, &cfg, &cache).unwrap_or_else(|e| panic!("{}: {e}", w.name)))
         .collect();
 
     println!("Geomean speedup (medium machine) vs exposed branch latency");

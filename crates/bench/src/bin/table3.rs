@@ -3,24 +3,28 @@
 //!
 //! Workloads compile in parallel (`RAYON_NUM_THREADS` controls the
 //! fan-out); `--serial` forces the single-thread reference path.
-//! `--timings out.json` writes per-workload pass timings.
+//! `--timings out.json` writes per-workload pass timings. Stage artifacts
+//! are served through a compile cache (set `EPIC_CACHE_DIR` to persist
+//! them across runs); `--cache-stats` prints the counters.
 
 use epic_bench::{
-    render_table3, table3_serial, table3_with_timings, take_timings_flag, timings_to_json,
-    PipelineConfig,
+    render_table3, table3_serial, table3_with_timings_cached, take_timings_flag,
+    timings_to_json, CompileCache, PipelineConfig,
 };
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let timings_path = take_timings_flag(&mut args);
     let serial = args.iter().any(|a| a == "--serial");
+    let cache_stats = args.iter().any(|a| a == "--cache-stats");
 
     let workloads = epic_workloads::all();
     let cfg = PipelineConfig::default();
+    let cache = CompileCache::from_env();
     let rows = if serial {
         table3_serial(&workloads, &cfg)
     } else {
-        let (rows, timings) = table3_with_timings(&workloads, &cfg);
+        let (rows, timings) = table3_with_timings_cached(&workloads, &cfg, Some(&cache));
         if let Some(path) = &timings_path {
             std::fs::write(path, timings_to_json(&timings)).expect("write timings");
             eprintln!("pass timings written to {path}");
@@ -29,6 +33,9 @@ fn main() {
     };
     if serial && timings_path.is_some() {
         eprintln!("--timings is only recorded on the parallel path; ignoring");
+    }
+    if cache_stats {
+        eprintln!("cache: {}", cache.stats().to_json());
     }
     println!("Table 3: operation-count ratios (height-reduced / baseline)");
     println!();

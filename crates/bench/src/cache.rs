@@ -1,0 +1,618 @@
+//! A content-addressed compile cache.
+//!
+//! Pipeline stages are pure functions of (input IR, training input,
+//! stage configuration), so their outputs can be memoized under the key
+//! `(input fingerprint, stage name, config hash)`. [`CompileCache`] holds
+//! those [`StageArtifact`]s behind a mutex with FIFO eviction and
+//! hit/miss/eviction counters, and optionally persists them to a directory
+//! of hand-rolled JSON files (functions travel as IR text, profiles are
+//! re-keyed by layout position so they survive the id renumbering a
+//! textual round trip performs).
+//!
+//! Sharing is cross-config as well as cross-request: two pipeline
+//! configurations that differ only in ICBM parameters share every artifact
+//! up to and including the baseline, because each stage's key hashes only
+//! the configuration that stage consumes.
+//!
+//! The disk layer is best-effort: unreadable or corrupt entries are
+//! treated as misses, and it is enabled only when an explicit directory is
+//! given (`EPIC_CACHE_DIR` for [`CompileCache::from_env`]). Disk-reloaded
+//! functions are semantically identical to the originals but carry
+//! renumbered ids, which can legally perturb schedule tie-breaking — the
+//! in-memory layer, which the table drivers rely on for byte-identical
+//! output, returns the original artifacts unchanged.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use control_cpr::IcbmStats;
+use epic_ir::{BlockId, Function, OpId, Profile};
+use epic_perf::OpCounts;
+
+use crate::error::CompileError;
+use crate::json::Json;
+use crate::timing::json_string;
+
+/// Identifies one memoized stage output.
+///
+/// `input_fp` is a structural fingerprint of everything upstream of the
+/// stage (typically [`Function::fingerprint`] combined with the training
+/// input's content hash); `config` hashes only the configuration fields
+/// the stage itself consumes, so configs that differ elsewhere share the
+/// entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Fingerprint of the stage's input (IR + profiling input).
+    pub input_fp: u64,
+    /// Canonical stage name (one of [`crate::timing::stage::ALL`]).
+    pub stage: &'static str,
+    /// Hash of the configuration fields the stage consumes.
+    pub config: u64,
+}
+
+/// One memoized stage output.
+#[derive(Clone, Debug)]
+pub enum StageArtifact {
+    /// A bare transformed function (if-convert, superblock stages).
+    Func(Function),
+    /// The finished baseline with its training profile and counts.
+    Baseline {
+        /// Superblock-formed, unrolled, DCE-cleaned baseline.
+        func: Function,
+        /// Training profile of `func`.
+        profile: Profile,
+        /// Operation counts of `func` on the training input.
+        counts: OpCounts,
+    },
+    /// The finished height-reduced side with its profile and counts.
+    Optimized {
+        /// Baseline + FRP conversion + ICBM.
+        func: Function,
+        /// ICBM transformation statistics.
+        stats: IcbmStats,
+        /// Training profile of `func`.
+        profile: Profile,
+        /// Operation counts of `func` on the training input.
+        counts: OpCounts,
+    },
+}
+
+impl StageArtifact {
+    /// The function payload of any variant.
+    pub fn function(&self) -> &Function {
+        match self {
+            StageArtifact::Func(f)
+            | StageArtifact::Baseline { func: f, .. }
+            | StageArtifact::Optimized { func: f, .. } => f,
+        }
+    }
+}
+
+/// A snapshot of the cache's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory or disk.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries displaced by the FIFO capacity bound.
+    pub evictions: u64,
+    /// The subset of `hits` served by reloading a disk entry.
+    pub disk_hits: u64,
+    /// Entries currently resident in memory.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Renders the counters as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"disk_hits\":{},\"entries\":{}}}",
+            self.hits, self.misses, self.evictions, self.disk_hits, self.entries
+        )
+    }
+}
+
+/// The outcome of one [`CompileCache::get_or_compute`] call.
+pub struct CacheOutcome {
+    /// The (possibly shared) artifact.
+    pub artifact: Arc<StageArtifact>,
+    /// True when the artifact was served without running the compute
+    /// closure.
+    pub hit: bool,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Arc<StageArtifact>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// A concurrent, content-addressed cache of pipeline stage artifacts.
+pub struct CompileCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_dir: Option<PathBuf>,
+    // Serializes disk reads/writes so concurrent requests for the same key
+    // never observe a half-written file.
+    disk_lock: Mutex<()>,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache::new()
+    }
+}
+
+impl CompileCache {
+    /// Capacity large enough that the full suite times every ablation
+    /// config fits without eviction.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// An in-memory cache with the default capacity.
+    pub fn new() -> CompileCache {
+        CompileCache::with_capacity(CompileCache::DEFAULT_CAPACITY)
+    }
+
+    /// An in-memory cache holding at most `capacity` artifacts (FIFO
+    /// eviction beyond that).
+    pub fn with_capacity(capacity: usize) -> CompileCache {
+        CompileCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_dir: None,
+            disk_lock: Mutex::new(()),
+        }
+    }
+
+    /// Adds a best-effort on-disk layer rooted at `dir` (created on first
+    /// write).
+    pub fn with_disk_dir(mut self, dir: impl Into<PathBuf>) -> CompileCache {
+        self.disk_dir = Some(dir.into());
+        self
+    }
+
+    /// A cache configured from the environment: in-memory always, plus the
+    /// disk layer when `EPIC_CACHE_DIR` is set and non-empty.
+    pub fn from_env() -> CompileCache {
+        match std::env::var("EPIC_CACHE_DIR") {
+            Ok(dir) if !dir.is_empty() => CompileCache::new().with_disk_dir(dir),
+            _ => CompileCache::new(),
+        }
+    }
+
+    /// Serves `key` from memory (then disk, when `use_disk` and a disk
+    /// layer exists), computing and inserting on miss.
+    ///
+    /// Errors from `compute` are propagated and never cached. Stages whose
+    /// artifacts must stay id-consistent with a sibling artifact pass
+    /// `use_disk: false`; see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns.
+    pub fn get_or_compute(
+        &self,
+        key: CacheKey,
+        use_disk: bool,
+        compute: impl FnOnce() -> Result<StageArtifact, CompileError>,
+    ) -> Result<CacheOutcome, CompileError> {
+        if let Some(artifact) = self.inner.lock().unwrap().map.get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CacheOutcome { artifact, hit: true });
+        }
+        if use_disk {
+            if let Some(artifact) = self.disk_load(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let artifact = self.insert(key, artifact);
+                return Ok(CacheOutcome { artifact, hit: true });
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let artifact = self.insert(key, Arc::new(compute()?));
+        if use_disk {
+            self.disk_store(&key, &artifact);
+        }
+        Ok(CacheOutcome { artifact, hit: false })
+    }
+
+    /// Inserts `artifact` under `key`, evicting FIFO beyond capacity. If a
+    /// concurrent caller already inserted the key, their artifact wins (so
+    /// every caller shares one allocation).
+    fn insert(&self, key: CacheKey, artifact: Arc<StageArtifact>) -> Arc<StageArtifact> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(existing) = inner.map.get(&key) {
+            return existing.clone();
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    if inner.map.remove(&old).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+        inner.map.insert(key, artifact.clone());
+        inner.order.push_back(key);
+        artifact
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().map.len(),
+        }
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> Option<PathBuf> {
+        let dir = self.disk_dir.as_ref()?;
+        let stage = key.stage.replace(':', "_");
+        Some(dir.join(format!("{stage}-{:016x}-{:016x}.json", key.input_fp, key.config)))
+    }
+
+    fn disk_load(&self, key: &CacheKey) -> Option<Arc<StageArtifact>> {
+        let path = self.entry_path(key)?;
+        let _io = self.disk_lock.lock().unwrap();
+        let text = std::fs::read_to_string(&path).ok()?;
+        match artifact_from_json(&text) {
+            Ok(a) => Some(Arc::new(a)),
+            Err(_) => {
+                // A corrupt entry would otherwise shadow good recomputes
+                // forever; drop it.
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn disk_store(&self, key: &CacheKey, artifact: &StageArtifact) {
+        let Some(path) = self.entry_path(key) else { return };
+        let Some(dir) = path.parent() else { return };
+        let _io = self.disk_lock.lock().unwrap();
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if std::fs::write(&tmp, artifact_to_json(artifact)).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disk serialization. Functions are stored as IR text; profiles are keyed by
+// layout *position* (block index in layout order, op index in a whole-layout
+// walk) because raw ids do not survive a print→parse round trip.
+// ---------------------------------------------------------------------------
+
+fn positions(f: &Function) -> (HashMap<BlockId, usize>, HashMap<OpId, usize>) {
+    let mut block_pos = HashMap::new();
+    let mut op_pos = HashMap::new();
+    let mut next_op = 0usize;
+    for (i, block) in f.blocks_in_layout().enumerate() {
+        block_pos.insert(f.layout[i], i);
+        for op in &block.ops {
+            op_pos.insert(op.id, next_op);
+            next_op += 1;
+        }
+    }
+    (block_pos, op_pos)
+}
+
+fn ids_by_position(f: &Function) -> (Vec<BlockId>, Vec<OpId>) {
+    let blocks = f.layout.clone();
+    let mut ops = Vec::new();
+    for block in f.blocks_in_layout() {
+        for op in &block.ops {
+            ops.push(op.id);
+        }
+    }
+    (blocks, ops)
+}
+
+fn sparse_counts_json<K>(counts: &HashMap<K, u64>, pos_of: &HashMap<K, usize>) -> String
+where
+    K: Copy + std::hash::Hash + Eq,
+{
+    let mut pairs: Vec<(usize, u64)> = counts
+        .iter()
+        .filter_map(|(k, &v)| pos_of.get(k).map(|&p| (p, v)))
+        .collect();
+    pairs.sort_unstable();
+    let body: Vec<String> = pairs.iter().map(|(p, v)| format!("[{p},{v}]")).collect();
+    format!("[{}]", body.join(","))
+}
+
+fn profile_to_json(f: &Function, p: &Profile) -> String {
+    let (block_pos, op_pos) = positions(f);
+    format!(
+        "{{\"blocks\":{},\"ops\":{},\"taken\":{}}}",
+        sparse_counts_json(&p.block_entries, &block_pos),
+        sparse_counts_json(&p.op_executed, &op_pos),
+        sparse_counts_json(&p.branch_taken, &op_pos)
+    )
+}
+
+fn sparse_counts_from_json<K>(j: &Json, id_of: &[K]) -> Result<HashMap<K, u64>, String>
+where
+    K: Copy + std::hash::Hash + Eq,
+{
+    let mut out = HashMap::new();
+    for pair in j.as_arr().ok_or("count list is not an array")? {
+        let pair = pair.as_arr().ok_or("count entry is not a pair")?;
+        let (pos, count) = match pair {
+            [p, c] => (
+                p.as_u64().ok_or("bad position")? as usize,
+                c.as_u64().ok_or("bad count")?,
+            ),
+            _ => return Err("count entry is not a pair".into()),
+        };
+        let id = id_of.get(pos).ok_or("position out of range")?;
+        out.insert(*id, count);
+    }
+    Ok(out)
+}
+
+fn profile_from_json(f: &Function, j: &Json) -> Result<Profile, String> {
+    let (blocks, ops) = ids_by_position(f);
+    Ok(Profile {
+        block_entries: sparse_counts_from_json(
+            j.get("blocks").ok_or("missing blocks")?,
+            &blocks,
+        )?,
+        op_executed: sparse_counts_from_json(j.get("ops").ok_or("missing ops")?, &ops)?,
+        branch_taken: sparse_counts_from_json(j.get("taken").ok_or("missing taken")?, &ops)?,
+    })
+}
+
+fn counts_to_json(c: &OpCounts) -> String {
+    format!(
+        "{{\"static_ops\":{},\"static_branches\":{},\"dynamic_ops\":{},\"dynamic_branches\":{}}}",
+        c.static_ops, c.static_branches, c.dynamic_ops, c.dynamic_branches
+    )
+}
+
+fn counts_from_json(j: &Json) -> Result<OpCounts, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        j.get(name).and_then(Json::as_u64).ok_or_else(|| format!("missing count {name}"))
+    };
+    Ok(OpCounts {
+        static_ops: field("static_ops")? as usize,
+        static_branches: field("static_branches")? as usize,
+        dynamic_ops: field("dynamic_ops")?,
+        dynamic_branches: field("dynamic_branches")?,
+    })
+}
+
+fn stats_to_json(s: &IcbmStats) -> String {
+    format!(
+        "{{\"hyperblocks\":{},\"cpr_blocks\":{},\"taken_blocks\":{},\"branches_collapsed\":{},\
+         \"skipped\":{},\"promoted\":{},\"demoted\":{},\"dce_removed\":{}}}",
+        s.hyperblocks,
+        s.cpr_blocks,
+        s.taken_blocks,
+        s.branches_collapsed,
+        s.skipped,
+        s.promoted,
+        s.demoted,
+        s.dce_removed
+    )
+}
+
+fn stats_from_json(j: &Json) -> Result<IcbmStats, String> {
+    let field = |name: &str| -> Result<usize, String> {
+        j.get(name)
+            .and_then(Json::as_u64)
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("missing stat {name}"))
+    };
+    Ok(IcbmStats {
+        hyperblocks: field("hyperblocks")?,
+        cpr_blocks: field("cpr_blocks")?,
+        taken_blocks: field("taken_blocks")?,
+        branches_collapsed: field("branches_collapsed")?,
+        skipped: field("skipped")?,
+        promoted: field("promoted")?,
+        demoted: field("demoted")?,
+        dce_removed: field("dce_removed")?,
+    })
+}
+
+/// Serializes an artifact as one JSON document.
+pub fn artifact_to_json(a: &StageArtifact) -> String {
+    match a {
+        StageArtifact::Func(f) => {
+            format!("{{\"kind\":\"func\",\"ir\":{}}}", json_string(&f.to_string()))
+        }
+        StageArtifact::Baseline { func, profile, counts } => format!(
+            "{{\"kind\":\"baseline\",\"ir\":{},\"profile\":{},\"counts\":{}}}",
+            json_string(&func.to_string()),
+            profile_to_json(func, profile),
+            counts_to_json(counts)
+        ),
+        StageArtifact::Optimized { func, stats, profile, counts } => format!(
+            "{{\"kind\":\"optimized\",\"ir\":{},\"stats\":{},\"profile\":{},\"counts\":{}}}",
+            json_string(&func.to_string()),
+            stats_to_json(stats),
+            profile_to_json(func, profile),
+            counts_to_json(counts)
+        ),
+    }
+}
+
+/// Parses an artifact serialized by [`artifact_to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (the caller
+/// treats any error as a cache miss).
+pub fn artifact_from_json(text: &str) -> Result<StageArtifact, String> {
+    let j = Json::parse(text).map_err(|e| e.to_string())?;
+    let ir = j.get("ir").and_then(Json::as_str).ok_or("missing ir")?;
+    let func = epic_ir::parse_function(ir).map_err(|e| e.to_string())?;
+    match j.get("kind").and_then(Json::as_str) {
+        Some("func") => Ok(StageArtifact::Func(func)),
+        Some("baseline") => {
+            let profile = profile_from_json(&func, j.get("profile").ok_or("missing profile")?)?;
+            let counts = counts_from_json(j.get("counts").ok_or("missing counts")?)?;
+            Ok(StageArtifact::Baseline { func, profile, counts })
+        }
+        Some("optimized") => {
+            let stats = stats_from_json(j.get("stats").ok_or("missing stats")?)?;
+            let profile = profile_from_json(&func, j.get("profile").ok_or("missing profile")?)?;
+            let counts = counts_from_json(j.get("counts").ok_or("missing counts")?)?;
+            Ok(StageArtifact::Optimized { func, stats, profile, counts })
+        }
+        _ => Err("unknown artifact kind".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::stage;
+
+    fn sample_func() -> Function {
+        epic_workloads::by_name("strcpy").unwrap().func
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey { input_fp: n, stage: stage::SUPERBLOCK, config: 7 }
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache = CompileCache::new();
+        let f = sample_func();
+        let fp = f.fingerprint();
+        let make = || Ok(StageArtifact::Func(sample_func()));
+        let first = cache.get_or_compute(key(1), false, make).unwrap();
+        assert!(!first.hit);
+        let second = cache.get_or_compute(key(1), false, make).unwrap();
+        assert!(second.hit);
+        assert_eq!(second.artifact.function().fingerprint(), fp);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.to_json().contains("\"hits\":1"));
+    }
+
+    #[test]
+    fn distinct_stage_or_config_is_a_distinct_entry() {
+        let cache = CompileCache::new();
+        let make = || Ok(StageArtifact::Func(sample_func()));
+        cache.get_or_compute(key(1), false, make).unwrap();
+        let other_cfg = CacheKey { config: 8, ..key(1) };
+        assert!(!cache.get_or_compute(other_cfg, false, make).unwrap().hit);
+        let other_stage = CacheKey { stage: stage::UNROLL, ..key(1) };
+        assert!(!cache.get_or_compute(other_stage, false, make).unwrap().hit);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_residency() {
+        let cache = CompileCache::with_capacity(2);
+        let make = || Ok(StageArtifact::Func(sample_func()));
+        for n in 0..3 {
+            cache.get_or_compute(key(n), false, make).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // The oldest entry (0) was evicted; the newest two remain.
+        assert!(!cache.get_or_compute(key(0), false, make).unwrap().hit);
+        assert!(cache.get_or_compute(key(2), false, make).unwrap().hit);
+    }
+
+    #[test]
+    fn compute_errors_are_not_cached() {
+        let cache = CompileCache::new();
+        let boom = || {
+            Err(CompileError::Stage { stage: stage::SUPERBLOCK, message: "boom".into() })
+        };
+        assert!(cache.get_or_compute(key(9), false, boom).is_err());
+        // The failed lookup counted as a miss but left no entry behind.
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.entries), (1, 0));
+        let ok = cache
+            .get_or_compute(key(9), false, || Ok(StageArtifact::Func(sample_func())))
+            .unwrap();
+        assert!(!ok.hit);
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_json() {
+        let w = epic_workloads::by_name("strcpy").unwrap();
+        let (profile, counts) = epic_perf::profile_and_count(&w.func, &w.training).unwrap();
+        let artifact = StageArtifact::Baseline { func: w.func.clone(), profile, counts };
+        let reloaded = artifact_from_json(&artifact_to_json(&artifact)).unwrap();
+        let StageArtifact::Baseline { func, profile, counts } = &reloaded else {
+            panic!("wrong kind");
+        };
+        assert_eq!(func.fingerprint(), w.func.fingerprint());
+        let StageArtifact::Baseline { profile: orig_profile, counts: orig_counts, .. } =
+            &artifact
+        else {
+            unreachable!()
+        };
+        assert_eq!(counts, orig_counts);
+        // Ids may renumber, but totals are invariant.
+        let total = |p: &Profile| p.block_entries.values().sum::<u64>();
+        assert_eq!(total(profile), total(orig_profile));
+        let executed = |p: &Profile| p.op_executed.values().sum::<u64>();
+        assert_eq!(executed(profile), executed(orig_profile));
+    }
+
+    #[test]
+    fn optimized_artifact_round_trips_stats() {
+        let s = IcbmStats {
+            hyperblocks: 1,
+            cpr_blocks: 2,
+            taken_blocks: 3,
+            branches_collapsed: 4,
+            skipped: 5,
+            promoted: 6,
+            demoted: 7,
+            dce_removed: 8,
+        };
+        let artifact = StageArtifact::Optimized {
+            func: sample_func(),
+            stats: s,
+            profile: Profile::new(),
+            counts: OpCounts {
+                static_ops: 0,
+                static_branches: 0,
+                dynamic_ops: 0,
+                dynamic_branches: 0,
+            },
+        };
+        let StageArtifact::Optimized { stats, .. } =
+            artifact_from_json(&artifact_to_json(&artifact)).unwrap()
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(stats, s);
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        for bad in ["", "{}", "{\"kind\":\"func\"}", "{\"kind\":\"nope\",\"ir\":\"x\"}"] {
+            assert!(artifact_from_json(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -3,16 +3,24 @@
 //! Reproduces the paper's experimental setup (§7): "The baseline code is
 //! optimized superblock code ... The height-reduced code is the baseline
 //! code to which FRP conversion and the ICBM schema are applied."
+//!
+//! [`compile`] is a thin wrapper over the staged
+//! [`Pipeline`](crate::pipeline::Pipeline) API; [`compile_cached`] is the
+//! same flow with a [`CompileCache`] attached, so repeated or
+//! config-overlapping compilations reuse stage artifacts instead of
+//! recomputing them.
 
-use std::time::Instant;
-
-use control_cpr::{apply_icbm, CprConfig, IcbmStats};
-use epic_interp::{diff_test, DiffError, Trap};
+use epic_interp::{diff_test, DiffError};
 use epic_ir::{Function, Profile};
-use epic_perf::{profile_and_count, OpCounts};
-use epic_regions::{form_superblocks, frp_convert, if_convert, unroll_hot_loops, IfConvertConfig, TraceConfig};
+use epic_perf::OpCounts;
 use epic_workloads::Workload;
 
+use control_cpr::{CprConfig, IcbmStats};
+use epic_regions::{IfConvertConfig, TraceConfig};
+
+use crate::cache::CompileCache;
+use crate::error::CompileError;
+use crate::pipeline::Pipeline;
 use crate::timing::PassTimings;
 
 /// Configuration of the whole pipeline.
@@ -48,76 +56,37 @@ pub struct Compiled {
     pub stats: IcbmStats,
     /// Per-stage wall-clock and op-count observations from this compile.
     pub timings: PassTimings,
+    /// Stage lookups served from the attached cache (0 when uncached).
+    pub cache_hits: u64,
+    /// Stage lookups that had to compute (0 when uncached).
+    pub cache_misses: u64,
 }
 
 /// Compiles `w` through both pipelines.
 ///
 /// # Errors
 ///
-/// Propagates interpreter traps from the profiling runs (a trap indicates a
-/// broken workload or a miscompilation and is always a bug).
-pub fn compile(w: &Workload, cfg: &PipelineConfig) -> Result<Compiled, Trap> {
-    let mut timings = PassTimings::new(w.name);
-    // Optional if-conversion on the raw CFG, then profile to drive trace
-    // selection.
-    let mut source = w.func.clone();
-    if let Some(ic) = &cfg.if_convert {
-        let n = source.static_op_count();
-        let t0 = Instant::now();
-        let (p, _) = profile_and_count(&source, &w.training)?;
-        timings.push("profile:if-convert", t0.elapsed(), n, n);
-        let t0 = Instant::now();
-        if_convert(&mut source, &p, ic);
-        timings.push("if-convert", t0.elapsed(), n, source.static_op_count());
-    }
-    let n = source.static_op_count();
-    let t0 = Instant::now();
-    let (p0, _) = profile_and_count(&source, &w.training)?;
-    timings.push("profile:trace", t0.elapsed(), n, n);
-    let t0 = Instant::now();
-    let mut base = form_superblocks(&source, &p0, &cfg.trace);
-    timings.push("superblock", t0.elapsed(), n, base.static_op_count());
-    // Unrolling wants fresh frequencies for the merged blocks.
-    let n = base.static_op_count();
-    let t0 = Instant::now();
-    let (p1, _) = profile_and_count(&base, &w.training)?;
-    timings.push("profile:unroll", t0.elapsed(), n, n);
-    let t0 = Instant::now();
-    unroll_hot_loops(&mut base, &p1, w.unroll, cfg.trace.min_count);
-    // Clean the baseline too (fair comparison: the optimized side gets a
-    // DCE pass as part of ICBM).
-    control_cpr::dce(&mut base);
-    timings.push("unroll", t0.elapsed(), n, base.static_op_count());
-    let n = base.static_op_count();
-    let t0 = Instant::now();
-    let (base_profile, base_counts) = profile_and_count(&base, &w.training)?;
-    timings.push("profile:baseline", t0.elapsed(), n, n);
+/// Any [`CompileError`] from the stages — in practice interpreter traps
+/// from the profiling runs (a trap indicates a broken workload or a
+/// miscompilation and is always a bug).
+pub fn compile(w: &Workload, cfg: &PipelineConfig) -> Result<Compiled, CompileError> {
+    Pipeline::new(w, cfg).if_convert()?.superblock()?.unroll()?.frp()?.icbm()
+}
 
-    let mut opt = base.clone();
-    let t0 = Instant::now();
-    frp_convert(&mut opt);
-    timings.push("frp-convert", t0.elapsed(), n, opt.static_op_count());
-    // FRP conversion preserves block and branch ids, so the baseline
-    // profile remains valid for the ICBM heuristics.
-    let n = opt.static_op_count();
-    let t0 = Instant::now();
-    let stats = apply_icbm(&mut opt, &base_profile, &cfg.cpr);
-    timings.push("icbm", t0.elapsed(), n, opt.static_op_count());
-    let n = opt.static_op_count();
-    let t0 = Instant::now();
-    let (opt_profile, opt_counts) = profile_and_count(&opt, &w.training)?;
-    timings.push("profile:optimized", t0.elapsed(), n, n);
-
-    Ok(Compiled {
-        baseline: base,
-        optimized: opt,
-        base_profile,
-        opt_profile,
-        base_counts,
-        opt_counts,
-        stats,
-        timings,
-    })
+/// [`compile`] with stage memoization: every stage is first looked up in
+/// `cache` under its content-addressed key, so recompiling the same
+/// workload — or a config sharing upstream stages — reuses the stored
+/// artifacts. `Compiled::cache_hits`/`cache_misses` report what happened.
+///
+/// # Errors
+///
+/// Same as [`compile`]; errors are never cached.
+pub fn compile_cached(
+    w: &Workload,
+    cfg: &PipelineConfig,
+    cache: &CompileCache,
+) -> Result<Compiled, CompileError> {
+    Pipeline::new(w, cfg).with_cache(cache).if_convert()?.superblock()?.unroll()?.frp()?.icbm()
 }
 
 /// Differentially tests both compiled functions against the original
@@ -169,5 +138,21 @@ mod tests {
             let c = compile(&w, &PipelineConfig::default()).unwrap();
             assert!(c.stats.cpr_blocks >= 1, "{name}: {:?}", c.stats);
         }
+    }
+
+    #[test]
+    fn cached_compile_is_equivalent_and_hits_on_repeat() {
+        let w = epic_workloads::by_name("strcpy").unwrap();
+        let cfg = PipelineConfig::default();
+        let cache = CompileCache::new();
+        let c1 = compile_cached(&w, &cfg, &cache).unwrap();
+        assert_eq!(c1.cache_hits, 0);
+        assert!(c1.cache_misses > 0);
+        let c2 = compile_cached(&w, &cfg, &cache).unwrap();
+        assert_eq!(c2.cache_misses, 0, "second compile must be fully cached");
+        assert_eq!(c1.baseline.to_string(), c2.baseline.to_string());
+        assert_eq!(c1.optimized.to_string(), c2.optimized.to_string());
+        let uncached = compile(&w, &cfg).unwrap();
+        assert_eq!(uncached.optimized.to_string(), c2.optimized.to_string());
     }
 }

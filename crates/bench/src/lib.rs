@@ -11,13 +11,22 @@
 //! * **Ablations** — heuristic and design-choice studies
 //!   (`cargo run -p epic-bench --bin ablation`).
 
+pub mod cache;
 pub mod compile;
+pub mod error;
+pub mod json;
+pub mod pipeline;
 pub mod tables;
 pub mod timing;
 
-pub use compile::{check_equivalence, compile, Compiled, PipelineConfig};
+pub use cache::{CacheKey, CacheStats, CompileCache, StageArtifact};
+pub use compile::{check_equivalence, compile, compile_cached, Compiled, PipelineConfig};
+pub use error::CompileError;
+pub use json::{Json, JsonError};
+pub use pipeline::Pipeline;
 pub use tables::{
-    render_table2, render_table3, table2, table2_row, table2_row_bench, table2_serial,
-    table2_with_timings, table3, table3_serial, table3_with_timings, Table2Row, Table3Row,
+    render_table2, render_table3, table2, table2_cached, table2_row, table2_row_bench,
+    table2_serial, table2_with_timings, table2_with_timings_cached, table3, table3_cached,
+    table3_serial, table3_with_timings, table3_with_timings_cached, Table2Row, Table3Row,
 };
-pub use timing::{take_timings_flag, timings_to_json, PassTimings, StageTiming};
+pub use timing::{stage, take_timings_flag, timings_to_json, PassTimings, StageTiming};

@@ -15,8 +15,22 @@ use epic_sched::{schedule_function, SchedOptions};
 use epic_workloads::{Group, Workload};
 use rayon::prelude::*;
 
-use crate::compile::{compile, Compiled, PipelineConfig};
-use crate::timing::PassTimings;
+use crate::cache::CompileCache;
+use crate::compile::{compile, compile_cached, Compiled, PipelineConfig};
+use crate::timing::{stage, PassTimings};
+
+/// Compiles through `cache` when one is given, directly otherwise.
+fn compile_maybe_cached(
+    w: &Workload,
+    cfg: &PipelineConfig,
+    cache: Option<&CompileCache>,
+) -> Compiled {
+    let result = match cache {
+        Some(cache) => compile_cached(w, cfg, cache),
+        None => compile(w, cfg),
+    };
+    result.unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
 
 /// One row of Table 2: per-machine speedups for one benchmark.
 #[derive(Clone, Debug)]
@@ -55,21 +69,41 @@ pub fn table2(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table2Row> {
     table2_with_timings(workloads, cfg).0
 }
 
+/// [`table2`] with every compilation served through `cache`. Rows are
+/// byte-identical to the uncached path; overlapping configurations and
+/// repeated runs reuse stage artifacts instead of recompiling.
+pub fn table2_cached(
+    workloads: &[Workload],
+    cfg: &PipelineConfig,
+    cache: &CompileCache,
+) -> Vec<Table2Row> {
+    table2_with_timings_cached(workloads, cfg, Some(cache)).0
+}
+
 /// [`table2`] plus the per-workload pass timings (including a `schedule`
 /// stage covering all machine models of the row).
 pub fn table2_with_timings(
     workloads: &[Workload],
     cfg: &PipelineConfig,
 ) -> (Vec<Table2Row>, Vec<PassTimings>) {
+    table2_with_timings_cached(workloads, cfg, None)
+}
+
+/// [`table2_with_timings`] with an optional compile cache.
+pub fn table2_with_timings_cached(
+    workloads: &[Workload],
+    cfg: &PipelineConfig,
+    cache: Option<&CompileCache>,
+) -> (Vec<Table2Row>, Vec<PassTimings>) {
     let machines = Machine::paper_suite();
     let pairs: Vec<(Table2Row, PassTimings)> = workloads
         .par_iter()
         .map(|w| {
-            let mut c = compile(w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let mut c = compile_maybe_cached(w, cfg, cache);
             let n = c.optimized.static_op_count();
             let t0 = Instant::now();
             let row = table2_row(w, &c, &machines);
-            c.timings.push("schedule", t0.elapsed(), n, n);
+            c.timings.push(stage::SCHEDULE, t0.elapsed(), n, n);
             (row, c.timings)
         })
         .collect();
@@ -85,7 +119,7 @@ pub fn table2_serial(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table2
     workloads
         .iter()
         .map(|w| {
-            let c = compile(w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let c = compile_maybe_cached(w, cfg, None);
             let cycles = machines
                 .iter()
                 .map(|m| machine_cycles(&c, m, &opts))
@@ -130,15 +164,34 @@ pub fn table3(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table3Row> {
     table3_with_timings(workloads, cfg).0
 }
 
+/// [`table3`] with every compilation served through `cache` (see
+/// [`table2_cached`]).
+pub fn table3_cached(
+    workloads: &[Workload],
+    cfg: &PipelineConfig,
+    cache: &CompileCache,
+) -> Vec<Table3Row> {
+    table3_with_timings_cached(workloads, cfg, Some(cache)).0
+}
+
 /// [`table3`] plus the per-workload pass timings.
 pub fn table3_with_timings(
     workloads: &[Workload],
     cfg: &PipelineConfig,
 ) -> (Vec<Table3Row>, Vec<PassTimings>) {
+    table3_with_timings_cached(workloads, cfg, None)
+}
+
+/// [`table3_with_timings`] with an optional compile cache.
+pub fn table3_with_timings_cached(
+    workloads: &[Workload],
+    cfg: &PipelineConfig,
+    cache: Option<&CompileCache>,
+) -> (Vec<Table3Row>, Vec<PassTimings>) {
     let pairs: Vec<(Table3Row, PassTimings)> = workloads
         .par_iter()
         .map(|w| {
-            let c = compile(w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let c = compile_maybe_cached(w, cfg, cache);
             let row = Table3Row {
                 name: w.name.to_string(),
                 group: w.group,
@@ -155,7 +208,7 @@ pub fn table3_serial(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table3
     workloads
         .iter()
         .map(|w| {
-            let c = compile(w, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let c = compile_maybe_cached(w, cfg, None);
             Table3Row {
                 name: w.name.to_string(),
                 group: w.group,

@@ -11,6 +11,58 @@
 
 use std::time::Duration;
 
+/// The canonical pipeline stage names.
+///
+/// Every stage recorded in [`PassTimings`] (and every stage the compile
+/// cache memoizes) must use one of these constants. Previously the names
+/// were free strings scattered across `compile.rs` and the bins, so a typo
+/// silently created a brand-new stage in the timings JSON; now
+/// [`PassTimings::push`] debug-asserts membership in [`stage::ALL`].
+pub mod stage {
+    /// Profiling run feeding the optional if-conversion pass.
+    pub const PROFILE_IF_CONVERT: &str = "profile:if-convert";
+    /// Traditional if-conversion (optional, pre-region-formation).
+    pub const IF_CONVERT: &str = "if-convert";
+    /// Profiling run feeding trace selection.
+    pub const PROFILE_TRACE: &str = "profile:trace";
+    /// Superblock formation.
+    pub const SUPERBLOCK: &str = "superblock";
+    /// Profiling run feeding loop unrolling.
+    pub const PROFILE_UNROLL: &str = "profile:unroll";
+    /// Hot-loop unrolling (plus the baseline DCE cleanup).
+    pub const UNROLL: &str = "unroll";
+    /// Profiling run measuring the finished baseline.
+    pub const PROFILE_BASELINE: &str = "profile:baseline";
+    /// Fully-resolved-predicate conversion.
+    pub const FRP_CONVERT: &str = "frp-convert";
+    /// The ICBM control-CPR transformation.
+    pub const ICBM: &str = "icbm";
+    /// Profiling run measuring the height-reduced code.
+    pub const PROFILE_OPTIMIZED: &str = "profile:optimized";
+    /// Machine scheduling (recorded by the table drivers).
+    pub const SCHEDULE: &str = "schedule";
+
+    /// Every valid stage name, in canonical pipeline order.
+    pub const ALL: [&str; 11] = [
+        PROFILE_IF_CONVERT,
+        IF_CONVERT,
+        PROFILE_TRACE,
+        SUPERBLOCK,
+        PROFILE_UNROLL,
+        UNROLL,
+        PROFILE_BASELINE,
+        FRP_CONVERT,
+        ICBM,
+        PROFILE_OPTIMIZED,
+        SCHEDULE,
+    ];
+
+    /// True when `name` is one of the canonical stage names.
+    pub fn is_known(name: &str) -> bool {
+        ALL.contains(&name)
+    }
+}
+
 /// One timed pipeline stage.
 #[derive(Clone, Debug)]
 pub struct StageTiming {
@@ -40,6 +92,10 @@ impl PassTimings {
     }
 
     /// Appends one stage record.
+    ///
+    /// Debug builds reject stage names outside [`stage::ALL`] — a typo'd
+    /// name would otherwise silently materialize a new stage in the
+    /// timings JSON.
     pub fn push(
         &mut self,
         stage: impl Into<String>,
@@ -47,7 +103,12 @@ impl PassTimings {
         ops_before: usize,
         ops_after: usize,
     ) {
-        self.stages.push(StageTiming { stage: stage.into(), wall, ops_before, ops_after });
+        let stage = stage.into();
+        debug_assert!(
+            stage::is_known(&stage),
+            "unknown pipeline stage name {stage:?}; use the timing::stage constants"
+        );
+        self.stages.push(StageTiming { stage, wall, ops_before, ops_after });
     }
 
     /// Total wall-clock across all recorded stages.
@@ -157,9 +218,29 @@ mod tests {
     #[test]
     fn total_sums_stage_walls() {
         let mut t = PassTimings::new("w");
-        t.push("a", Duration::from_millis(2), 0, 0);
-        t.push("b", Duration::from_millis(3), 0, 0);
+        t.push(stage::SUPERBLOCK, Duration::from_millis(2), 0, 0);
+        t.push(stage::UNROLL, Duration::from_millis(3), 0, 0);
         assert_eq!(t.total(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn stage_names_are_canonical() {
+        assert!(stage::is_known("icbm"));
+        assert!(stage::is_known("profile:baseline"));
+        assert!(!stage::is_known("icmb")); // the typo the consts guard against
+        // The canonical list has no duplicates.
+        let mut names = stage::ALL.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), stage::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pipeline stage")]
+    #[cfg(debug_assertions)]
+    fn typo_stage_names_are_rejected() {
+        let mut t = PassTimings::new("w");
+        t.push("icmb", Duration::from_millis(1), 0, 0);
     }
 
     #[test]

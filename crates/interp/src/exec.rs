@@ -58,6 +58,25 @@ impl Input {
     pub fn fuel_budget(&self) -> u64 {
         self.fuel
     }
+
+    /// A stable content hash of this input (memory image, initial
+    /// registers, fuel budget), suitable for cache keys: two inputs with
+    /// the same hash drive a deterministic program to the same profile and
+    /// observable outcome.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = epic_ir::Fnv64::new();
+        h.write_usize(self.memory.len());
+        for &v in &self.memory {
+            h.write_i64(v);
+        }
+        h.write_usize(self.regs.len());
+        for &(r, v) in &self.regs {
+            h.write_u64(r.0 as u64);
+            h.write_i64(v);
+        }
+        h.write_u64(self.fuel);
+        h.finish()
+    }
 }
 
 /// The result of a completed execution.

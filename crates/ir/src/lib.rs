@@ -43,6 +43,7 @@
 
 pub mod block;
 pub mod builder;
+pub mod fingerprint;
 pub mod func;
 pub mod ids;
 pub mod op;
@@ -54,6 +55,7 @@ pub mod verify;
 
 pub use block::Block;
 pub use builder::FunctionBuilder;
+pub use fingerprint::{combine_hashes, Fnv64};
 pub use func::Function;
 pub use ids::{BlockId, OpId, PredReg, Reg};
 pub use op::{Dest, Op, Operand};

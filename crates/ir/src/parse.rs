@@ -165,16 +165,25 @@ fn parse_op(
     max_reg: &mut u32,
     max_pred: &mut u32,
 ) -> Result<Op, ParseError> {
-    // Split off the guard.
-    let (body, guard) = match line.rsplit_once(" if ") {
+    // Split off the guard and the optional `@mc<k>` alias-class annotation.
+    let (body, guard, mem_class) = match line.rsplit_once(" if ") {
         Some((b, g)) => {
             let g = g.trim();
+            let (g, mem_class) = match g.split_once("@mc") {
+                Some((g0, mc)) => {
+                    let class = mc.trim().parse::<u32>().map_err(|_| {
+                        err(ln, format!("bad alias class `@mc{}`", mc.trim()))
+                    })?;
+                    (g0.trim(), Some(class))
+                }
+                None => (g, None),
+            };
             let guard = if g == "T" {
                 None
             } else {
                 Some(parse_pred(g, ln, max_pred)?)
             };
-            (b.trim(), guard)
+            (b.trim(), guard, mem_class)
         }
         None => return Err(err(ln, "missing ` if <guard>` suffix")),
     };
@@ -226,7 +235,11 @@ fn parse_op(
             .iter()
             .map(|a| parse_operand(a, ln, labels, max_reg, max_pred))
             .collect::<Result<Vec<_>, _>>()?;
-        return Ok(Op { id: func.new_op_id(), opcode: Opcode::Cmpp(cond), dests, srcs, guard });
+        let op = Op { id: func.new_op_id(), opcode: Opcode::Cmpp(cond), dests, srcs, guard };
+        if let Some(c) = mem_class {
+            func.set_mem_class(op.id, c);
+        }
+        return Ok(op);
     }
 
     let opcode = match mnemonic_full {
@@ -285,7 +298,11 @@ fn parse_op(
             srcs.push(parse_operand(a, ln, labels, max_reg, max_pred)?);
         }
     }
-    Ok(Op { id: func.new_op_id(), opcode, dests, srcs, guard })
+    let op = Op { id: func.new_op_id(), opcode, dests, srcs, guard };
+    if let Some(c) = mem_class {
+        func.set_mem_class(op.id, c);
+    }
+    Ok(op)
 }
 
 fn parse_cond(s: &str, ln: usize) -> Result<CmpCond, ParseError> {
@@ -458,6 +475,41 @@ exit:
         assert!(text.contains("live-out: r1, r0"), "{text}");
         let g = parse_function(&text).unwrap();
         assert_eq!(g.live_outs(), f.live_outs());
+    }
+
+    #[test]
+    fn roundtrips_mem_classes() {
+        let mut b = FunctionBuilder::new("mc");
+        let e = b.block("entry");
+        b.switch_to(e);
+        let a = b.movi(0);
+        b.set_alias_class(Some(2));
+        b.store(a, Operand::Imm(1));
+        b.set_alias_class(Some(7));
+        let _v = b.load(a);
+        b.set_alias_class(None);
+        b.store(a, Operand::Imm(3));
+        b.ret();
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("@mc2"), "{text}");
+        assert!(text.contains("@mc7"), "{text}");
+        let g = parse_function(&text).unwrap();
+        let classes: Vec<Option<u32>> =
+            g.ops_in_layout().map(|(_, o)| g.mem_class_of(o.id)).collect();
+        let expected: Vec<Option<u32>> =
+            f.ops_in_layout().map(|(_, o)| f.mem_class_of(o.id)).collect();
+        assert_eq!(classes, expected);
+        assert_eq!(classes[1], Some(2));
+        assert_eq!(classes[2], Some(7));
+        assert_eq!(classes[3], None);
+    }
+
+    #[test]
+    fn rejects_bad_mem_class() {
+        let src = "function f {\nentry:\n  ret() if T @mcx\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert!(e.to_string().contains("alias class"), "{e}");
     }
 
     #[test]

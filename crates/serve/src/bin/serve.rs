@@ -1,0 +1,109 @@
+//! The batch-compile service front-end.
+//!
+//! ```text
+//! serve [--threads N] [--timeout-ms N] [--tcp ADDR]
+//! ```
+//!
+//! By default the server reads newline-delimited JSON requests from stdin
+//! and answers on stdout, one response line per request, in request order;
+//! EOF shuts it down and prints the run's metrics (request counts, cache
+//! counters, latencies) as JSON on stderr. With `--tcp ADDR` it listens on
+//! `ADDR` (e.g. `127.0.0.1:7777`) instead and serves each connection on
+//! its own thread with the same protocol, reporting per-connection metrics
+//! on stderr as connections close.
+//!
+//! All connections (and all requests within a batch) share one
+//! [`CompileCache`]; set `EPIC_CACHE_DIR` to also persist stage artifacts
+//! across server restarts. See `epic_serve::proto` for the wire format.
+
+use std::io::{BufReader, Write};
+use std::net::TcpListener;
+use std::process::exit;
+use std::sync::Arc;
+
+use epic_bench::CompileCache;
+use epic_serve::{serve, ServerOptions};
+
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_value_flag(&mut args, "--threads")
+        .map(|v| v.parse().unwrap_or_else(|_| {
+            eprintln!("--threads needs an integer");
+            exit(2);
+        }))
+        .unwrap_or(0);
+    let default_timeout_ms = take_value_flag(&mut args, "--timeout-ms").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--timeout-ms needs an integer");
+            exit(2);
+        })
+    });
+    let tcp = take_value_flag(&mut args, "--tcp");
+    if let Some(unknown) = args.first() {
+        eprintln!("unknown argument: {unknown}");
+        eprintln!("usage: serve [--threads N] [--timeout-ms N] [--tcp ADDR]");
+        exit(2);
+    }
+
+    let opts = ServerOptions { threads, default_timeout_ms };
+    let cache = Arc::new(CompileCache::from_env());
+
+    let Some(addr) = tcp else {
+        // StdinLock is not Send (the reader runs on its own thread), so
+        // wrap the handle instead of locking it.
+        let stdin = BufReader::new(std::io::stdin());
+        let stdout = std::io::stdout();
+        match serve(stdin, stdout.lock(), cache, &opts) {
+            Ok(metrics) => eprintln!("serve: {}", metrics.to_json()),
+            Err(e) => {
+                eprintln!("serve: I/O error: {e}");
+                exit(1);
+            }
+        }
+        return;
+    };
+
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("serve: cannot listen on {addr}: {e}");
+        exit(1);
+    });
+    eprintln!("serve: listening on {addr}");
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let peer = stream.peer_addr().map_or_else(|_| "?".into(), |p| p.to_string());
+        let cache = Arc::clone(&cache);
+        let opts = opts.clone();
+        std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(r) => BufReader::new(r),
+                Err(e) => {
+                    eprintln!("serve: [{peer}] clone failed: {e}");
+                    return;
+                }
+            };
+            let mut writer = stream;
+            match serve(reader, &mut writer, cache, &opts) {
+                Ok(metrics) => eprintln!("serve: [{peer}] {}", metrics.to_json()),
+                Err(e) => eprintln!("serve: [{peer}] I/O error: {e}"),
+            }
+            let _ = writer.flush();
+        });
+    }
+}

@@ -1,0 +1,129 @@
+//! # epic-serve
+//!
+//! A long-running batch-compile service over the cached pipeline.
+//!
+//! The server speaks newline-delimited JSON: each request line names a
+//! suite workload (or carries inline IR text plus an input), optionally
+//! overrides the [`PipelineConfig`](epic_bench::PipelineConfig), and gets
+//! exactly one response line back, in request order. Requests fan out over
+//! a worker pool and every pipeline stage is served from a shared
+//! [`CompileCache`](epic_bench::CompileCache), so a batch that repeats
+//! inputs (or overlaps configurations) recompiles nothing.
+//!
+//! Failures — malformed JSON, unknown workloads, IR parse errors,
+//! interpreter traps, per-request timeouts — produce a structured
+//! `{"ok":false,"error":{...}}` reply on the offending line and never take
+//! the process down.
+//!
+//! See [`proto`] for the wire format and [`server`] for the execution
+//! model; the `serve` binary fronts both over stdin/stdout or TCP.
+
+pub mod proto;
+pub mod server;
+
+use std::error::Error;
+use std::fmt;
+
+use epic_bench::timing::json_string;
+use epic_bench::{CompileError, JsonError};
+
+pub use proto::{InlineTarget, Request, Target};
+pub use server::{serve, ServerMetrics, ServerOptions};
+
+/// Any failure of one batch-compile request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The compilation pipeline itself failed.
+    Compile(CompileError),
+    /// The request line was not a valid request (bad JSON, missing or
+    /// ill-typed fields).
+    Protocol(String),
+    /// The request named a workload the suite does not contain.
+    UnknownWorkload(String),
+    /// The request exceeded its wall-clock budget. The abandoned compile
+    /// keeps running detached and may still populate the cache.
+    Timeout(u64),
+}
+
+impl ServeError {
+    /// A short machine-readable tag for the error class. Compile errors
+    /// keep their inner kind (`"trap"`, `"diff"`, `"parse"`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Compile(e) => e.kind(),
+            ServeError::Protocol(_) => "protocol",
+            ServeError::UnknownWorkload(_) => "unknown-workload",
+            ServeError::Timeout(_) => "timeout",
+        }
+    }
+
+    /// Renders the error as a stable JSON object. Compile errors reuse
+    /// [`CompileError::to_json`] verbatim (including their `stage` key).
+    pub fn to_json(&self) -> String {
+        match self {
+            ServeError::Compile(e) => e.to_json(),
+            other => format!(
+                "{{\"kind\":{},\"message\":{}}}",
+                json_string(other.kind()),
+                json_string(&other.to_string())
+            ),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Compile(e) => write!(f, "{e}"),
+            ServeError::Protocol(m) => write!(f, "bad request: {m}"),
+            ServeError::UnknownWorkload(n) => write!(f, "unknown workload: {n}"),
+            ServeError::Timeout(ms) => write!(f, "request exceeded {ms}ms"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<CompileError> for ServeError {
+    fn from(e: CompileError) -> Self {
+        ServeError::Compile(e)
+    }
+}
+
+impl From<JsonError> for ServeError {
+    fn from(e: JsonError) -> Self {
+        ServeError::Protocol(e.to_string())
+    }
+}
+
+impl From<epic_ir::ParseError> for ServeError {
+    fn from(e: epic_ir::ParseError) -> Self {
+        ServeError::Compile(CompileError::Parse(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_interp::Trap;
+
+    #[test]
+    fn kinds_and_json() {
+        let e = ServeError::UnknownWorkload("nope".into());
+        assert_eq!(e.kind(), "unknown-workload");
+        assert!(e.to_json().contains("\"kind\":\"unknown-workload\""));
+        assert!(e.to_json().contains("nope"));
+
+        let e = ServeError::Timeout(250);
+        assert_eq!(e.kind(), "timeout");
+        assert!(e.to_json().contains("250ms"));
+
+        // Compile errors surface their inner structure unchanged.
+        let e = ServeError::from(CompileError::from(Trap::OutOfFuel));
+        assert_eq!(e.kind(), "trap");
+        assert!(e.to_json().contains("\"stage\":\"interp\""));
+
+        let e = ServeError::from(epic_ir::ParseError { line: 3, message: "bad".into() });
+        assert_eq!(e.kind(), "parse");
+    }
+}

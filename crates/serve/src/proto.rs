@@ -1,0 +1,442 @@
+//! The NDJSON wire format.
+//!
+//! One request per line. The minimal request compiles a suite workload
+//! under the default configuration:
+//!
+//! ```json
+//! {"id":1,"workload":"strcpy"}
+//! ```
+//!
+//! Inline IR ships the program text and its profiling input instead:
+//!
+//! ```json
+//! {"id":2,"name":"mine","ir":"fn mine { ... }",
+//!  "input":{"memory_size":64,"memory":[[0,[1,2,0]]],"regs":[[0,7]],"fuel":100000},
+//!  "unroll":2}
+//! ```
+//!
+//! Optional keys on either form: `"config"` (partial overrides of the
+//! default [`PipelineConfig`], grouped `{"trace":{..},"cpr":{..},
+//! "if_convert":{..}|null}`), `"timeout_ms"`, `"check"` (differentially
+//! test the compiled pair before answering), `"emit_ir"` (include the
+//! compiled IR text in the result).
+//!
+//! Each response is one line. Success:
+//!
+//! ```json
+//! {"id":1,"ok":true,"result":{"name":"strcpy","baseline":{...},
+//!  "optimized":{...},"stats":{...}},"cache":{"hits":3,"misses":0}}
+//! ```
+//!
+//! Failure: `{"id":1,"ok":false,"error":{"kind":...,"message":...},
+//! "cache":{...}}`. The `result` object is a pure function of the compiled
+//! artifacts — byte-identical across served-from-cache and recomputed
+//! replies — while the trailing `cache` object reports what this request
+//! actually did.
+
+use epic_bench::timing::json_string;
+use epic_bench::{Compiled, Json, PipelineConfig};
+use epic_interp::Input;
+use epic_ir::{parse_function, Function, Reg};
+use epic_perf::OpCounts;
+
+use crate::ServeError;
+
+/// What to compile: a suite workload by name, or inline IR.
+#[derive(Debug)]
+pub enum Target {
+    /// A workload from `epic_workloads::all()`.
+    Workload(String),
+    /// An inline program with its profiling input (boxed: a parsed
+    /// [`Function`] dwarfs the name-only variant).
+    Inline(Box<InlineTarget>),
+}
+
+/// An inline program submitted over the wire.
+#[derive(Debug)]
+pub struct InlineTarget {
+    /// Display name (used in timings and the result object).
+    pub name: String,
+    /// The parsed program.
+    pub func: Function,
+    /// Training input driving every profiling stage.
+    pub input: Input,
+    /// Hot-loop unroll factor.
+    pub unroll: u32,
+}
+
+/// One parsed batch-compile request.
+#[derive(Debug)]
+pub struct Request {
+    /// Echoed back verbatim in the response (`null` when absent).
+    pub id: Option<u64>,
+    /// What to compile.
+    pub target: Target,
+    /// Fully-resolved pipeline configuration (defaults + overrides).
+    pub cfg: PipelineConfig,
+    /// Per-request wall-clock budget; `None` defers to the server default.
+    pub timeout_ms: Option<u64>,
+    /// Differentially test baseline and optimized against the source.
+    pub check: bool,
+    /// Include the compiled IR text in the result object.
+    pub emit_ir: bool,
+}
+
+fn want_u64(j: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    match j.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ServeError::Protocol(format!("\"{key}\" must be a non-negative integer"))),
+    }
+}
+
+fn want_f64(j: &Json, key: &str) -> Result<Option<f64>, ServeError> {
+    match j.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ServeError::Protocol(format!("\"{key}\" must be a number"))),
+    }
+}
+
+fn want_bool(j: &Json, key: &str) -> Result<Option<bool>, ServeError> {
+    match j.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| ServeError::Protocol(format!("\"{key}\" must be a boolean"))),
+    }
+}
+
+fn want_str<'j>(j: &'j Json, key: &str) -> Result<Option<&'j str>, ServeError> {
+    match j.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ServeError::Protocol(format!("\"{key}\" must be a string"))),
+    }
+}
+
+fn parse_input(j: &Json) -> Result<Input, ServeError> {
+    let mut input = Input::new();
+    let mut size = 0usize;
+    if let Some(n) = want_u64(j, "memory_size")? {
+        size = n as usize;
+        input = input.memory_size(size);
+    }
+    if let Some(mem) = j.get("memory") {
+        let entries = mem
+            .as_arr()
+            .ok_or_else(|| ServeError::Protocol("\"memory\" must be an array".into()))?;
+        for entry in entries {
+            let pair = entry.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                ServeError::Protocol("\"memory\" entries must be [addr, [values...]]".into())
+            })?;
+            let addr = pair[0]
+                .as_u64()
+                .ok_or_else(|| ServeError::Protocol("memory addr must be an integer".into()))?
+                as usize;
+            let vals = pair[1]
+                .as_arr()
+                .ok_or_else(|| ServeError::Protocol("memory values must be an array".into()))?
+                .iter()
+                .map(|v| {
+                    v.as_i64()
+                        .ok_or_else(|| ServeError::Protocol("memory value must be an integer".into()))
+                })
+                .collect::<Result<Vec<i64>, _>>()?;
+            if addr + vals.len() > size {
+                return Err(ServeError::Protocol(format!(
+                    "memory write at {addr}+{} exceeds memory_size {size}",
+                    vals.len()
+                )));
+            }
+            input = input.with_memory(addr, &vals);
+        }
+    }
+    if let Some(regs) = j.get("regs") {
+        let entries = regs
+            .as_arr()
+            .ok_or_else(|| ServeError::Protocol("\"regs\" must be an array".into()))?;
+        for entry in entries {
+            let pair = entry.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                ServeError::Protocol("\"regs\" entries must be [reg, value]".into())
+            })?;
+            let r = pair[0]
+                .as_u64()
+                .ok_or_else(|| ServeError::Protocol("reg index must be an integer".into()))?;
+            let v = pair[1]
+                .as_i64()
+                .ok_or_else(|| ServeError::Protocol("reg value must be an integer".into()))?;
+            input = input.with_reg(Reg(r as u32), v);
+        }
+    }
+    if let Some(fuel) = want_u64(j, "fuel")? {
+        input = input.fuel(fuel);
+    }
+    Ok(input)
+}
+
+fn parse_config(j: Option<&Json>) -> Result<PipelineConfig, ServeError> {
+    let mut cfg = PipelineConfig::default();
+    let Some(j) = j else { return Ok(cfg) };
+    if !matches!(j, Json::Obj(_)) {
+        return Err(ServeError::Protocol("\"config\" must be an object".into()));
+    }
+    if let Some(t) = j.get("trace") {
+        if let Some(v) = want_f64(t, "min_prob")? {
+            cfg.trace.min_prob = v;
+        }
+        if let Some(v) = want_u64(t, "max_ops")? {
+            cfg.trace.max_ops = v as usize;
+        }
+        if let Some(v) = want_u64(t, "min_count")? {
+            cfg.trace.min_count = v;
+        }
+    }
+    if let Some(c) = j.get("cpr") {
+        if let Some(v) = want_f64(c, "exit_weight_threshold")? {
+            cfg.cpr.exit_weight_threshold = v;
+        }
+        if let Some(v) = want_f64(c, "predict_taken_threshold")? {
+            cfg.cpr.predict_taken_threshold = v;
+        }
+        if let Some(v) = want_u64(c, "min_entry_count")? {
+            cfg.cpr.min_entry_count = v;
+        }
+        if let Some(v) = want_u64(c, "max_branches")? {
+            cfg.cpr.max_branches = v as usize;
+        }
+        if let Some(v) = want_bool(c, "speculate")? {
+            cfg.cpr.speculate = v;
+        }
+        if let Some(v) = want_bool(c, "enable_taken_variation")? {
+            cfg.cpr.enable_taken_variation = v;
+        }
+    }
+    match j.get("if_convert") {
+        None | Some(Json::Null) => {}
+        Some(ic) => {
+            let mut c = epic_regions::IfConvertConfig::default();
+            if let Some(v) = want_f64(ic, "min_taken")? {
+                c.min_taken = v;
+            }
+            if let Some(v) = want_f64(ic, "max_taken")? {
+                c.max_taken = v;
+            }
+            if let Some(v) = want_u64(ic, "max_ops")? {
+                c.max_ops = v as usize;
+            }
+            cfg.if_convert = Some(c);
+        }
+    }
+    Ok(cfg)
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] for malformed JSON or ill-typed fields;
+    /// [`ServeError::Compile`] (parse kind) for bad inline IR.
+    pub fn parse(line: &str) -> Result<Request, ServeError> {
+        let j = Json::parse(line)?;
+        if !matches!(j, Json::Obj(_)) {
+            return Err(ServeError::Protocol("request must be a JSON object".into()));
+        }
+        let id = want_u64(&j, "id")?;
+        let target = match (want_str(&j, "workload")?, want_str(&j, "ir")?) {
+            (Some(_), Some(_)) => {
+                return Err(ServeError::Protocol(
+                    "request has both \"workload\" and \"ir\"; pick one".into(),
+                ))
+            }
+            (Some(name), None) => Target::Workload(name.to_string()),
+            (None, Some(ir)) => {
+                let func = parse_function(ir)?;
+                epic_ir::verify(&func).map_err(epic_bench::CompileError::Verify)?;
+                let input = match j.get("input") {
+                    Some(spec) => parse_input(spec)?,
+                    None => Input::new(),
+                };
+                let name =
+                    want_str(&j, "name")?.unwrap_or("inline").to_string();
+                let unroll = want_u64(&j, "unroll")?.unwrap_or(1) as u32;
+                Target::Inline(Box::new(InlineTarget { name, func, input, unroll }))
+            }
+            (None, None) => {
+                return Err(ServeError::Protocol(
+                    "request needs \"workload\" or \"ir\"".into(),
+                ))
+            }
+        };
+        Ok(Request {
+            id,
+            target,
+            cfg: parse_config(j.get("config"))?,
+            timeout_ms: want_u64(&j, "timeout_ms")?,
+            check: want_bool(&j, "check")?.unwrap_or(false),
+            emit_ir: want_bool(&j, "emit_ir")?.unwrap_or(false),
+        })
+    }
+}
+
+fn counts_json(c: &OpCounts) -> String {
+    format!(
+        "{{\"static_ops\":{},\"static_branches\":{},\"dynamic_ops\":{},\"dynamic_branches\":{}}}",
+        c.static_ops, c.static_branches, c.dynamic_ops, c.dynamic_branches
+    )
+}
+
+/// Renders the deterministic `result` object for a successful compile.
+/// Contains only artifact-derived data (no wall-clock), so cache-served
+/// and freshly-computed replies are byte-identical.
+pub fn result_json(name: &str, c: &Compiled, emit_ir: bool) -> String {
+    let s = &c.stats;
+    let mut out = format!(
+        "{{\"name\":{},\"baseline\":{},\"optimized\":{},\"stats\":{{\
+         \"hyperblocks\":{},\"cpr_blocks\":{},\"taken_blocks\":{},\
+         \"branches_collapsed\":{},\"skipped\":{},\"promoted\":{},\
+         \"demoted\":{},\"dce_removed\":{}}}",
+        json_string(name),
+        counts_json(&c.base_counts),
+        counts_json(&c.opt_counts),
+        s.hyperblocks,
+        s.cpr_blocks,
+        s.taken_blocks,
+        s.branches_collapsed,
+        s.skipped,
+        s.promoted,
+        s.demoted,
+        s.dce_removed,
+    );
+    if emit_ir {
+        out.push_str(&format!(
+            ",\"ir\":{{\"baseline\":{},\"optimized\":{}}}",
+            json_string(&c.baseline.to_string()),
+            json_string(&c.optimized.to_string())
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn id_json(id: Option<u64>) -> String {
+    id.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+/// Renders a success response line (without the trailing newline).
+pub fn render_ok(id: Option<u64>, result: &str, hits: u64, misses: u64) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"result\":{},\"cache\":{{\"hits\":{},\"misses\":{}}}}}",
+        id_json(id),
+        result,
+        hits,
+        misses
+    )
+}
+
+/// Renders a failure response line (without the trailing newline).
+pub fn render_err(id: Option<u64>, err: &ServeError, hits: u64, misses: u64) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":false,\"error\":{},\"cache\":{{\"hits\":{},\"misses\":{}}}}}",
+        id_json(id),
+        err.to_json(),
+        hits,
+        misses
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_workload_request() {
+        let r = Request::parse(r#"{"id":7,"workload":"strcpy"}"#).unwrap();
+        assert_eq!(r.id, Some(7));
+        assert!(matches!(r.target, Target::Workload(ref n) if n == "strcpy"));
+        assert_eq!(r.timeout_ms, None);
+        assert!(!r.check);
+    }
+
+    #[test]
+    fn config_overrides_apply_partially() {
+        let r = Request::parse(
+            r#"{"workload":"wc","config":{"cpr":{"speculate":false},"trace":{"min_count":4},"if_convert":{}}}"#,
+        )
+        .unwrap();
+        assert!(!r.cfg.cpr.speculate);
+        assert_eq!(r.cfg.trace.min_count, 4);
+        // Untouched fields keep their defaults.
+        let d = PipelineConfig::default();
+        assert_eq!(r.cfg.cpr.exit_weight_threshold, d.cpr.exit_weight_threshold);
+        assert_eq!(r.cfg.trace.max_ops, d.trace.max_ops);
+        assert!(r.cfg.if_convert.is_some());
+    }
+
+    #[test]
+    fn inline_ir_request_parses() {
+        let w = epic_workloads::by_name("strcpy").unwrap();
+        let ir = w.func.to_string();
+        let line = format!(
+            "{{\"id\":1,\"name\":\"mine\",\"ir\":{},\"input\":{{\"memory_size\":8,\"memory\":[[0,[1,2,0]]],\"regs\":[[0,3]],\"fuel\":1000}},\"unroll\":2}}",
+            json_string(&ir)
+        );
+        let r = Request::parse(&line).unwrap();
+        let Target::Inline(t) = r.target else {
+            panic!("expected inline target");
+        };
+        assert_eq!(t.name, "mine");
+        assert_eq!(t.unroll, 2);
+        assert_eq!(t.input.fuel_budget(), 1000);
+        assert_eq!(t.func.fingerprint(), w.func.fingerprint());
+    }
+
+    #[test]
+    fn bad_requests_are_protocol_errors() {
+        for line in [
+            "not json",
+            "[]",
+            r#"{"id":1}"#,
+            r#"{"workload":"x","ir":"fn f {}"}"#,
+            r#"{"workload":5}"#,
+            r#"{"workload":"wc","timeout_ms":-3}"#,
+        ] {
+            let e = Request::parse(line).unwrap_err();
+            assert_eq!(e.kind(), "protocol", "{line}: {e}");
+        }
+        // A memory write beyond the declared image is rejected before it
+        // can panic the input builder (the IR itself is fine here).
+        let ir = json_string(&epic_workloads::by_name("strcpy").unwrap().func.to_string());
+        let line = format!("{{\"ir\":{ir},\"input\":{{\"memory_size\":2,\"memory\":[[1,[1,2]]]}}}}");
+        let e = Request::parse(&line).unwrap_err();
+        assert_eq!(e.kind(), "protocol", "{e}");
+        assert!(e.to_string().contains("exceeds memory_size"), "{e}");
+        // Bad inline IR is a parse error, not a protocol error.
+        let e = Request::parse(r#"{"ir":"fn oops {"}"#).unwrap_err();
+        assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn response_rendering_round_trips() {
+        let line = render_err(Some(3), &ServeError::UnknownWorkload("x".into()), 0, 0);
+        let j = Json::parse(&line).unwrap();
+        assert_eq!(j.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            j.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("unknown-workload")
+        );
+        let line = render_ok(None, "{\"name\":\"x\"}", 2, 1);
+        let j = Json::parse(&line).unwrap();
+        assert!(matches!(j.get("id"), Some(Json::Null)));
+        assert_eq!(j.get("cache").and_then(|c| c.get("hits")).and_then(Json::as_u64), Some(2));
+    }
+}

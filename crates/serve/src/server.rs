@@ -1,0 +1,399 @@
+//! The batch-compile execution model.
+//!
+//! [`serve`] reads request lines from any `BufRead`, fans them out over a
+//! pool of worker threads, and writes exactly one response line per
+//! request to any `Write`, *in request order* regardless of completion
+//! order (a reordering buffer keyed by input sequence number sits in front
+//! of the writer). All workers share one [`CompileCache`], so duplicate
+//! requests in a batch compile once and everything else is a lookup.
+//!
+//! A request with a wall-clock budget (its own `timeout_ms`, or the server
+//! default) runs on a detached thread; if the budget expires the worker
+//! answers with a `timeout` error and moves on — the abandoned compile
+//! finishes in the background and may still warm the cache for a retry.
+//! No request failure, however exotic, kills the loop: every panic-free
+//! error path degrades to an `{"ok":false,...}` line.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use epic_bench::{check_equivalence, compile_cached, CompileCache, Pipeline};
+use epic_interp::diff_test;
+
+use crate::proto::{render_err, render_ok, result_json, Request, Target};
+use crate::ServeError;
+
+/// Tuning knobs for one [`serve`] loop.
+#[derive(Clone, Debug, Default)]
+pub struct ServerOptions {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Budget applied to requests that don't set their own `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+}
+
+impl ServerOptions {
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    }
+}
+
+/// What one [`serve`] loop did, reported once at shutdown.
+#[derive(Clone, Debug, Default)]
+pub struct ServerMetrics {
+    /// Request lines answered.
+    pub requests: u64,
+    /// ... of which succeeded.
+    pub ok: u64,
+    /// ... of which failed (including timeouts).
+    pub errors: u64,
+    /// ... of which timed out specifically.
+    pub timeouts: u64,
+    /// Stage lookups served from the cache, summed over all requests.
+    pub cache_hits: u64,
+    /// Stage lookups that computed, summed over all requests.
+    pub cache_misses: u64,
+    /// Total request latency (sum over requests), milliseconds.
+    pub total_ms: f64,
+    /// Worst single-request latency, milliseconds.
+    pub max_ms: f64,
+}
+
+impl ServerMetrics {
+    /// Stable JSON rendering for the shutdown report.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"ok\":{},\"errors\":{},\"timeouts\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\
+             \"total_ms\":{:.3},\"max_ms\":{:.3}}}",
+            self.requests,
+            self.ok,
+            self.errors,
+            self.timeouts,
+            self.cache_hits,
+            self.cache_misses,
+            self.total_ms,
+            self.max_ms
+        )
+    }
+}
+
+/// A finished compile, reduced to what the response needs.
+struct Summary {
+    result: String,
+    hits: u64,
+    misses: u64,
+}
+
+/// Runs the pipeline for one request. Owns everything it touches so it can
+/// be shipped to a detached thread when a timeout budget applies.
+fn execute(req: &Request, cache: &CompileCache) -> Result<Summary, ServeError> {
+    match &req.target {
+        Target::Workload(name) => {
+            let w = epic_workloads::by_name(name)
+                .ok_or_else(|| ServeError::UnknownWorkload(name.clone()))?;
+            let c = compile_cached(&w, &req.cfg, cache)?;
+            if req.check {
+                check_equivalence(&w, &c).map_err(epic_bench::CompileError::Diff)?;
+            }
+            Ok(Summary {
+                result: result_json(w.name, &c, req.emit_ir),
+                hits: c.cache_hits,
+                misses: c.cache_misses,
+            })
+        }
+        Target::Inline(t) => {
+            let c = Pipeline::for_function(&t.name, &t.func, &t.input, t.unroll, &req.cfg)
+                .with_cache(cache)
+                .if_convert()?
+                .superblock()?
+                .unroll()?
+                .frp()?
+                .icbm()?;
+            if req.check {
+                diff_test(&t.func, &c.baseline, &t.input)
+                    .map_err(epic_bench::CompileError::Diff)?;
+                diff_test(&t.func, &c.optimized, &t.input)
+                    .map_err(epic_bench::CompileError::Diff)?;
+            }
+            Ok(Summary {
+                result: result_json(&t.name, &c, req.emit_ir),
+                hits: c.cache_hits,
+                misses: c.cache_misses,
+            })
+        }
+    }
+}
+
+/// `execute` under a wall-clock budget: the compile runs on a detached
+/// thread and an expired budget abandons it (it keeps warming the cache).
+fn execute_with_budget(
+    req: Request,
+    cache: &Arc<CompileCache>,
+    budget_ms: Option<u64>,
+) -> Result<Summary, ServeError> {
+    let Some(ms) = budget_ms else {
+        return execute(&req, cache);
+    };
+    let (tx, rx) = mpsc::channel();
+    let cache = Arc::clone(cache);
+    std::thread::spawn(move || {
+        // The receiver is gone iff the budget already expired; the result
+        // is then simply dropped along with this thread.
+        let _ = tx.send(execute(&req, &cache));
+    });
+    match rx.recv_timeout(Duration::from_millis(ms)) {
+        Ok(res) => res,
+        Err(_) => Err(ServeError::Timeout(ms)),
+    }
+}
+
+/// One response line plus the accounting the writer tallies.
+struct Outcome {
+    line: String,
+    ok: bool,
+    timed_out: bool,
+    hits: u64,
+    misses: u64,
+    ms: f64,
+}
+
+fn process(line: &str, cache: &Arc<CompileCache>, opts: &ServerOptions) -> Outcome {
+    let t0 = Instant::now();
+    let (id, res) = match Request::parse(line) {
+        Err(e) => (None, Err(e)),
+        Ok(req) => {
+            let id = req.id;
+            let budget = req.timeout_ms.or(opts.default_timeout_ms);
+            (id, execute_with_budget(req, cache, budget))
+        }
+    };
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    match res {
+        Ok(s) => Outcome {
+            line: render_ok(id, &s.result, s.hits, s.misses),
+            ok: true,
+            timed_out: false,
+            hits: s.hits,
+            misses: s.misses,
+            ms,
+        },
+        Err(e) => Outcome {
+            line: render_err(id, &e, 0, 0),
+            ok: false,
+            timed_out: matches!(e, ServeError::Timeout(_)),
+            hits: 0,
+            misses: 0,
+            ms,
+        },
+    }
+}
+
+/// Serves newline-delimited JSON requests from `reader` until EOF, writing
+/// one response line per request to `writer` in request order. Blank lines
+/// are skipped. See the module docs for the execution model.
+///
+/// # Errors
+///
+/// Only I/O errors on `writer` escape; every request-level failure becomes
+/// an `{"ok":false,...}` response line instead.
+pub fn serve<R: BufRead + Send, W: Write>(
+    reader: R,
+    mut writer: W,
+    cache: Arc<CompileCache>,
+    opts: &ServerOptions,
+) -> std::io::Result<ServerMetrics> {
+    let workers = opts.worker_count();
+    let (tx_req, rx_req) = mpsc::channel::<(u64, String)>();
+    let rx_req = Arc::new(Mutex::new(rx_req));
+    let (tx_out, rx_out) = mpsc::channel::<(u64, Outcome)>();
+
+    let mut metrics = ServerMetrics::default();
+    let io_result = std::thread::scope(|s| -> std::io::Result<()> {
+        s.spawn(move || {
+            let mut seq = 0u64;
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if tx_req.send((seq, line)).is_err() {
+                    break;
+                }
+                seq += 1;
+            }
+            // Dropping tx_req here shuts the workers down after the queue
+            // drains.
+        });
+        for _ in 0..workers {
+            let rx_req = Arc::clone(&rx_req);
+            let tx_out = tx_out.clone();
+            let cache = &cache;
+            s.spawn(move || loop {
+                let msg = { rx_req.lock().expect("request queue poisoned").recv() };
+                let Ok((seq, line)) = msg else { break };
+                let outcome = process(&line, cache, opts);
+                if tx_out.send((seq, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx_out); // writers below hold the only remaining senders
+
+        // Reorder completions back into request order.
+        let mut pending: HashMap<u64, Outcome> = HashMap::new();
+        let mut next = 0u64;
+        while let Ok((seq, outcome)) = rx_out.recv() {
+            pending.insert(seq, outcome);
+            while let Some(out) = pending.remove(&next) {
+                writeln!(writer, "{}", out.line)?;
+                writer.flush()?;
+                metrics.requests += 1;
+                if out.ok {
+                    metrics.ok += 1;
+                } else {
+                    metrics.errors += 1;
+                }
+                if out.timed_out {
+                    metrics.timeouts += 1;
+                }
+                metrics.cache_hits += out.hits;
+                metrics.cache_misses += out.misses;
+                metrics.total_ms += out.ms;
+                metrics.max_ms = metrics.max_ms.max(out.ms);
+                next += 1;
+            }
+        }
+        Ok(())
+    });
+    io_result?;
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_bench::Json;
+
+    fn run_batch_with(
+        input: &str,
+        opts: &ServerOptions,
+        cache: &Arc<CompileCache>,
+    ) -> (Vec<String>, ServerMetrics) {
+        let mut out = Vec::new();
+        let metrics = serve(input.as_bytes(), &mut out, Arc::clone(cache), opts).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        (text.lines().map(str::to_string).collect(), metrics)
+    }
+
+    fn run_batch(input: &str, opts: &ServerOptions) -> (Vec<String>, ServerMetrics) {
+        run_batch_with(input, opts, &Arc::new(CompileCache::new()))
+    }
+
+    /// Drops the trailing `,"cache":{...}}` so replies can be compared
+    /// across cache-hit and cache-miss servings.
+    fn strip_cache(line: &str) -> &str {
+        line.rfind(",\"cache\":").map_or(line, |i| &line[..i])
+    }
+
+    #[test]
+    fn responses_come_back_in_request_order() {
+        let input = r#"{"id":10,"workload":"grep"}
+{"id":11,"workload":"strcpy"}
+{"id":12,"workload":"nonesuch"}
+{"id":13,"workload":"wc"}
+"#;
+        let (lines, metrics) = run_batch(input, &ServerOptions::default());
+        assert_eq!(lines.len(), 4);
+        let ids: Vec<u64> = lines
+            .iter()
+            .map(|l| Json::parse(l).unwrap().get("id").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![10, 11, 12, 13]);
+        assert!(lines[2].contains("\"unknown-workload\""));
+        assert_eq!(metrics.requests, 4);
+        assert_eq!(metrics.ok, 3);
+        assert_eq!(metrics.errors, 1);
+        assert_eq!(metrics.timeouts, 0);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_are_byte_identical_and_cached() {
+        // Eight copies of the same request race on one cache: whatever the
+        // interleaving, all responses must be byte-identical modulo the
+        // cache counters. (Racing workers may each compute a stage before
+        // the first insert lands — the cache keeps one winner — so the
+        // split between hits and misses is scheduling-dependent.)
+        let line = r#"{"id":1,"workload":"cmp","check":true}"#;
+        let input = format!("{}\n", [line; 8].join("\n"));
+        let cache = Arc::new(CompileCache::new());
+        let opts = ServerOptions { threads: 8, default_timeout_ms: None };
+        let (lines, metrics) = run_batch_with(&input, &opts, &cache);
+        assert_eq!(lines.len(), 8);
+        for l in &lines {
+            assert!(l.contains("\"ok\":true"), "{l}");
+            assert_eq!(strip_cache(l), strip_cache(&lines[0]));
+        }
+        // 3 cached stages per request (superblock, unroll, icbm).
+        assert_eq!(metrics.cache_hits + metrics.cache_misses, 8 * 3);
+        // A repeat of the batch is fully served from the warm cache, with
+        // responses byte-identical to the first pass.
+        let (again, metrics2) = run_batch_with(&input, &opts, &cache);
+        assert_eq!(metrics2.cache_misses, 0, "warm batch must not recompile");
+        assert_eq!(metrics2.cache_hits, 8 * 3);
+        for (a, b) in lines.iter().zip(&again) {
+            assert_eq!(strip_cache(a), strip_cache(b));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_do_not_stop_the_loop() {
+        let input = "this is not json\n{\"id\":2,\"workload\":\"strcpy\"}\n";
+        let (lines, metrics) = run_batch(input, &ServerOptions::default());
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"protocol\""));
+        assert!(lines[1].contains("\"ok\":true"));
+        assert_eq!(metrics.errors, 1);
+        assert_eq!(metrics.ok, 1);
+    }
+
+    #[test]
+    fn zero_budget_times_out_gracefully() {
+        let input = r#"{"id":1,"workload":"126.gcc","timeout_ms":0}
+{"id":2,"workload":"strcpy"}
+"#;
+        let (lines, metrics) = run_batch(input, &ServerOptions::default());
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"timeout\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+        assert_eq!(metrics.timeouts, 1);
+    }
+
+    #[test]
+    fn inline_ir_compiles_and_checks() {
+        let w = epic_workloads::by_name("strcpy").unwrap();
+        let ir = epic_bench::timing::json_string(&w.func.to_string());
+        // strcpy's entry block initializes its own pointers (src=0,
+        // dst=12288), so the inline copy needs the full-size image; give it
+        // a sentinel string of its own at address 0.
+        let input = format!(
+            "{{\"id\":1,\"name\":\"mine\",\"ir\":{ir},\"unroll\":2,\"check\":true,\
+             \"input\":{{\"memory_size\":16384,\"memory\":[[0,[104,105,0]]],\"fuel\":100000}}}}\n"
+        );
+        let (lines, metrics) = run_batch(&input, &ServerOptions::default());
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        let j = Json::parse(&lines[0]).unwrap();
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true), "{}", lines[0]);
+        assert_eq!(
+            j.get("result").and_then(|r| r.get("name")).and_then(Json::as_str),
+            Some("mine")
+        );
+        assert_eq!(metrics.ok, 1);
+    }
+}

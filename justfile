@@ -1,10 +1,17 @@
 # Project task runner. `just --list` shows recipes.
 
-# Full pre-merge gate: release build, tests, clippy clean, fuzz corpus.
-bench-check: fuzz-smoke
+# Full pre-merge gate: release build, tests, clippy clean, fuzz corpus,
+# batch-server smoke.
+bench-check: fuzz-smoke serve-smoke
     cargo build --release
     cargo test -q
     cargo clippy --all-targets -- -D warnings
+
+# End-to-end smoke of the batch-compile server: feeds a mixed batch twice
+# through the real binary and requires the second pass to be answered
+# entirely from the compile cache, byte-identical to the first.
+serve-smoke:
+    cargo test --release -q -p epic-serve --test serve_smoke
 
 # Differential pipeline fuzzing over the fixed-seed smoke corpus (256
 # cases). Override with FUZZ_SEED=<base> and/or FUZZ_CASES=<n>, e.g.
