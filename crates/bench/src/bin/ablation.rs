@@ -13,7 +13,10 @@
 //! superblock and baseline artifacts the default configuration computed.
 
 use control_cpr::CprConfig;
-use epic_bench::{table2_cached, CompileCache, PipelineConfig};
+use epic_bench::{
+    enable_tracing_if_requested, table2_cached, take_trace_flag, write_trace, CompileCache,
+    PipelineConfig,
+};
 use epic_perf::geomean;
 use epic_regions::IfConvertConfig;
 use rayon::prelude::*;
@@ -33,6 +36,9 @@ fn gmean_all(
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let trace_path = take_trace_flag(&mut args);
+    enable_tracing_if_requested(&trace_path);
     // A representative branchy subset keeps the ablation quick.
     let names = ["strcpy", "cmp", "wc", "grep", "lex", "023.eqntott", "126.gcc"];
     let medium = 2; // index in Machine::paper_suite()
@@ -74,6 +80,9 @@ fn main() {
         .collect();
     for (label, g) in results {
         println!("  {label}{g:.3}");
+    }
+    if let Some(path) = &trace_path {
+        write_trace(path);
     }
     let s = cache.stats();
     eprintln!(

@@ -8,13 +8,19 @@
 //! Workloads compile in parallel, and each latency point schedules its
 //! compiled pairs in parallel; output order is fixed.
 
-use epic_bench::{compile_cached, CompileCache, PipelineConfig};
+use epic_bench::{
+    compile_cached, enable_tracing_if_requested, take_trace_flag, write_trace, CompileCache,
+    PipelineConfig,
+};
 use epic_machine::Machine;
 use epic_perf::{geomean, weighted_cycles};
 use epic_sched::{schedule_function, SchedOptions};
 use rayon::prelude::*;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let trace_path = take_trace_flag(&mut args);
+    enable_tracing_if_requested(&trace_path);
     let workloads = epic_workloads::all();
     let cfg = PipelineConfig::default();
     // The sweep reschedules one compiled pair per workload at several
@@ -43,5 +49,8 @@ fn main() {
             })
             .collect();
         println!("{:<16} {:>8.3}", blat, geomean(speedups));
+    }
+    if let Some(path) = &trace_path {
+        write_trace(path);
     }
 }

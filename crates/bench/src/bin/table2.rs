@@ -9,13 +9,16 @@
 //! persist them across runs); `--cache-stats` prints the counters.
 
 use epic_bench::{
-    render_table2, table2_serial, table2_with_timings_cached, take_timings_flag,
-    timings_to_json, CompileCache, PipelineConfig,
+    enable_tracing_if_requested, render_table2, table2_serial, table2_with_timings_cached,
+    take_timings_flag, take_trace_flag, timings_to_json, write_trace, CompileCache,
+    PipelineConfig,
 };
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let timings_path = take_timings_flag(&mut args);
+    let trace_path = take_trace_flag(&mut args);
+    enable_tracing_if_requested(&trace_path);
     let serial = args.iter().any(|a| a == "--serial");
     let cache_stats = args.iter().any(|a| a == "--cache-stats");
 
@@ -34,6 +37,9 @@ fn main() {
     };
     if serial && timings_path.is_some() {
         eprintln!("--timings is only recorded on the parallel path; ignoring");
+    }
+    if let Some(path) = &trace_path {
+        write_trace(path);
     }
     if cache_stats {
         eprintln!("cache: {}", cache.stats().to_json());

@@ -130,6 +130,12 @@ struct Inner {
 }
 
 /// A concurrent, content-addressed cache of pipeline stage artifacts.
+///
+/// Every cache also mirrors its counters into the process-wide
+/// [`MetricsRegistry`](epic_obs::MetricsRegistry) under
+/// `compile_cache_{hits,misses,evictions,disk_hits}_total` (summed over
+/// all cache instances in the process), and each probe opens a trace span
+/// under the `cache` category when the global tracer is enabled.
 pub struct CompileCache {
     inner: Mutex<Inner>,
     capacity: usize,
@@ -141,6 +147,12 @@ pub struct CompileCache {
     // Serializes disk reads/writes so concurrent requests for the same key
     // never observe a half-written file.
     disk_lock: Mutex<()>,
+    // Process-wide registry mirrors of the counters above (resolved once;
+    // updating them is lock-free).
+    m_hits: Arc<epic_obs::Counter>,
+    m_misses: Arc<epic_obs::Counter>,
+    m_evictions: Arc<epic_obs::Counter>,
+    m_disk_hits: Arc<epic_obs::Counter>,
 }
 
 impl Default for CompileCache {
@@ -162,6 +174,7 @@ impl CompileCache {
     /// An in-memory cache holding at most `capacity` artifacts (FIFO
     /// eviction beyond that).
     pub fn with_capacity(capacity: usize) -> CompileCache {
+        let registry = epic_obs::MetricsRegistry::global();
         CompileCache {
             inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
             capacity: capacity.max(1),
@@ -171,6 +184,10 @@ impl CompileCache {
             disk_hits: AtomicU64::new(0),
             disk_dir: None,
             disk_lock: Mutex::new(()),
+            m_hits: registry.counter("compile_cache_hits_total"),
+            m_misses: registry.counter("compile_cache_misses_total"),
+            m_evictions: registry.counter("compile_cache_evictions_total"),
+            m_disk_hits: registry.counter("compile_cache_disk_hits_total"),
         }
     }
 
@@ -206,19 +223,24 @@ impl CompileCache {
         use_disk: bool,
         compute: impl FnOnce() -> Result<StageArtifact, CompileError>,
     ) -> Result<CacheOutcome, CompileError> {
+        let _probe = epic_obs::Span::enter(key.stage, "cache");
         if let Some(artifact) = self.inner.lock().unwrap().map.get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.m_hits.inc();
             return Ok(CacheOutcome { artifact, hit: true });
         }
         if use_disk {
             if let Some(artifact) = self.disk_load(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.m_hits.inc();
+                self.m_disk_hits.inc();
                 let artifact = self.insert(key, artifact);
                 return Ok(CacheOutcome { artifact, hit: true });
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.m_misses.inc();
         let artifact = self.insert(key, Arc::new(compute()?));
         if use_disk {
             self.disk_store(&key, &artifact);
@@ -239,6 +261,7 @@ impl CompileCache {
                 Some(old) => {
                     if inner.map.remove(&old).is_some() {
                         self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.m_evictions.inc();
                     }
                 }
                 None => break,

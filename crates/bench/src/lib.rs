@@ -29,4 +29,7 @@ pub use tables::{
     table2_serial, table2_with_timings, table2_with_timings_cached, table3, table3_cached,
     table3_serial, table3_with_timings, table3_with_timings_cached, Table2Row, Table3Row,
 };
-pub use timing::{stage, take_timings_flag, timings_to_json, PassTimings, StageTiming};
+pub use timing::{
+    enable_tracing_if_requested, stage, take_timings_flag, take_trace_flag, timings_to_json,
+    write_trace, PassTimings, StageTiming,
+};

@@ -93,6 +93,14 @@ impl PassTimings {
 
     /// Appends one stage record.
     ///
+    /// Every record also feeds the live observability layer: the stage's
+    /// wall time lands in the process-wide
+    /// `pipeline_stage_ns{stage="…"}` histogram, and — when the global
+    /// tracer is enabled — one Chrome trace span per record is emitted
+    /// under the `pipeline` category, carrying the workload name and op
+    /// counts. Timings pushed into [`PassTimings`] are therefore exactly
+    /// the spans a `--trace` export contains.
+    ///
     /// Debug builds reject stage names outside [`stage::ALL`] — a typo'd
     /// name would otherwise silently materialize a new stage in the
     /// timings JSON.
@@ -108,6 +116,26 @@ impl PassTimings {
             stage::is_known(&stage),
             "unknown pipeline stage name {stage:?}; use the timing::stage constants"
         );
+        epic_obs::MetricsRegistry::global()
+            .histogram(&epic_obs::metric_name("pipeline_stage_ns", &[("stage", &stage)]))
+            .observe_duration(wall);
+        let tracer = epic_obs::Tracer::global();
+        if tracer.is_enabled() {
+            // The stage already finished; reconstruct its start so the
+            // span lands where the work actually ran.
+            let start = std::time::Instant::now().checked_sub(wall);
+            tracer.record_complete(
+                &stage,
+                "pipeline",
+                start.unwrap_or_else(std::time::Instant::now),
+                wall,
+                &[
+                    ("workload", &self.workload),
+                    ("ops_before", &ops_before.to_string()),
+                    ("ops_after", &ops_after.to_string()),
+                ],
+            );
+        }
         self.stages.push(StageTiming { stage, wall, ops_before, ops_after });
     }
 
@@ -173,24 +201,53 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
-/// Parses a `--timings <path>` (or `--timings=<path>`) flag out of `args`,
-/// returning the remaining arguments and the requested output path.
-pub fn take_timings_flag(args: &mut Vec<String>) -> Option<String> {
-    if let Some(i) = args.iter().position(|a| a == "--timings") {
+/// Parses a `<flag> <path>` (or `<flag>=<path>`) argument out of `args`,
+/// removing it and returning the requested path.
+fn take_path_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
         if i + 1 < args.len() {
             let path = args.remove(i + 1);
             args.remove(i);
             return Some(path);
         }
         args.remove(i);
-        eprintln!("--timings requires a path argument");
+        eprintln!("{flag} requires a path argument");
         return None;
     }
-    if let Some(i) = args.iter().position(|a| a.starts_with("--timings=")) {
+    let prefix = format!("{flag}=");
+    if let Some(i) = args.iter().position(|a| a.starts_with(&prefix)) {
         let a = args.remove(i);
-        return Some(a["--timings=".len()..].to_string());
+        return Some(a[prefix.len()..].to_string());
     }
     None
+}
+
+/// Parses a `--timings <path>` (or `--timings=<path>`) flag out of `args`,
+/// returning the remaining arguments and the requested output path.
+pub fn take_timings_flag(args: &mut Vec<String>) -> Option<String> {
+    take_path_flag(args, "--timings")
+}
+
+/// Parses a `--trace <path>` (or `--trace=<path>`) flag out of `args`. When
+/// present the caller should enable the global tracer before compiling and
+/// hand the path to [`write_trace`] afterwards.
+pub fn take_trace_flag(args: &mut Vec<String>) -> Option<String> {
+    take_path_flag(args, "--trace")
+}
+
+/// Enables the global tracer iff `trace_path` is set (call before any
+/// compilation whose spans should be captured).
+pub fn enable_tracing_if_requested(trace_path: &Option<String>) {
+    if trace_path.is_some() {
+        epic_obs::Tracer::global().enable();
+    }
+}
+
+/// Drains the global tracer into `path` as Chrome `trace_event` JSON.
+pub fn write_trace(path: &str) {
+    std::fs::write(path, epic_obs::Tracer::global().export_chrome_json())
+        .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+    eprintln!("chrome trace written to {path}");
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use epic_analysis::IncrementalLiveness;
 use epic_ir::{BlockId, Function, Profile};
+use epic_obs::Span;
 
 use crate::config::CprConfig;
 use crate::dce::dce;
@@ -43,6 +44,11 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
     let mut stats = IcbmStats::default();
 
     if cfg.speculate {
+        // Sub-spans land in the global tracer under the `icbm` category
+        // (inert single-atomic-load guards while tracing is disabled), so
+        // a `--trace` export breaks the icbm pipeline stage down into its
+        // speculate/match/restructure/motion/dce phases.
+        let _s = Span::enter("icbm.speculate", "icbm");
         let s = speculate(func);
         stats.promoted = s.promoted;
         stats.demoted = s.demoted;
@@ -76,7 +82,10 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
 
     for hb in hyperblocks {
         stats.hyperblocks += 1;
-        let cpr_blocks = match_cpr_blocks(&func.block(hb).ops, profile, cfg, &mem_classes);
+        let cpr_blocks = {
+            let _s = Span::enter("icbm.match", "icbm");
+            match_cpr_blocks(&func.block(hb).ops, profile, cfg, &mem_classes)
+        };
         // Forward order: each block's on-trace FRP becomes the root
         // predicate of the next via the re-wiring step.
         for cpr in &cpr_blocks {
@@ -88,12 +97,20 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
             // cannot predict); snapshot the hyperblock so a refusal leaves
             // no lookahead/bypass overhead behind.
             let saved_ops = func.block(hb).ops.clone();
-            let Some(r) = restructure(func, hb, cpr, live.live()) else {
+            let restructured = {
+                let _s = Span::enter("icbm.restructure", "icbm");
+                restructure(func, hb, cpr, live.live())
+            };
+            let Some(r) = restructured else {
                 stats.skipped += 1;
                 continue;
             };
             live.repair(func, &r.touched_blocks());
-            if off_trace_motion(func, &r, live.live()) {
+            let moved = {
+                let _s = Span::enter("icbm.motion", "icbm");
+                off_trace_motion(func, &r, live.live())
+            };
+            if moved {
                 live.repair(func, &r.touched_blocks());
                 stats.cpr_blocks += 1;
                 if r.taken_variation {
@@ -111,7 +128,10 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
         }
     }
 
-    stats.dce_removed = dce(func);
+    {
+        let _s = Span::enter("icbm.dce", "icbm");
+        stats.dce_removed = dce(func);
+    }
     stats
 }
 

@@ -142,6 +142,13 @@ impl Function {
         &self.blocks[id.index()]
     }
 
+    /// Returns a reference to a block, or `None` when the id does not name
+    /// one of this function's blocks (e.g. a dangling label operand on
+    /// externally-supplied IR).
+    pub fn try_block(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(id.index())
+    }
+
     /// Returns a mutable reference to a block.
     ///
     /// # Panics

@@ -193,7 +193,14 @@ struct OpWithNames<'a> {
 impl fmt::Display for OpWithNames<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt_op(f, self.op, &|b: BlockId| {
-            self.names.get(&b).cloned().unwrap_or_else(|| self.func.block(b).name.clone())
+            // A label may reference a block outside the layout (no display
+            // name) or, on malformed input, no block at all; a dangling id
+            // renders as a placeholder rather than panicking — printing is
+            // used in error paths, where the IR is exactly the thing that
+            // cannot be trusted.
+            self.names.get(&b).cloned().unwrap_or_else(|| {
+                self.func.try_block(b).map_or_else(|| format!("<bad:{b}>"), |blk| blk.name.clone())
+            })
         })
     }
 }
@@ -309,5 +316,33 @@ mod tests {
         b.ret();
         let f = b.finish();
         assert!(f.to_string().contains(&format!("if {p}")));
+    }
+
+    #[test]
+    fn dangling_label_prints_placeholder_instead_of_panicking() {
+        // Printing runs inside error reporting (e.g. the batch server
+        // echoing a rejected inline-IR function), where the IR is exactly
+        // the thing that cannot be trusted: a label operand naming a
+        // nonexistent block must render as a placeholder, not panic.
+        let mut b = FunctionBuilder::new("p");
+        let blk = b.block("entry");
+        b.switch_to(blk);
+        let x = b.movi(4);
+        let (t, _f) = b.cmpp_un_uc(CmpCond::Eq, x.into(), Operand::Imm(0));
+        b.branch_if(t, blk);
+        b.ret();
+        let mut f = b.finish();
+        let idx =
+            f.block(blk).ops.iter().position(|o| o.opcode == Opcode::Branch).unwrap();
+        for s in &mut f.block_mut(blk).ops[idx].srcs {
+            if matches!(s, Operand::Label(_)) {
+                *s = Operand::Label(BlockId(99));
+            }
+        }
+        assert!(f.try_block(BlockId(99)).is_none());
+        let text = f.to_string();
+        assert!(text.contains("<bad:b99>"), "{text}");
+        // The rest of the function still prints normally around it.
+        assert!(text.contains("function p {"), "{text}");
     }
 }

@@ -1,13 +1,19 @@
 //! The batch-compile service front-end.
 //!
 //! ```text
-//! serve [--threads N] [--timeout-ms N] [--tcp ADDR]
+//! serve [--threads N] [--timeout-ms N] [--max-detached N]
+//!       [--heartbeat-ms N] [--tcp ADDR]
 //! ```
 //!
 //! By default the server reads newline-delimited JSON requests from stdin
 //! and answers on stdout, one response line per request, in request order;
 //! EOF shuts it down and prints the run's metrics (request counts, cache
-//! counters, latencies) as JSON on stderr. With `--tcp ADDR` it listens on
+//! counters, latencies) as JSON on stderr. `--heartbeat-ms N` additionally
+//! reports those tallies live every `N` ms while the batch runs, and a
+//! `{"op":"metrics"}` request line fetches them in-band (see
+//! `epic_serve::proto`). `--max-detached N` caps the compile threads that
+//! timed-out requests may leave running (default 64); at the cap, budgeted
+//! requests get an `overloaded` error. With `--tcp ADDR` it listens on
 //! `ADDR` (e.g. `127.0.0.1:7777`) instead and serves each connection on
 //! its own thread with the same protocol, reporting per-connection metrics
 //! on stderr as connections close.
@@ -49,14 +55,33 @@ fn main() {
             exit(2);
         })
     });
+    let max_detached = take_value_flag(&mut args, "--max-detached").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--max-detached needs an integer");
+            exit(2);
+        })
+    });
+    let heartbeat_ms = take_value_flag(&mut args, "--heartbeat-ms").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--heartbeat-ms needs an integer");
+            exit(2);
+        })
+    });
     let tcp = take_value_flag(&mut args, "--tcp");
     if let Some(unknown) = args.first() {
         eprintln!("unknown argument: {unknown}");
-        eprintln!("usage: serve [--threads N] [--timeout-ms N] [--tcp ADDR]");
+        eprintln!(
+            "usage: serve [--threads N] [--timeout-ms N] [--max-detached N] \
+             [--heartbeat-ms N] [--tcp ADDR]"
+        );
         exit(2);
     }
 
-    let opts = ServerOptions { threads, default_timeout_ms };
+    let mut opts = ServerOptions { threads, default_timeout_ms, ..ServerOptions::default() };
+    if let Some(cap) = max_detached {
+        opts.max_detached = cap;
+    }
+    opts.heartbeat_ms = heartbeat_ms;
     let cache = Arc::new(CompileCache::from_env());
 
     let Some(addr) = tcp else {

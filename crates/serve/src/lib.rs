@@ -27,7 +27,7 @@ use std::fmt;
 use epic_bench::timing::json_string;
 use epic_bench::{CompileError, JsonError};
 
-pub use proto::{InlineTarget, Request, Target};
+pub use proto::{ControlOp, InlineTarget, Request, Target};
 pub use server::{serve, ServerMetrics, ServerOptions};
 
 /// Any failure of one batch-compile request.
@@ -43,6 +43,14 @@ pub enum ServeError {
     /// The request exceeded its wall-clock budget. The abandoned compile
     /// keeps running detached and may still populate the cache.
     Timeout(u64),
+    /// The server refused a budgeted request because the detached-worker
+    /// cap (the payload) was already reached; retry once earlier abandoned
+    /// compiles finish.
+    Overloaded(usize),
+    /// The input stream produced a line the reader could not decode
+    /// (invalid UTF-8 or a transient read failure). The offending line is
+    /// answered with this error and the stream keeps being read.
+    Io(String),
 }
 
 impl ServeError {
@@ -54,6 +62,8 @@ impl ServeError {
             ServeError::Protocol(_) => "protocol",
             ServeError::UnknownWorkload(_) => "unknown-workload",
             ServeError::Timeout(_) => "timeout",
+            ServeError::Overloaded(_) => "overloaded",
+            ServeError::Io(_) => "io",
         }
     }
 
@@ -78,6 +88,10 @@ impl fmt::Display for ServeError {
             ServeError::Protocol(m) => write!(f, "bad request: {m}"),
             ServeError::UnknownWorkload(n) => write!(f, "unknown workload: {n}"),
             ServeError::Timeout(ms) => write!(f, "request exceeded {ms}ms"),
+            ServeError::Overloaded(cap) => {
+                write!(f, "detached-worker cap ({cap}) reached; retry later")
+            }
+            ServeError::Io(m) => write!(f, "unreadable request line: {m}"),
         }
     }
 }
@@ -125,5 +139,13 @@ mod tests {
 
         let e = ServeError::from(epic_ir::ParseError { line: 3, message: "bad".into() });
         assert_eq!(e.kind(), "parse");
+
+        let e = ServeError::Overloaded(8);
+        assert_eq!(e.kind(), "overloaded");
+        assert!(e.to_json().contains("cap (8)"), "{}", e.to_json());
+
+        let e = ServeError::Io("stream did not contain valid UTF-8".into());
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_json().contains("valid UTF-8"), "{}", e.to_json());
     }
 }

@@ -29,10 +29,30 @@
 //! ```
 //!
 //! Failure: `{"id":1,"ok":false,"error":{"kind":...,"message":...},
-//! "cache":{...}}`. The `result` object is a pure function of the compiled
-//! artifacts — byte-identical across served-from-cache and recomputed
-//! replies — while the trailing `cache` object reports what this request
-//! actually did.
+//! "cache":{...},...}`. The `result` object is a pure function of the
+//! compiled artifacts — byte-identical across served-from-cache and
+//! recomputed replies — while everything after it reports what this
+//! request actually did: the `cache` object, the wall-clock `"ms"`, and
+//! the request's `"trace_id"` (the id every span recorded while serving
+//! the request carries, so a `--trace` export can be grouped per request).
+//!
+//! ## Control requests
+//!
+//! A line whose object carries an `"op"` key is a *control request*: it is
+//! answered in request order like any other line but never compiles
+//! anything and is not counted in the server's request tallies.
+//! `{"op":"metrics","id":9}` returns a live snapshot of the server's
+//! tallies and of the process-wide metrics registry:
+//!
+//! ```json
+//! {"id":9,"ok":true,"metrics":{"requests":...,"ok":...,...},
+//!  "detached_workers":0,"registry":{"compile_cache_hits_total":{...},...}}
+//! ```
+//!
+//! Because the reply is rendered by the writer when its turn in the
+//! response order comes up, the tallies it reports account for exactly the
+//! requests answered before it on the stream — a metrics op sent last sees
+//! precisely the totals the server prints at shutdown.
 
 use epic_bench::timing::json_string;
 use epic_bench::{Compiled, Json, PipelineConfig};
@@ -80,6 +100,40 @@ pub struct Request {
     pub check: bool,
     /// Include the compiled IR text in the result object.
     pub emit_ir: bool,
+}
+
+/// One parsed control request (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlOp {
+    /// `{"op":"metrics"}`: report the server's live tallies plus a
+    /// process-wide metrics-registry snapshot.
+    Metrics {
+        /// Echoed back verbatim (`null` when absent), like a compile id.
+        id: Option<u64>,
+    },
+}
+
+/// Classifies `line` as a control request, if it is one.
+///
+/// Returns `None` for anything that is not a control request — including
+/// lines that are not valid JSON — so the caller falls through to
+/// [`Request::parse`] and its error reporting. A line that *is* a control
+/// attempt (has an `"op"` key) but is malformed or names an unknown op
+/// yields the id (for the reply) and a protocol error.
+pub fn parse_control(line: &str) -> Option<Result<ControlOp, (Option<u64>, ServeError)>> {
+    let j = Json::parse(line).ok()?;
+    let op = j.get("op")?;
+    let id = j.get("id").and_then(Json::as_u64);
+    let Some(op) = op.as_str() else {
+        return Some(Err((id, ServeError::Protocol("\"op\" must be a string".into()))));
+    };
+    match op {
+        "metrics" => Some(Ok(ControlOp::Metrics { id })),
+        other => Some(Err((
+            id,
+            ServeError::Protocol(format!("unknown op \"{other}\" (supported: \"metrics\")")),
+        ))),
+    }
 }
 
 fn want_u64(j: &Json, key: &str) -> Result<Option<u64>, ServeError> {
@@ -331,25 +385,66 @@ fn id_json(id: Option<u64>) -> String {
     id.map_or_else(|| "null".to_string(), |n| n.to_string())
 }
 
+/// The per-request observability suffix shared by both reply shapes. Kept
+/// strictly *after* the `cache` object so consumers that truncate a reply
+/// at `,"cache":` to compare deterministic prefixes stay correct.
+fn obs_suffix(ms: f64, trace_id: u64) -> String {
+    format!(",\"ms\":{ms:.3},\"trace_id\":\"{trace_id:016x}\"")
+}
+
 /// Renders a success response line (without the trailing newline).
-pub fn render_ok(id: Option<u64>, result: &str, hits: u64, misses: u64) -> String {
+pub fn render_ok(
+    id: Option<u64>,
+    result: &str,
+    hits: u64,
+    misses: u64,
+    ms: f64,
+    trace_id: u64,
+) -> String {
     format!(
-        "{{\"id\":{},\"ok\":true,\"result\":{},\"cache\":{{\"hits\":{},\"misses\":{}}}}}",
+        "{{\"id\":{},\"ok\":true,\"result\":{},\"cache\":{{\"hits\":{},\"misses\":{}}}{}}}",
         id_json(id),
         result,
         hits,
-        misses
+        misses,
+        obs_suffix(ms, trace_id)
     )
 }
 
 /// Renders a failure response line (without the trailing newline).
-pub fn render_err(id: Option<u64>, err: &ServeError, hits: u64, misses: u64) -> String {
+pub fn render_err(
+    id: Option<u64>,
+    err: &ServeError,
+    hits: u64,
+    misses: u64,
+    ms: f64,
+    trace_id: u64,
+) -> String {
     format!(
-        "{{\"id\":{},\"ok\":false,\"error\":{},\"cache\":{{\"hits\":{},\"misses\":{}}}}}",
+        "{{\"id\":{},\"ok\":false,\"error\":{},\"cache\":{{\"hits\":{},\"misses\":{}}}{}}}",
         id_json(id),
         err.to_json(),
         hits,
-        misses
+        misses,
+        obs_suffix(ms, trace_id)
+    )
+}
+
+/// Renders the reply to a `{"op":"metrics"}` control request.
+/// `metrics_json` is the server's live tally object and `registry_json`
+/// the process-wide registry snapshot (both already rendered).
+pub fn render_metrics(
+    id: Option<u64>,
+    metrics_json: &str,
+    detached_workers: i64,
+    registry_json: &str,
+) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"metrics\":{},\"detached_workers\":{},\"registry\":{}}}",
+        id_json(id),
+        metrics_json,
+        detached_workers,
+        registry_json
     )
 }
 
@@ -426,7 +521,7 @@ mod tests {
 
     #[test]
     fn response_rendering_round_trips() {
-        let line = render_err(Some(3), &ServeError::UnknownWorkload("x".into()), 0, 0);
+        let line = render_err(Some(3), &ServeError::UnknownWorkload("x".into()), 0, 0, 1.25, 7);
         let j = Json::parse(&line).unwrap();
         assert_eq!(j.get("id").and_then(Json::as_u64), Some(3));
         assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false));
@@ -434,9 +529,46 @@ mod tests {
             j.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
             Some("unknown-workload")
         );
-        let line = render_ok(None, "{\"name\":\"x\"}", 2, 1);
+        assert_eq!(j.get("ms").and_then(Json::as_f64), Some(1.25));
+        assert_eq!(j.get("trace_id").and_then(Json::as_str), Some("0000000000000007"));
+        let line = render_ok(None, "{\"name\":\"x\"}", 2, 1, 0.5, 0x1f);
         let j = Json::parse(&line).unwrap();
         assert!(matches!(j.get("id"), Some(Json::Null)));
         assert_eq!(j.get("cache").and_then(|c| c.get("hits")).and_then(Json::as_u64), Some(2));
+        // The observability suffix sits after the cache object, so
+        // truncating at `,"cache":` still yields the deterministic prefix.
+        let i = line.rfind(",\"cache\":").unwrap();
+        assert!(line[..i].ends_with("\"name\":\"x\"}"), "{line}");
+        assert_eq!(j.get("trace_id").and_then(Json::as_str), Some("000000000000001f"));
+    }
+
+    #[test]
+    fn control_ops_parse_and_misparse() {
+        let op = parse_control(r#"{"op":"metrics","id":4}"#).unwrap().unwrap();
+        assert_eq!(op, ControlOp::Metrics { id: Some(4) });
+        let op = parse_control(r#"{"op":"metrics"}"#).unwrap().unwrap();
+        assert_eq!(op, ControlOp::Metrics { id: None });
+
+        // Not control requests at all: fall through to Request::parse.
+        assert!(parse_control(r#"{"workload":"wc"}"#).is_none());
+        assert!(parse_control("not json").is_none());
+
+        // Control attempts with problems keep their id for the reply.
+        let (id, e) = parse_control(r#"{"op":"reload","id":8}"#).unwrap().unwrap_err();
+        assert_eq!(id, Some(8));
+        assert_eq!(e.kind(), "protocol");
+        assert!(e.to_string().contains("unknown op \"reload\""), "{e}");
+        let (id, e) = parse_control(r#"{"op":7}"#).unwrap().unwrap_err();
+        assert_eq!(id, None);
+        assert_eq!(e.kind(), "protocol");
+
+        let line = render_metrics(Some(4), "{\"requests\":2}", 1, "{}");
+        let j = Json::parse(&line).unwrap();
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            j.get("metrics").and_then(|m| m.get("requests")).and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(j.get("detached_workers").and_then(Json::as_i64), Some(1));
     }
 }

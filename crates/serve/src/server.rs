@@ -16,23 +16,51 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use epic_bench::{check_equivalence, compile_cached, CompileCache, Pipeline};
 use epic_interp::diff_test;
+use epic_obs::{MetricsRegistry, Span, TraceIdGuard};
 
-use crate::proto::{render_err, render_ok, result_json, Request, Target};
+use crate::proto::{
+    parse_control, render_err, render_metrics, render_ok, result_json, ControlOp, Request, Target,
+};
 use crate::ServeError;
 
+/// Registry name of the gauge counting currently-abandoned compile threads.
+pub const DETACHED_WORKERS_GAUGE: &str = "serve_detached_workers";
+/// Registry name of the per-request latency histogram (microseconds).
+pub const REQUEST_LATENCY_HISTOGRAM: &str = "serve_request_us";
+
 /// Tuning knobs for one [`serve`] loop.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ServerOptions {
     /// Worker threads; `0` means one per available core.
     pub threads: usize,
     /// Budget applied to requests that don't set their own `timeout_ms`.
     pub default_timeout_ms: Option<u64>,
+    /// Cap on concurrently *abandoned* compile threads (budgeted requests
+    /// whose timeout expired while the compile kept running). At the cap,
+    /// new budgeted requests are refused with an `overloaded` error instead
+    /// of detaching yet another thread, so a storm of timeouts cannot grow
+    /// the thread count without bound.
+    pub max_detached: usize,
+    /// Period of the live metrics heartbeat on stderr; `None` disables it.
+    pub heartbeat_ms: Option<u64>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            threads: 0,
+            default_timeout_ms: None,
+            max_detached: 64,
+            heartbeat_ms: None,
+        }
+    }
 }
 
 impl ServerOptions {
@@ -44,7 +72,11 @@ impl ServerOptions {
     }
 }
 
-/// What one [`serve`] loop did, reported once at shutdown.
+/// What one [`serve`] loop did, reported once at shutdown (and live, to
+/// `{"op":"metrics"}` control requests and the stderr heartbeat). Control
+/// requests themselves are not counted: the tallies cover compile
+/// requests only, so a metrics reply reconciles exactly with the final
+/// report.
 #[derive(Clone, Debug, Default)]
 pub struct ServerMetrics {
     /// Request lines answered.
@@ -81,6 +113,54 @@ impl ServerMetrics {
             self.total_ms,
             self.max_ms
         )
+    }
+}
+
+/// The writer's tallies behind atomics, so the heartbeat thread (and the
+/// `{"op":"metrics"}` renderer) can snapshot them while the loop runs.
+/// Latencies are stored as integer microseconds; [`ServerMetrics`] gets
+/// them back as milliseconds.
+#[derive(Default)]
+struct LiveMetrics {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LiveMetrics {
+    fn tally(&self, out: &Outcome) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if out.ok {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if out.timed_out {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cache_hits.fetch_add(out.hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(out.misses, Ordering::Relaxed);
+        let us = (out.ms * 1e3) as u64;
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServerMetrics {
+        ServerMetrics {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            total_ms: self.total_us.load(Ordering::Relaxed) as f64 / 1e3,
+            max_ms: self.max_us.load(Ordering::Relaxed) as f64 / 1e3,
+        }
     }
 }
 
@@ -131,30 +211,65 @@ fn execute(req: &Request, cache: &CompileCache) -> Result<Summary, ServeError> {
     }
 }
 
+/// Lifecycle of one budgeted compile thread, tracked so the
+/// [`DETACHED_WORKERS_GAUGE`] balances exactly: whichever side observes
+/// both transitions (the timeout seeing `RUNNING`, or the compile thread
+/// seeing `ABANDONED`) adjusts the gauge, so a finish racing the timeout
+/// can neither leak an increment nor decrement twice.
+const STATE_RUNNING: u8 = 0;
+const STATE_DONE: u8 = 1;
+const STATE_ABANDONED: u8 = 2;
+
 /// `execute` under a wall-clock budget: the compile runs on a detached
 /// thread and an expired budget abandons it (it keeps warming the cache).
+/// Abandoned threads are counted on the [`DETACHED_WORKERS_GAUGE`]; at
+/// `max_detached` of them the request is refused outright with
+/// [`ServeError::Overloaded`] rather than spawning another.
 fn execute_with_budget(
     req: Request,
     cache: &Arc<CompileCache>,
     budget_ms: Option<u64>,
+    max_detached: usize,
 ) -> Result<Summary, ServeError> {
     let Some(ms) = budget_ms else {
         return execute(&req, cache);
     };
+    let detached = MetricsRegistry::global().gauge(DETACHED_WORKERS_GAUGE);
+    if detached.value() >= max_detached as i64 {
+        return Err(ServeError::Overloaded(max_detached));
+    }
     let (tx, rx) = mpsc::channel();
     let cache = Arc::clone(cache);
+    let state = Arc::new(AtomicU8::new(STATE_RUNNING));
+    let trace_id = epic_obs::current_trace_id();
+    let thread_state = Arc::clone(&state);
+    let thread_detached = Arc::clone(&detached);
     std::thread::spawn(move || {
+        // Propagate the request's trace id so spans recorded by the
+        // (possibly abandoned) compile still group under the request.
+        let _g = trace_id.map(TraceIdGuard::set);
         // The receiver is gone iff the budget already expired; the result
         // is then simply dropped along with this thread.
         let _ = tx.send(execute(&req, &cache));
+        if thread_state.swap(STATE_DONE, Ordering::AcqRel) == STATE_ABANDONED {
+            thread_detached.add(-1);
+        }
     });
     match rx.recv_timeout(Duration::from_millis(ms)) {
         Ok(res) => res,
-        Err(_) => Err(ServeError::Timeout(ms)),
+        Err(_) => {
+            if state.swap(STATE_ABANDONED, Ordering::AcqRel) == STATE_RUNNING {
+                detached.add(1);
+            }
+            Err(ServeError::Timeout(ms))
+        }
     }
 }
 
-/// One response line plus the accounting the writer tallies.
+/// One response line plus the accounting the writer tallies. A control
+/// request's outcome carries no line: the writer renders it in-place when
+/// its turn in the response order comes up, so the reported tallies cover
+/// exactly the requests answered before it.
 struct Outcome {
     line: String,
     ok: bool,
@@ -162,35 +277,73 @@ struct Outcome {
     hits: u64,
     misses: u64,
     ms: f64,
+    control: Option<ControlOp>,
+}
+
+impl Outcome {
+    /// A control request, deferred to the writer (not tallied).
+    fn control(op: ControlOp) -> Outcome {
+        Outcome {
+            line: String::new(),
+            ok: true,
+            timed_out: false,
+            hits: 0,
+            misses: 0,
+            ms: 0.0,
+            control: Some(op),
+        }
+    }
+
+    /// An error outcome produced outside `process` (reader failures,
+    /// malformed control requests) — no compile ran, so no latency.
+    fn error_line(id: Option<u64>, e: &ServeError) -> Outcome {
+        Outcome {
+            line: render_err(id, e, 0, 0, 0.0, epic_obs::next_trace_id()),
+            ok: false,
+            timed_out: matches!(e, ServeError::Timeout(_)),
+            hits: 0,
+            misses: 0,
+            ms: 0.0,
+            control: None,
+        }
+    }
 }
 
 fn process(line: &str, cache: &Arc<CompileCache>, opts: &ServerOptions) -> Outcome {
+    // One trace id per request: every span recorded while serving it —
+    // pipeline stages, cache probes, ICBM sub-phases, even on an abandoned
+    // budget thread — carries this id, and the reply echoes it.
+    let trace_id = epic_obs::next_trace_id();
+    let _id_guard = TraceIdGuard::set(trace_id);
+    let _span = Span::enter("serve.request", "serve");
     let t0 = Instant::now();
     let (id, res) = match Request::parse(line) {
         Err(e) => (None, Err(e)),
         Ok(req) => {
             let id = req.id;
             let budget = req.timeout_ms.or(opts.default_timeout_ms);
-            (id, execute_with_budget(req, cache, budget))
+            (id, execute_with_budget(req, cache, budget, opts.max_detached))
         }
     };
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     match res {
         Ok(s) => Outcome {
-            line: render_ok(id, &s.result, s.hits, s.misses),
+            line: render_ok(id, &s.result, s.hits, s.misses, ms, trace_id),
             ok: true,
             timed_out: false,
             hits: s.hits,
             misses: s.misses,
             ms,
+            control: None,
         },
         Err(e) => Outcome {
-            line: render_err(id, &e, 0, 0),
+            line: render_err(id, &e, 0, 0, ms, trace_id),
             ok: false,
             timed_out: matches!(e, ServeError::Timeout(_)),
             hits: 0,
             misses: 0,
             ms,
+            control: None,
         },
     }
 }
@@ -214,19 +367,49 @@ pub fn serve<R: BufRead + Send, W: Write>(
     let rx_req = Arc::new(Mutex::new(rx_req));
     let (tx_out, rx_out) = mpsc::channel::<(u64, Outcome)>();
 
-    let mut metrics = ServerMetrics::default();
+    let registry = MetricsRegistry::global();
+    let detached_gauge = registry.gauge(DETACHED_WORKERS_GAUGE);
+    let latency_hist = registry.histogram(REQUEST_LATENCY_HISTOGRAM);
+    let live = Arc::new(LiveMetrics::default());
     let io_result = std::thread::scope(|s| -> std::io::Result<()> {
+        let tx_read_err = tx_out.clone();
         s.spawn(move || {
             let mut seq = 0u64;
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
-                if line.trim().is_empty() {
-                    continue;
+            let mut lines = reader.lines();
+            loop {
+                match lines.next() {
+                    None => break,
+                    Some(Ok(line)) => {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        if tx_req.send((seq, line)).is_err() {
+                            break;
+                        }
+                        seq += 1;
+                    }
+                    Some(Err(e)) => {
+                        if e.kind() == std::io::ErrorKind::Interrupted {
+                            continue;
+                        }
+                        // An undecodable line still gets its response slot:
+                        // answer it with an `io` error instead of silently
+                        // dropping the connection. Invalid UTF-8 poisons
+                        // only its own line (`read_line` consumed through
+                        // the newline), so keep reading; any other error
+                        // means the stream itself is gone.
+                        let fatal = e.kind() != std::io::ErrorKind::InvalidData;
+                        let out =
+                            Outcome::error_line(None, &ServeError::Io(e.to_string()));
+                        if tx_read_err.send((seq, out)).is_err() {
+                            break;
+                        }
+                        seq += 1;
+                        if fatal {
+                            break;
+                        }
+                    }
                 }
-                if tx_req.send((seq, line)).is_err() {
-                    break;
-                }
-                seq += 1;
             }
             // Dropping tx_req here shuts the workers down after the queue
             // drains.
@@ -238,7 +421,11 @@ pub fn serve<R: BufRead + Send, W: Write>(
             s.spawn(move || loop {
                 let msg = { rx_req.lock().expect("request queue poisoned").recv() };
                 let Ok((seq, line)) = msg else { break };
-                let outcome = process(&line, cache, opts);
+                let outcome = match parse_control(&line) {
+                    Some(Ok(op)) => Outcome::control(op),
+                    Some(Err((id, e))) => Outcome::error_line(id, &e),
+                    None => process(&line, cache, opts),
+                };
                 if tx_out.send((seq, outcome)).is_err() {
                     break;
                 }
@@ -246,34 +433,58 @@ pub fn serve<R: BufRead + Send, W: Write>(
         }
         drop(tx_out); // writers below hold the only remaining senders
 
+        // Live heartbeat: periodically report the tallies so far on stderr
+        // (the exit report only helps once the batch is over). The channel
+        // doubles as an interruptible sleep; dropping the sender stops it.
+        let (tx_stop, rx_stop) = mpsc::channel::<()>();
+        if let Some(period_ms) = opts.heartbeat_ms {
+            let live = Arc::clone(&live);
+            let detached = Arc::clone(&detached_gauge);
+            let period = Duration::from_millis(period_ms.max(1));
+            s.spawn(move || {
+                while let Err(mpsc::RecvTimeoutError::Timeout) = rx_stop.recv_timeout(period) {
+                    eprintln!(
+                        "serve: heartbeat {{\"metrics\":{},\"detached_workers\":{}}}",
+                        live.snapshot().to_json(),
+                        detached.value()
+                    );
+                }
+            });
+        }
+
         // Reorder completions back into request order.
         let mut pending: HashMap<u64, Outcome> = HashMap::new();
         let mut next = 0u64;
         while let Ok((seq, outcome)) = rx_out.recv() {
             pending.insert(seq, outcome);
             while let Some(out) = pending.remove(&next) {
-                writeln!(writer, "{}", out.line)?;
+                match &out.control {
+                    Some(ControlOp::Metrics { id }) => {
+                        // Rendered here, in order: the snapshot covers
+                        // exactly the requests already answered.
+                        let line = render_metrics(
+                            *id,
+                            &live.snapshot().to_json(),
+                            detached_gauge.value(),
+                            &registry.snapshot().to_json(),
+                        );
+                        writeln!(writer, "{line}")?;
+                    }
+                    None => {
+                        writeln!(writer, "{}", out.line)?;
+                        live.tally(&out);
+                        latency_hist.observe((out.ms * 1e3) as u64);
+                    }
+                }
                 writer.flush()?;
-                metrics.requests += 1;
-                if out.ok {
-                    metrics.ok += 1;
-                } else {
-                    metrics.errors += 1;
-                }
-                if out.timed_out {
-                    metrics.timeouts += 1;
-                }
-                metrics.cache_hits += out.hits;
-                metrics.cache_misses += out.misses;
-                metrics.total_ms += out.ms;
-                metrics.max_ms = metrics.max_ms.max(out.ms);
                 next += 1;
             }
         }
+        drop(tx_stop); // stops the heartbeat, if one is running
         Ok(())
     });
     io_result?;
-    Ok(metrics)
+    Ok(live.snapshot())
 }
 
 #[cfg(test)]
@@ -333,7 +544,7 @@ mod tests {
         let line = r#"{"id":1,"workload":"cmp","check":true}"#;
         let input = format!("{}\n", [line; 8].join("\n"));
         let cache = Arc::new(CompileCache::new());
-        let opts = ServerOptions { threads: 8, default_timeout_ms: None };
+        let opts = ServerOptions { threads: 8, ..ServerOptions::default() };
         let (lines, metrics) = run_batch_with(&input, &opts, &cache);
         assert_eq!(lines.len(), 8);
         for l in &lines {
@@ -373,6 +584,136 @@ mod tests {
         assert!(lines[0].contains("\"kind\":\"timeout\""), "{}", lines[0]);
         assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
         assert_eq!(metrics.timeouts, 1);
+    }
+
+    #[test]
+    fn invalid_utf8_line_answers_and_keeps_reading() {
+        // An undecodable middle line must produce its own {"ok":false}
+        // reply without killing the rest of the batch (the old reader
+        // silently dropped the connection on the first such line).
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"{\"id\":1,\"workload\":\"strcpy\"}\n");
+        input.extend_from_slice(b"\xff\xfe{\"id\":2,\"workload\":\"cmp\"}\n");
+        input.extend_from_slice(b"{\"id\":3,\"workload\":\"cmp\"}\n");
+        let mut out = Vec::new();
+        let metrics =
+            serve(&input[..], &mut out, Arc::new(CompileCache::new()), &ServerOptions::default())
+                .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        assert!(lines[1].contains("\"kind\":\"io\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"ok\":false"), "{}", lines[1]);
+        assert!(lines[2].contains("\"ok\":true"), "{}", lines[2]);
+        assert_eq!(metrics.requests, 3);
+        assert_eq!(metrics.ok, 2);
+        assert_eq!(metrics.errors, 1);
+    }
+
+    #[test]
+    fn detached_worker_cap_refuses_instead_of_spawning() {
+        // With a cap of zero every budgeted request is refused up front —
+        // the pool can never grow — while unbudgeted requests still run.
+        let opts = ServerOptions { max_detached: 0, ..ServerOptions::default() };
+        let input = r#"{"id":1,"workload":"strcpy","timeout_ms":60000}
+{"id":2,"workload":"strcpy"}
+"#;
+        let (lines, metrics) = run_batch(input, &opts);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"overloaded\""), "{}", lines[0]);
+        assert!(lines[0].contains("cap (0)"), "{}", lines[0]);
+        assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+        assert_eq!(metrics.errors, 1);
+        assert_eq!(metrics.timeouts, 0, "refusal is not a timeout");
+    }
+
+    #[test]
+    fn abandoned_workers_release_the_gauge() {
+        use epic_obs::MetricsRegistry;
+        let gauge = MetricsRegistry::global().gauge(super::DETACHED_WORKERS_GAUGE);
+        let before = gauge.value();
+        // A zero budget abandons the compile thread immediately; once the
+        // small compile finishes it must hand its gauge slot back. (The
+        // gauge is global, so only reason about the delta and tolerate
+        // other concurrently-running tests' timeouts.)
+        let input = "{\"id\":1,\"workload\":\"strcpy\",\"timeout_ms\":0}\n";
+        let (lines, metrics) = run_batch(input, &ServerOptions::default());
+        assert!(lines[0].contains("\"kind\":\"timeout\""), "{}", lines[0]);
+        assert_eq!(metrics.timeouts, 1);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while gauge.value() > before && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            gauge.value() <= before,
+            "abandoned worker never decremented the gauge: {} -> {}",
+            before,
+            gauge.value()
+        );
+    }
+
+    #[test]
+    fn metrics_op_reconciles_with_final_tallies() {
+        // First line: answered before anything was tallied. Last line:
+        // must agree exactly with the ServerMetrics the loop returns.
+        let input = r#"{"op":"metrics","id":100}
+{"id":1,"workload":"strcpy"}
+{"id":2,"workload":"nonesuch"}
+{"id":3,"workload":"cmp","check":true}
+{"op":"metrics","id":101}
+"#;
+        let (lines, metrics) = run_batch(input, &ServerOptions::default());
+        assert_eq!(lines.len(), 5, "{lines:?}");
+
+        let first = Json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("id").and_then(Json::as_u64), Some(100));
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        let m = first.get("metrics").unwrap();
+        assert_eq!(m.get("requests").and_then(Json::as_u64), Some(0));
+
+        let last = Json::parse(&lines[4]).unwrap();
+        assert_eq!(last.get("id").and_then(Json::as_u64), Some(101));
+        let m = last.get("metrics").unwrap();
+        assert_eq!(m.get("requests").and_then(Json::as_u64), Some(metrics.requests));
+        assert_eq!(m.get("ok").and_then(Json::as_u64), Some(metrics.ok));
+        assert_eq!(m.get("errors").and_then(Json::as_u64), Some(metrics.errors));
+        assert_eq!(m.get("timeouts").and_then(Json::as_u64), Some(metrics.timeouts));
+        assert_eq!(m.get("cache_hits").and_then(Json::as_u64), Some(metrics.cache_hits));
+        assert_eq!(m.get("cache_misses").and_then(Json::as_u64), Some(metrics.cache_misses));
+        assert_eq!(m.get("total_ms").and_then(Json::as_f64), Some(metrics.total_ms));
+        // Control ops are excluded from the tallies: three compile lines.
+        assert_eq!(metrics.requests, 3);
+        assert_eq!(metrics.ok, 2);
+        assert_eq!(metrics.errors, 1);
+        // The registry snapshot rides along and contains the serve
+        // instruments this loop registered.
+        let reg = last.get("registry").unwrap();
+        assert!(reg.get(super::REQUEST_LATENCY_HISTOGRAM).is_some());
+        assert!(reg.get(super::DETACHED_WORKERS_GAUGE).is_some());
+    }
+
+    #[test]
+    fn unknown_op_is_a_protocol_error_with_id() {
+        let input = "{\"op\":\"flush\",\"id\":9}\n";
+        let (lines, metrics) = run_batch(input, &ServerOptions::default());
+        assert_eq!(lines.len(), 1);
+        let j = Json::parse(&lines[0]).unwrap();
+        assert_eq!(j.get("id").and_then(Json::as_u64), Some(9));
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(lines[0].contains("unknown op"), "{}", lines[0]);
+        assert_eq!(metrics.errors, 1);
+    }
+
+    #[test]
+    fn replies_carry_ms_and_trace_id() {
+        let input = "{\"id\":1,\"workload\":\"strcpy\"}\n";
+        let (lines, _) = run_batch(input, &ServerOptions::default());
+        let j = Json::parse(&lines[0]).unwrap();
+        assert!(j.get("ms").and_then(Json::as_f64).is_some(), "{}", lines[0]);
+        let id = j.get("trace_id").and_then(Json::as_str).unwrap();
+        assert_eq!(id.len(), 16, "{id}");
+        assert!(u64::from_str_radix(id, 16).unwrap() > 0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 # Project task runner. `just --list` shows recipes.
 
 # Full pre-merge gate: release build, tests, clippy clean, fuzz corpus,
-# batch-server smoke.
-bench-check: fuzz-smoke serve-smoke
+# batch-server smoke, observability smoke.
+bench-check: fuzz-smoke serve-smoke obs-smoke
     cargo build --release
     cargo test -q
     cargo clippy --all-targets -- -D warnings
@@ -12,6 +12,14 @@ bench-check: fuzz-smoke serve-smoke
 # entirely from the compile cache, byte-identical to the first.
 serve-smoke:
     cargo test --release -q -p epic-serve --test serve_smoke
+
+# Observability smoke: Chrome-trace export validity (one span per
+# pipeline stage per workload, parsed with the bench Json parser) and the
+# in-band metrics op / heartbeat / io-error paths through the real serve
+# binary.
+obs-smoke:
+    cargo test --release -q -p epic-bench --test trace_export
+    cargo test --release -q -p epic-serve --test obs_smoke
 
 # Differential pipeline fuzzing over the fixed-seed smoke corpus (256
 # cases). Override with FUZZ_SEED=<base> and/or FUZZ_CASES=<n>, e.g.
