@@ -14,8 +14,8 @@
 
 use control_cpr::CprConfig;
 use epic_bench::{
-    enable_tracing_if_requested, table2_cached, take_trace_flag, write_trace, CompileCache,
-    PipelineConfig,
+    check_all_schedules, enable_tracing_if_requested, table2_cached, take_check_schedules_flag,
+    take_trace_flag, write_trace, CompileCache, PipelineConfig,
 };
 use epic_perf::geomean;
 use epic_regions::IfConvertConfig;
@@ -38,6 +38,7 @@ fn gmean_all(
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let trace_path = take_trace_flag(&mut args);
+    let check_schedules = take_check_schedules_flag(&mut args);
     enable_tracing_if_requested(&trace_path);
     // A representative branchy subset keeps the ablation quick.
     let names = ["strcpy", "cmp", "wc", "grep", "lex", "023.eqntott", "126.gcc"];
@@ -80,6 +81,19 @@ fn main() {
         .collect();
     for (label, g) in results {
         println!("  {label}{g:.3}");
+    }
+    if check_schedules {
+        // Validate every ablation configuration's compiled pairs on the
+        // medium processor (the one the ablation reports); the shared
+        // cache makes the re-compiles in-process lookups.
+        let workloads: Vec<_> = names
+            .iter()
+            .map(|n| epic_workloads::by_name(n).expect("known workload"))
+            .collect();
+        let machines = [epic_machine::Machine::medium()];
+        for (_, cfg) in &configs {
+            check_all_schedules(&workloads, cfg, &cache, &machines);
+        }
     }
     if let Some(path) = &trace_path {
         write_trace(path);

@@ -9,8 +9,8 @@
 //! compiled pairs in parallel; output order is fixed.
 
 use epic_bench::{
-    compile_cached, enable_tracing_if_requested, take_trace_flag, write_trace, CompileCache,
-    PipelineConfig,
+    check_pair_schedules, compile_cached, enable_tracing_if_requested, take_check_schedules_flag,
+    take_trace_flag, write_trace, CompileCache, PipelineConfig,
 };
 use epic_machine::Machine;
 use epic_perf::{geomean, weighted_cycles};
@@ -20,6 +20,7 @@ use rayon::prelude::*;
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let trace_path = take_trace_flag(&mut args);
+    let check_schedules = take_check_schedules_flag(&mut args);
     enable_tracing_if_requested(&trace_path);
     let workloads = epic_workloads::all();
     let cfg = PipelineConfig::default();
@@ -49,6 +50,23 @@ fn main() {
             })
             .collect();
         println!("{:<16} {:>8.3}", blat, geomean(speedups));
+    }
+    if check_schedules {
+        // Validate every compiled pair under each swept branch latency;
+        // all output goes to stderr so the sweep stays byte-identical.
+        let machines: Vec<Machine> =
+            (1..=4u32).map(|blat| Machine::medium().with_branch_latency(blat)).collect();
+        let errors: Vec<Option<String>> = compiled
+            .par_iter()
+            .map_with_index(|i, c| check_pair_schedules(workloads[i].name, c, &machines).err())
+            .collect();
+        let errors: Vec<String> = errors.into_iter().flatten().collect();
+        assert!(errors.is_empty(), "schedule validation failed:\n{}", errors.join("\n"));
+        eprintln!(
+            "schedule validation: {} workloads x {} latencies x 2 functions OK",
+            workloads.len(),
+            machines.len()
+        );
     }
     if let Some(path) = &trace_path {
         write_trace(path);

@@ -9,15 +9,16 @@
 //! persist them across runs); `--cache-stats` prints the counters.
 
 use epic_bench::{
-    enable_tracing_if_requested, render_table2, table2_serial, table2_with_timings_cached,
-    take_timings_flag, take_trace_flag, timings_to_json, write_trace, CompileCache,
-    PipelineConfig,
+    check_all_schedules, enable_tracing_if_requested, render_table2, table2_serial,
+    table2_with_timings_cached, take_check_schedules_flag, take_timings_flag, take_trace_flag,
+    timings_to_json, write_trace, CompileCache, PipelineConfig,
 };
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let timings_path = take_timings_flag(&mut args);
     let trace_path = take_trace_flag(&mut args);
+    let check_schedules = take_check_schedules_flag(&mut args);
     enable_tracing_if_requested(&trace_path);
     let serial = args.iter().any(|a| a == "--serial");
     let cache_stats = args.iter().any(|a| a == "--cache-stats");
@@ -40,6 +41,11 @@ fn main() {
     }
     if let Some(path) = &trace_path {
         write_trace(path);
+    }
+    if check_schedules {
+        // Table 2 schedules on all five processors: validate all of them.
+        // Compiles are in-process cache hits; all output goes to stderr.
+        check_all_schedules(&workloads, &cfg, &cache, &epic_machine::Machine::paper_suite());
     }
     if cache_stats {
         eprintln!("cache: {}", cache.stats().to_json());

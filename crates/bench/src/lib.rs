@@ -16,6 +16,7 @@ pub mod compile;
 pub mod error;
 pub mod json;
 pub mod pipeline;
+pub mod schedules;
 pub mod tables;
 pub mod timing;
 
@@ -24,6 +25,7 @@ pub use compile::{check_equivalence, compile, compile_cached, Compiled, Pipeline
 pub use error::CompileError;
 pub use json::{Json, JsonError};
 pub use pipeline::Pipeline;
+pub use schedules::{check_all_schedules, check_pair_schedules, take_check_schedules_flag};
 pub use tables::{
     render_table2, render_table3, table2, table2_cached, table2_row, table2_row_bench,
     table2_serial, table2_with_timings, table2_with_timings_cached, table3, table3_cached,

@@ -1,0 +1,87 @@
+//! Schedule validation support for the bench binaries.
+//!
+//! Every table bin accepts `--check-schedules`: after (or while) producing
+//! its regular output, it re-derives the baseline and height-reduced
+//! schedules of each workload and runs the independent `epic-schedcheck`
+//! validator over them. All validation output goes to **stderr** — table
+//! stdout stays byte-identical whether or not the flag is passed. A
+//! violation is a compiler bug, so it panics with the full report.
+
+use epic_machine::Machine;
+use epic_sched::{schedule_function, SchedOptions};
+use epic_schedcheck::check_function;
+use epic_workloads::Workload;
+use rayon::prelude::*;
+
+use crate::cache::CompileCache;
+use crate::compile::{compile_cached, Compiled, PipelineConfig};
+
+/// Parses a `--check-schedules` flag out of `args`, returning whether it
+/// was present (mirrors [`crate::take_timings_flag`]).
+pub fn take_check_schedules_flag(args: &mut Vec<String>) -> bool {
+    let before = args.len();
+    args.retain(|a| a != "--check-schedules");
+    args.len() != before
+}
+
+/// Validates the baseline and height-reduced schedules of one compiled
+/// workload under each of `machines`.
+///
+/// # Errors
+///
+/// Returns a description of the first violating schedule.
+pub fn check_pair_schedules(
+    name: &str,
+    c: &Compiled,
+    machines: &[Machine],
+) -> Result<(), String> {
+    let opts = SchedOptions::default();
+    for m in machines {
+        for (what, func) in [("baseline", &c.baseline), ("optimized", &c.optimized)] {
+            let sched = schedule_function(func, m, &opts);
+            let violations = check_function(func, m, &sched, &opts);
+            if let Some(v) = violations.first() {
+                return Err(format!(
+                    "{name} {what} on {}: {v} ({} violations)",
+                    m.name(),
+                    violations.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compiles (through `cache`, so a bin that already ran the same pipeline
+/// pays only cache lookups) and validates every workload under `machines`.
+///
+/// Prints a one-line summary to stderr on success.
+///
+/// # Panics
+///
+/// Panics with every violation found — an invalid schedule means the
+/// numbers on stdout cannot be trusted.
+pub fn check_all_schedules(
+    workloads: &[Workload],
+    cfg: &PipelineConfig,
+    cache: &CompileCache,
+    machines: &[Machine],
+) {
+    let errors: Vec<Option<String>> = workloads
+        .par_iter()
+        .map(|w| {
+            let c = match compile_cached(w, cfg, cache) {
+                Ok(c) => c,
+                Err(e) => return Some(format!("{}: compile failed: {e}", w.name)),
+            };
+            check_pair_schedules(w.name, &c, machines).err()
+        })
+        .collect();
+    let errors: Vec<String> = errors.into_iter().flatten().collect();
+    assert!(errors.is_empty(), "schedule validation failed:\n{}", errors.join("\n"));
+    eprintln!(
+        "schedule validation: {} workloads x {} machines x 2 functions OK",
+        workloads.len(),
+        machines.len()
+    );
+}

@@ -15,8 +15,11 @@ use control_cpr::{dce, match_cpr_blocks, off_trace_motion, restructure, speculat
 use epic_analysis::IncrementalLiveness;
 use epic_interp::{diff_test, run, Input};
 use epic_ir::{verify, BlockId, Function, Opcode, Profile};
+use epic_machine::Machine;
 use epic_perf::profile_and_count;
 use epic_regions::{form_superblocks, frp_convert, if_convert, unroll_hot_loops, IfConvertConfig};
+use epic_sched::{schedule_function, SchedOptions};
+use epic_schedcheck::{check_function, replay_cycles};
 
 use crate::generator::GenCase;
 
@@ -62,7 +65,46 @@ fn checked(
             });
         }
     }
+    sched_validated(stage, &after, inputs)?;
     Ok(after)
+}
+
+/// The `sched` fuzz stage: schedules `func` under both the widest and the
+/// sequential machine, runs the independent schedule validator, and
+/// cross-checks the perf estimate against a cycle-accurate replay of the
+/// training input. Failures carry the stage name `"sched"` (so they shrink
+/// and triage like miscompiles) and name the pipeline stage whose output
+/// was being scheduled.
+fn sched_validated(stage: &'static str, func: &Function, inputs: &[Input]) -> Result<(), Failure> {
+    let opts = SchedOptions::default();
+    for machine in [Machine::wide(), Machine::sequential()] {
+        let sched = schedule_function(func, &machine, &opts);
+        let violations = check_function(func, &machine, &sched, &opts);
+        if let Some(v) = violations.first() {
+            return Err(Failure {
+                stage: "sched",
+                detail: format!(
+                    "schedule of `{stage}` output invalid on {}: {v} ({} violations)",
+                    machine.name(),
+                    violations.len()
+                ),
+                before: func.clone(),
+            });
+        }
+        if let Some(input) = inputs.first() {
+            if let Err(e) = replay_cycles(func, input, &sched) {
+                return Err(Failure {
+                    stage: "sched",
+                    detail: format!(
+                        "replay of `{stage}` output on {}: {e}",
+                        machine.name()
+                    ),
+                    before: func.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 fn profiled(f: &Function, input: &Input, stage: &'static str) -> Result<Profile, Failure> {
@@ -107,6 +149,8 @@ pub fn check_from(src: &Function, case: &GenCase) -> Result<(), Failure> {
             });
         }
     }
+
+    sched_validated("generate", src, &case.inputs)?;
 
     let training = &case.inputs[0];
     let mut cur = src.clone();

@@ -104,6 +104,22 @@ pub struct Outcome {
 /// disagrees with its syntactic label (which would indicate a miscompiled
 /// transformation).
 pub fn run(func: &Function, input: &Input) -> Result<Outcome, Trap> {
+    run_traced(func, input, |_| {})
+}
+
+/// Like [`run`], but invokes `on_block` once per dynamic block entry, in
+/// execution order — the same events [`Profile::record_block_entry`]
+/// counts. Schedule replay (`epic-schedcheck`) uses the trace to re-derive
+/// cycle counts one entered block at a time.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced(
+    func: &Function,
+    input: &Input,
+    mut on_block: impl FnMut(epic_ir::BlockId),
+) -> Result<Outcome, Trap> {
     let mut regs = vec![0i64; func.reg_count()];
     let mut preds = vec![false; func.pred_count()];
     let mut memory = input.memory.clone();
@@ -122,6 +138,7 @@ pub fn run(func: &Function, input: &Input) -> Result<Outcome, Trap> {
     let mut block = func.entry();
     'outer: loop {
         profile.record_block_entry(block);
+        on_block(block);
         let ops = &func.block(block).ops;
         let mut i = 0;
         while i < ops.len() {

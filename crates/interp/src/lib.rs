@@ -42,5 +42,5 @@ mod exec;
 mod trap;
 
 pub use diff::{diff_test, DiffError};
-pub use exec::{run, Input, Outcome};
+pub use exec::{run, run_traced, Input, Outcome};
 pub use trap::Trap;

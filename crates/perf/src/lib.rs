@@ -31,10 +31,19 @@ pub fn estimate_cycles(func: &Function, profile: &Profile, machine: &Machine) ->
 }
 
 /// Like [`estimate_cycles`] with an externally produced schedule.
+///
+/// A layout block without a schedule (a schedule produced for a stale
+/// layout, or a hand-assembled partial schedule) contributes zero cycles
+/// rather than panicking; `epic-schedcheck` reports the gap as a
+/// `MissingBlock` violation.
 pub fn weighted_cycles(func: &Function, profile: &Profile, sched: &ScheduledFunction) -> u64 {
     func.layout
         .iter()
-        .map(|&b| profile.entry_count(b) * sched.block(b).length.max(0) as u64)
+        .map(|&b| {
+            sched
+                .try_block(b)
+                .map_or(0, |s| profile.entry_count(b) * s.length.max(0) as u64)
+        })
         .sum()
 }
 
@@ -200,6 +209,21 @@ mod tests {
         assert_eq!(counts.dynamic_ops, 5);
         assert_eq!(counts.dynamic_branches, 1);
         assert_eq!(profile.entry_count(f.entry()), 1);
+    }
+
+    #[test]
+    fn weighted_cycles_tolerates_missing_blocks() {
+        // Regression: a schedule missing a layout block used to panic in
+        // `ScheduledFunction::block`; it must now contribute zero cycles.
+        let (f, e) = simple();
+        let mut profile = Profile::new();
+        profile.record_block_entry(e);
+        let full = epic_sched::schedule_function(&f, &Machine::wide(), &SchedOptions::default());
+        let expected = weighted_cycles(&f, &profile, &full);
+        assert!(expected > 0);
+        let mut partial = full.clone();
+        partial.remove_block(e);
+        assert_eq!(weighted_cycles(&f, &profile, &partial), 0);
     }
 
     #[test]

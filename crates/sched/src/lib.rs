@@ -55,19 +55,41 @@ impl Default for SchedOptions {
 }
 
 /// Schedules for every block of a function.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ScheduledFunction {
     schedules: HashMap<BlockId, Schedule>,
 }
 
 impl ScheduledFunction {
+    /// Creates an empty schedule set (no blocks).
+    pub fn new() -> ScheduledFunction {
+        ScheduledFunction::default()
+    }
+
     /// The schedule of one block.
     ///
     /// # Panics
     ///
-    /// Panics if `block` was not part of the scheduled layout.
+    /// Panics if `block` was not part of the scheduled layout. Prefer
+    /// [`ScheduledFunction::try_block`] when the block may be absent.
     pub fn block(&self, block: BlockId) -> &Schedule {
         &self.schedules[&block]
+    }
+
+    /// The schedule of one block, or `None` when `block` was not part of
+    /// the scheduled layout (e.g. a detached compensation block).
+    pub fn try_block(&self, block: BlockId) -> Option<&Schedule> {
+        self.schedules.get(&block)
+    }
+
+    /// Inserts or replaces the schedule of one block.
+    pub fn set_block(&mut self, block: BlockId, schedule: Schedule) {
+        self.schedules.insert(block, schedule);
+    }
+
+    /// Removes the schedule of one block, returning it if present.
+    pub fn remove_block(&mut self, block: BlockId) -> Option<Schedule> {
+        self.schedules.remove(&block)
     }
 
     /// Iterates over `(block, schedule)` pairs.

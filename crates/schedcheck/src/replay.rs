@@ -1,0 +1,89 @@
+//! Cycle-accurate scheduled replay: the oracle for `epic-perf`.
+//!
+//! The performance methodology estimates execution time as
+//! Σ over layout blocks of `schedule length × profile entry count`. The
+//! replay oracle recomputes the same quantity a completely different way:
+//! it walks the interpreter's dynamic block trace and charges each entered
+//! block its schedule length *as it is entered*. The two must agree
+//! exactly; a mismatch means the estimator and the execution model have
+//! diverged (e.g. profile counts recorded against stale block ids).
+
+use std::sync::{Arc, OnceLock};
+
+use epic_interp::{run_traced, Input, Trap};
+use epic_ir::Function;
+use epic_machine::Machine;
+use epic_obs::{Counter, MetricsRegistry, Span};
+use epic_sched::{schedule_function, SchedOptions, ScheduledFunction};
+
+fn replays_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| MetricsRegistry::global().counter("schedcheck_replays_total"))
+}
+
+/// Why a replay cross-check failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The program trapped while being traced.
+    Trap(Trap),
+    /// The static estimate and the replayed cycle count disagree.
+    Mismatch {
+        /// `epic_perf::weighted_cycles` on the run's profile.
+        estimated: u64,
+        /// Cycles accumulated by walking the block trace.
+        replayed: u64,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Trap(t) => write!(f, "trap during replay: {t:?}"),
+            ReplayError::Mismatch { estimated, replayed } => {
+                write!(f, "perf estimate {estimated} != replayed cycles {replayed}")
+            }
+        }
+    }
+}
+
+/// Replays `input` through `sched`, returning the agreed cycle count.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Trap`] if execution traps, or
+/// [`ReplayError::Mismatch`] when the trace-accumulated cycle count
+/// differs from [`epic_perf::weighted_cycles`] on the run's own profile.
+pub fn replay_cycles(
+    func: &Function,
+    input: &Input,
+    sched: &ScheduledFunction,
+) -> Result<u64, ReplayError> {
+    let _span = Span::enter("schedcheck.replay", "schedcheck");
+    replays_counter().inc();
+    let mut replayed = 0u64;
+    let outcome = run_traced(func, input, |b| {
+        replayed += sched.try_block(b).map_or(0, |s| s.length.max(0) as u64);
+    })
+    .map_err(ReplayError::Trap)?;
+    let estimated = epic_perf::weighted_cycles(func, &outcome.profile, sched);
+    if estimated != replayed {
+        return Err(ReplayError::Mismatch { estimated, replayed });
+    }
+    Ok(replayed)
+}
+
+/// Schedules `func` for `machine` and cross-checks the perf estimate
+/// against a cycle-accurate replay of `input`.
+///
+/// # Errors
+///
+/// Same as [`replay_cycles`].
+pub fn check_replay(
+    func: &Function,
+    input: &Input,
+    machine: &Machine,
+    opts: &SchedOptions,
+) -> Result<u64, ReplayError> {
+    let sched = schedule_function(func, machine, opts);
+    replay_cycles(func, input, &sched)
+}

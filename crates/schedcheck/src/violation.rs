@@ -1,0 +1,197 @@
+//! Structured schedule violations with stable rendering.
+
+use std::fmt;
+
+use epic_analysis::DepKind;
+use epic_ir::{BlockId, UnitClass};
+
+/// What a schedule got wrong, independent of which block it happened in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A block in the function layout has no schedule.
+    MissingBlock,
+    /// The schedule names a block that is not in the function layout.
+    ExtraBlock,
+    /// The schedule has a different number of issue cycles than the block
+    /// has ops: an op was dropped or duplicated.
+    OpCountMismatch {
+        /// Ops in the block.
+        ops: usize,
+        /// Issue-cycle entries in the schedule.
+        scheduled: usize,
+    },
+    /// An op carries a negative issue cycle (the scheduler's "never
+    /// scheduled" sentinel leaked through, or a mutation removed it).
+    UnscheduledOp {
+        /// Op position in the block.
+        op: usize,
+        /// The bogus issue cycle.
+        cycle: i64,
+    },
+    /// The declared schedule length disagrees with `max(issue + latency)`
+    /// recomputed from the issue cycles.
+    LengthMismatch {
+        /// Length the schedule declares.
+        declared: i64,
+        /// Length recomputed from issue cycles and machine latencies.
+        computed: i64,
+    },
+    /// A dependence edge's minimum cycle distance is not honored.
+    DepViolation {
+        /// Edge kind in the independently rebuilt dependence graph.
+        dep: DepKind,
+        /// Source op position.
+        from: usize,
+        /// Destination op position.
+        to: usize,
+        /// Minimum cycle distance the edge requires.
+        latency: i32,
+        /// Scheduled issue cycle of the source.
+        from_cycle: i64,
+        /// Scheduled issue cycle of the destination.
+        to_cycle: i64,
+    },
+    /// A cycle issues more ops than the machine has units for.
+    IssueOverflow {
+        /// The overfull cycle.
+        cycle: i64,
+        /// Overfull unit class; `None` on the sequential machine, whose
+        /// single slot is shared by every class.
+        class: Option<UnitClass>,
+        /// Ops issued in that cycle (of `class` when given).
+        used: u32,
+        /// The machine's issue width for that slot.
+        width: u32,
+    },
+    /// A later exit branch issues inside the shadow of an earlier,
+    /// non-disjoint branch.
+    BranchOrder {
+        /// The earlier branch's op position.
+        first: usize,
+        /// The later branch's op position.
+        second: usize,
+        /// Issue cycle of the earlier branch.
+        first_cycle: i64,
+        /// Issue cycle of the later branch.
+        second_cycle: i64,
+        /// Minimum cycle distance (the exposed branch latency).
+        gap: i32,
+    },
+    /// A value live at an exit (or a pending store) is not complete when
+    /// the branch takes.
+    ExitAvailability {
+        /// The producing op's position.
+        def: usize,
+        /// The exit branch's position.
+        branch: usize,
+        /// Issue cycle of the producer.
+        def_cycle: i64,
+        /// Issue cycle of the branch.
+        branch_cycle: i64,
+        /// Earliest legal issue cycle of the branch.
+        needed: i64,
+    },
+}
+
+/// One violation found by the checker, anchored to a block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleViolation {
+    /// The block the violation is in (for [`ViolationKind::ExtraBlock`],
+    /// the block the schedule names).
+    pub block: BlockId,
+    /// The block's name, or `"?"` when the block is not in the function.
+    pub block_name: String,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+fn dep_name(k: DepKind) -> &'static str {
+    match k {
+        DepKind::Flow => "flow",
+        DepKind::Anti => "anti",
+        DepKind::Output => "output",
+        DepKind::Mem => "mem",
+        DepKind::Control => "control",
+    }
+}
+
+fn class_name(c: UnitClass) -> &'static str {
+    match c {
+        UnitClass::Int => "int",
+        UnitClass::Float => "float",
+        UnitClass::Mem => "mem",
+        UnitClass::Branch => "branch",
+    }
+}
+
+impl ScheduleViolation {
+    /// A stable machine-readable tag for the violation kind (used by
+    /// counters and triage).
+    pub fn tag(&self) -> &'static str {
+        match self.kind {
+            ViolationKind::MissingBlock => "missing-block",
+            ViolationKind::ExtraBlock => "extra-block",
+            ViolationKind::OpCountMismatch { .. } => "op-count",
+            ViolationKind::UnscheduledOp { .. } => "unscheduled-op",
+            ViolationKind::LengthMismatch { .. } => "length",
+            ViolationKind::DepViolation { .. } => "dep",
+            ViolationKind::IssueOverflow { .. } => "issue-overflow",
+            ViolationKind::BranchOrder { .. } => "branch-order",
+            ViolationKind::ExitAvailability { .. } => "exit-availability",
+        }
+    }
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ViolationKind::ExtraBlock => {
+                return write!(f, "schedule names block b{}, which is not in the layout", self.block.0);
+            }
+            _ => write!(f, "block b{} `{}`: ", self.block.0, self.block_name)?,
+        }
+        match &self.kind {
+            ViolationKind::ExtraBlock => unreachable!("handled above"),
+            ViolationKind::MissingBlock => {
+                write!(f, "no schedule for a block in the layout")
+            }
+            ViolationKind::OpCountMismatch { ops, scheduled } => {
+                write!(f, "{ops} ops but {scheduled} scheduled cycles")
+            }
+            ViolationKind::UnscheduledOp { op, cycle } => {
+                write!(f, "op {op} has negative issue cycle {cycle}")
+            }
+            ViolationKind::LengthMismatch { declared, computed } => {
+                write!(f, "declared length {declared} but issue cycles imply {computed}")
+            }
+            ViolationKind::DepViolation { dep, from, to, latency, from_cycle, to_cycle } => {
+                write!(
+                    f,
+                    "{} edge {from}->{to} (latency {latency}) violated: cycles {from_cycle} -> {to_cycle}",
+                    dep_name(*dep)
+                )
+            }
+            ViolationKind::IssueOverflow { cycle, class, used, width } => match class {
+                None => write!(f, "cycle {cycle} issues {used} ops on the sequential machine"),
+                Some(c) => write!(
+                    f,
+                    "cycle {cycle} issues {used} {} ops but the machine has {width} {} units",
+                    class_name(*c),
+                    class_name(*c)
+                ),
+            },
+            ViolationKind::BranchOrder { first, second, first_cycle, second_cycle, gap } => {
+                write!(
+                    f,
+                    "branch {second} (cycle {second_cycle}) in the shadow of branch {first} (cycle {first_cycle}): needs gap {gap}"
+                )
+            }
+            ViolationKind::ExitAvailability { def, branch, def_cycle, branch_cycle, needed } => {
+                write!(
+                    f,
+                    "op {def} (cycle {def_cycle}) not available at exit branch {branch} (cycle {branch_cycle}): branch needs cycle >= {needed}"
+                )
+            }
+        }
+    }
+}

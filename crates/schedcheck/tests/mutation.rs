@@ -1,0 +1,35 @@
+//! Mutation kill-rate: every seeded schedule mutation on every workload
+//! must be rejected by the checker, under both the widest and the
+//! sequential machine.
+
+use epic_machine::Machine;
+use epic_sched::SchedOptions;
+use epic_schedcheck::mutation_kill_rate;
+
+#[test]
+fn all_mutants_killed_on_all_workloads() {
+    let opts = SchedOptions::default();
+    let mut applied_total = 0u64;
+    for w in epic_workloads::all() {
+        for machine in [Machine::wide(), Machine::sequential()] {
+            let report = mutation_kill_rate(&w.func, &machine, &opts, 16, 0xC0FF_EE00);
+            assert!(report.base_valid, "{} base schedule invalid on {}", w.name, machine.name());
+            assert!(
+                report.applied > 0,
+                "{} on {}: no mutation applied",
+                w.name,
+                machine.name()
+            );
+            assert_eq!(
+                report.killed, report.applied,
+                "{} on {}: survivors {:?}",
+                w.name,
+                machine.name(),
+                report.survivors
+            );
+            assert!(report.perfect());
+            applied_total += report.applied;
+        }
+    }
+    assert!(applied_total >= 24 * 2, "suite applied too few mutants: {applied_total}");
+}

@@ -51,6 +51,10 @@ pub enum ServeError {
     /// (invalid UTF-8 or a transient read failure). The offending line is
     /// answered with this error and the stream keeps being read.
     Io(String),
+    /// A `check:true` request produced a schedule the independent
+    /// `epic-schedcheck` validator rejected. The payload names the
+    /// function, machine, and first violation.
+    Schedule(String),
 }
 
 impl ServeError {
@@ -64,6 +68,7 @@ impl ServeError {
             ServeError::Timeout(_) => "timeout",
             ServeError::Overloaded(_) => "overloaded",
             ServeError::Io(_) => "io",
+            ServeError::Schedule(_) => "schedule",
         }
     }
 
@@ -92,6 +97,7 @@ impl fmt::Display for ServeError {
                 write!(f, "detached-worker cap ({cap}) reached; retry later")
             }
             ServeError::Io(m) => write!(f, "unreadable request line: {m}"),
+            ServeError::Schedule(m) => write!(f, "schedule validation failed: {m}"),
         }
     }
 }
@@ -147,5 +153,10 @@ mod tests {
         let e = ServeError::Io("stream did not contain valid UTF-8".into());
         assert_eq!(e.kind(), "io");
         assert!(e.to_json().contains("valid UTF-8"), "{}", e.to_json());
+
+        let e = ServeError::Schedule("x optimized on wide: bad".into());
+        assert_eq!(e.kind(), "schedule");
+        assert!(e.to_json().contains("\"kind\":\"schedule\""), "{}", e.to_json());
+        assert!(e.to_json().contains("validation failed"), "{}", e.to_json());
     }
 }

@@ -21,7 +21,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use epic_bench::{check_equivalence, compile_cached, CompileCache, Pipeline};
+use epic_bench::{check_equivalence, check_pair_schedules, compile_cached, CompileCache, Pipeline};
 use epic_interp::diff_test;
 use epic_obs::{MetricsRegistry, Span, TraceIdGuard};
 
@@ -171,6 +171,12 @@ struct Summary {
     misses: u64,
 }
 
+/// The machines a `check:true` request validates schedules under: the
+/// wide and sequential extremes bracket the paper suite.
+fn check_machines() -> [epic_machine::Machine; 2] {
+    [epic_machine::Machine::wide(), epic_machine::Machine::sequential()]
+}
+
 /// Runs the pipeline for one request. Owns everything it touches so it can
 /// be shipped to a detached thread when a timeout budget applies.
 fn execute(req: &Request, cache: &CompileCache) -> Result<Summary, ServeError> {
@@ -181,6 +187,8 @@ fn execute(req: &Request, cache: &CompileCache) -> Result<Summary, ServeError> {
             let c = compile_cached(&w, &req.cfg, cache)?;
             if req.check {
                 check_equivalence(&w, &c).map_err(epic_bench::CompileError::Diff)?;
+                check_pair_schedules(w.name, &c, &check_machines())
+                    .map_err(ServeError::Schedule)?;
             }
             Ok(Summary {
                 result: result_json(w.name, &c, req.emit_ir),
@@ -201,6 +209,8 @@ fn execute(req: &Request, cache: &CompileCache) -> Result<Summary, ServeError> {
                     .map_err(epic_bench::CompileError::Diff)?;
                 diff_test(&t.func, &c.optimized, &t.input)
                     .map_err(epic_bench::CompileError::Diff)?;
+                check_pair_schedules(&t.name, &c, &check_machines())
+                    .map_err(ServeError::Schedule)?;
             }
             Ok(Summary {
                 result: result_json(&t.name, &c, req.emit_ir),

@@ -1,11 +1,18 @@
 # Project task runner. `just --list` shows recipes.
 
 # Full pre-merge gate: release build, tests, clippy clean, fuzz corpus,
-# batch-server smoke, observability smoke.
-bench-check: fuzz-smoke serve-smoke obs-smoke
+# batch-server smoke, observability smoke, schedule validation.
+bench-check: fuzz-smoke serve-smoke obs-smoke sched-check
     cargo build --release
     cargo test -q
     cargo clippy --all-targets -- -D warnings
+
+# Schedule translation validation: the independent checker's negative
+# suite and mutation kill-rate harness, plus whole-suite stage validation,
+# replay-vs-estimate cross-checks, and scheduler property tests.
+sched-check:
+    cargo test --release -q -p epic-schedcheck
+    cargo test --release -q -p epic-bench --test sched_validation --test sched_properties
 
 # End-to-end smoke of the batch-compile server: feeds a mixed batch twice
 # through the real binary and requires the second pass to be answered
