@@ -63,6 +63,15 @@ pub struct BddManager {
     and_memo: HashMap<(Bdd, Bdd), Bdd>,
     or_memo: HashMap<(Bdd, Bdd), Bdd>,
     not_memo: HashMap<Bdd, Bdd>,
+    /// Memoized answers to [`disjoint`](BddManager::disjoint) (key ordered,
+    /// the query is symmetric) and [`implies`](BddManager::implies) (key as
+    /// asked). The dependence builder asks the same guard pairs once per
+    /// def/use pair and once per machine model, so a flat query memo turns
+    /// almost all of them into single hash probes with no BDD traversal.
+    disjoint_memo: HashMap<(Bdd, Bdd), bool>,
+    implies_memo: HashMap<(Bdd, Bdd), bool>,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl Default for BddManager {
@@ -82,7 +91,19 @@ impl BddManager {
             and_memo: HashMap::new(),
             or_memo: HashMap::new(),
             not_memo: HashMap::new(),
+            disjoint_memo: HashMap::new(),
+            implies_memo: HashMap::new(),
+            memo_hits: 0,
+            memo_misses: 0,
         }
+    }
+
+    /// Query-memo statistics of this manager: `(hits, misses)` across
+    /// `disjoint` and `implies` calls. The totals are also published to the
+    /// process-wide `bdd.memo_hits` / `bdd.memo_misses` counters when the
+    /// manager is dropped.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_misses)
     }
 
     /// Number of live nodes (including the two constants).
@@ -201,13 +222,46 @@ impl BddManager {
 
     /// True when `a` and `b` can never be simultaneously true.
     pub fn disjoint(&mut self, a: Bdd, b: Bdd) -> bool {
-        self.and(a, b).is_false()
+        // Constant and equal-handle cases resolve without touching the memo
+        // (or its hit/miss tallies): they are already cheaper than a probe.
+        if a.is_false() || b.is_false() {
+            return true;
+        }
+        if a == b || a.is_true() || b.is_true() {
+            // Neither side is FALSE here, so a shared satisfying assignment
+            // exists (equal handles / the TRUE side accepts everything).
+            return false;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.disjoint_memo.get(&key) {
+            self.memo_hits += 1;
+            return r;
+        }
+        self.memo_misses += 1;
+        let r = self.and(a, b).is_false();
+        self.disjoint_memo.insert(key, r);
+        r
     }
 
     /// True when `a` implies `b` (every assignment satisfying `a` satisfies
     /// `b`).
     pub fn implies(&mut self, a: Bdd, b: Bdd) -> bool {
-        self.and_not(a, b).is_false()
+        // Constant and equal-handle cases, memo-free as in `disjoint`.
+        if b.is_true() || a.is_false() || a == b {
+            return true;
+        }
+        if b.is_false() {
+            // `a` is not FALSE here, so some assignment satisfies `a`.
+            return false;
+        }
+        if let Some(&r) = self.implies_memo.get(&(a, b)) {
+            self.memo_hits += 1;
+            return r;
+        }
+        self.memo_misses += 1;
+        let r = self.and_not(a, b).is_false();
+        self.implies_memo.insert((a, b), r);
+        r
     }
 
     #[inline]
@@ -232,6 +286,20 @@ impl BddManager {
             }
             let n = self.nodes[cur.0 as usize];
             cur = if assignment(n.var) { n.hi } else { n.lo };
+        }
+    }
+}
+
+impl Drop for BddManager {
+    /// Publishes this manager's query-memo statistics to the process-wide
+    /// `bdd.memo_hits` / `bdd.memo_misses` counters. Flushing on drop keeps
+    /// the hot query paths free of atomic operations.
+    fn drop(&mut self) {
+        if self.memo_hits > 0 {
+            crate::obs_bdd_memo_hits().add(self.memo_hits);
+        }
+        if self.memo_misses > 0 {
+            crate::obs_bdd_memo_misses().add(self.memo_misses);
         }
     }
 }
@@ -351,6 +419,35 @@ mod tests {
         assert_eq!(m.not(v), nv);
         assert!(m.disjoint(v, nv));
         assert_eq!(m.or(v, nv), Bdd::TRUE);
+    }
+
+    #[test]
+    fn query_memo_hits_repeated_queries() {
+        // Constant / equal-handle queries resolve before the memo and leave
+        // the tallies untouched.
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let na = m.not(a);
+        let b = m.var(1);
+        assert!(m.disjoint(a, Bdd::FALSE));
+        assert!(m.implies(a, a));
+        assert!(m.implies(a, Bdd::TRUE));
+        assert_eq!(m.memo_stats(), (0, 0));
+        // Distinct-variable queries go through the memo: first a miss, then
+        // repeats (including the symmetric disjoint flip) hit it and keep
+        // returning the same answers.
+        let ab = m.or(a, b);
+        assert!(m.disjoint(a, na));
+        assert!(m.implies(a, ab));
+        let (h0, miss0) = m.memo_stats();
+        assert_eq!((h0, miss0), (0, 2));
+        assert!(m.disjoint(na, a));
+        assert!(m.implies(a, ab));
+        assert!(!m.disjoint(a, b));
+        assert!(!m.disjoint(b, a));
+        let (h1, miss) = m.memo_stats();
+        assert!(h1 >= h0 + 3, "hits {h0} -> {h1}");
+        assert!(miss >= 3);
     }
 
     #[test]

@@ -124,20 +124,73 @@ impl DepGraph {
         opts: &DepOptions,
         exit_live: Option<&ExitLiveness>,
     ) -> DepGraph {
+        DepGraph::build_suite(ops, facts, &[latency], std::slice::from_ref(opts), exit_live)
+            .pop()
+            .expect("one latency model in, one graph out")
+    }
+
+    /// Builds the graph once per machine of a suite, sharing the edge
+    /// construction.
+    ///
+    /// The edge *set* depends only on the ops, the predicate facts,
+    /// `pred_relaxation` and the alias classes — never on latencies — so it
+    /// is computed once; per machine only the edge latencies are
+    /// instantiated from `latencies[i]` and `opts[i].branch_latency`. Every
+    /// element of `opts` must agree on `pred_relaxation` and `mem_classes`
+    /// (the fields the shared edge set is built from); the result at index
+    /// `i` is identical to a standalone `build` with `latencies[i]` and
+    /// `opts[i]`.
+    pub fn build_suite(
+        ops: &[Op],
+        facts: &mut PredFacts,
+        latencies: &[&dyn Fn(&Op) -> u32],
+        opts: &[DepOptions],
+        exit_live: Option<&ExitLiveness>,
+    ) -> Vec<DepGraph> {
+        assert_eq!(latencies.len(), opts.len(), "one latency model per option set");
+        debug_assert!(
+            opts.windows(2).all(|w| w[0].pred_relaxation == w[1].pred_relaxation
+                && w[0].mem_classes == w[1].mem_classes),
+            "suite options must only differ in branch latency"
+        );
+        DepGraph::build_inner(ops, facts, latencies, opts, exit_live, true)
+    }
+
+    /// Builds only the *data* half of the graph: flow, anti, output and
+    /// memory edges, with no branch control or availability-at-exit
+    /// constraints. The ICBM matching and motion phases consume exactly
+    /// this subset (their closures follow `Flow`/`Mem`, their hazard checks
+    /// `Anti`/`Output`/`Mem`), and the skipped control construction is the
+    /// expensive part of a conservative no-exit-liveness build — one edge
+    /// and one disjointness query per (branch, later op) pair.
+    pub fn build_data(ops: &[Op], facts: &mut PredFacts, opts: &DepOptions) -> DepGraph {
+        DepGraph::build_inner(ops, facts, &[&|_| 1], std::slice::from_ref(opts), None, false)
+            .pop()
+            .expect("one latency model in, one graph out")
+    }
+
+    fn build_inner(
+        ops: &[Op],
+        facts: &mut PredFacts,
+        latencies: &[&dyn Fn(&Op) -> u32],
+        opts: &[DepOptions],
+        exit_live: Option<&ExitLiveness>,
+        control: bool,
+    ) -> Vec<DepGraph> {
         let classes: Vec<Option<u32>> =
-            ops.iter().map(|o| opts.mem_classes.get(&o.id).copied()).collect();
+            ops.iter().map(|o| opts[0].mem_classes.get(&o.id).copied()).collect();
         let mut b = Builder {
             ops,
             facts,
-            latency,
-            opts,
+            opts: &opts[0],
             classes,
             exit_live,
+            control,
             edges: Vec::new(),
-            reg_writers: HashMap::new(),
-            reg_readers: HashMap::new(),
-            pred_writers: HashMap::new(),
-            pred_readers: HashMap::new(),
+            reg_writers: Vec::new(),
+            reg_readers: Vec::new(),
+            pred_writers: Vec::new(),
+            pred_readers: Vec::new(),
             stores: Vec::new(),
             loads: Vec::new(),
             branches: Vec::new(),
@@ -146,15 +199,36 @@ impl DepGraph {
         for i in 0..ops.len() {
             b.visit(i);
         }
-        let edges = b.edges;
+        let raw = b.edges;
         let mut preds_of = vec![Vec::new(); ops.len()];
         let mut succs_of = vec![Vec::new(); ops.len()];
-        for (idx, e) in edges.iter().enumerate() {
+        for (idx, e) in raw.iter().enumerate() {
             debug_assert!(e.from < e.to, "edges must point forward");
             preds_of[e.to].push(idx as u32);
             succs_of[e.from].push(idx as u32);
         }
-        DepGraph { n: ops.len(), edges, preds_of, succs_of }
+        latencies
+            .iter()
+            .zip(opts)
+            .map(|(latency, o)| {
+                let blat = o.branch_latency;
+                let edges = raw
+                    .iter()
+                    .map(|e| DepEdge {
+                        from: e.from,
+                        to: e.to,
+                        kind: e.kind,
+                        latency: e.rule.latency(latency(&ops[e.from]) as i32, blat),
+                    })
+                    .collect();
+                DepGraph {
+                    n: ops.len(),
+                    edges,
+                    preds_of: preds_of.clone(),
+                    succs_of: succs_of.clone(),
+                }
+            })
+            .collect()
     }
 
     /// Number of operations.
@@ -340,35 +414,91 @@ fn no_alias(a: Option<Addr>, b: Option<Addr>, class_a: Option<u32>, class_b: Opt
     }
 }
 
+/// How an edge's latency is derived from a machine's latency model: the
+/// edge set is machine-independent, so the builder records rules and
+/// [`DepGraph::build_suite`] instantiates concrete latencies per machine.
+#[derive(Clone, Copy, Debug)]
+enum LatRule {
+    /// The producing op's latency (flow, store→load memory).
+    FromLat,
+    /// A fixed distance (anti = 0, output / store→store = 1, …).
+    Const(i32),
+    /// The branch shadow: control dependence on an earlier branch.
+    Blat,
+    /// Availability at exit: producer latency minus the branch latency.
+    FromLatMinusBlat,
+    /// Store ordering against a later branch: `1 − branch_latency`.
+    OneMinusBlat,
+}
+
+impl LatRule {
+    fn latency(self, from_lat: i32, blat: i32) -> i32 {
+        match self {
+            LatRule::FromLat => from_lat,
+            LatRule::Const(c) => c,
+            LatRule::Blat => blat,
+            LatRule::FromLatMinusBlat => from_lat - blat,
+            LatRule::OneMinusBlat => 1 - blat,
+        }
+    }
+}
+
+/// A latency-free edge as recorded by the builder.
+struct RawEdge {
+    from: usize,
+    to: usize,
+    kind: DepKind,
+    rule: LatRule,
+}
+
 struct Builder<'a> {
     ops: &'a [Op],
     facts: &'a mut PredFacts,
-    latency: &'a dyn Fn(&Op) -> u32,
     opts: &'a DepOptions,
     classes: Vec<Option<u32>>,
     exit_live: Option<&'a ExitLiveness>,
-    edges: Vec<DepEdge>,
+    /// Emit branch control / availability edges (see
+    /// [`DepGraph::build_data`] for the data-only mode that skips them).
+    control: bool,
+    edges: Vec<RawEdge>,
     /// Current potentially-visible writers of each register (a guarded def
-    /// does not kill earlier defs).
-    reg_writers: HashMap<Reg, Vec<usize>>,
-    reg_readers: HashMap<Reg, Vec<usize>>,
+    /// does not kill earlier defs). Dense, indexed by register number and
+    /// grown on demand — the builder touches these once per operand, so
+    /// plain indexing beats hash probing on hot regions.
+    reg_writers: Vec<Vec<usize>>,
+    reg_readers: Vec<Vec<usize>>,
     /// Writers of each predicate since the last unconditional (barrier)
-    /// write, with their action kinds.
-    pred_writers: HashMap<PredReg, Vec<(usize, PredActionKind)>>,
-    pred_readers: HashMap<PredReg, Vec<usize>>,
+    /// write, with their action kinds. Indexed by predicate number.
+    pred_writers: Vec<Vec<(usize, PredActionKind)>>,
+    pred_readers: Vec<Vec<usize>>,
     stores: Vec<usize>,
     loads: Vec<usize>,
     branches: Vec<usize>,
     addrs: Vec<Option<Addr>>,
 }
 
+/// The grow-on-demand slot for index `i` of a dense table.
+fn slot<T>(table: &mut Vec<Vec<T>>, i: usize) -> &mut Vec<T> {
+    if i >= table.len() {
+        table.resize_with(i + 1, Vec::new);
+    }
+    &mut table[i]
+}
+
+/// A clone of the slot for index `i`, empty when never touched. Cloned so
+/// the borrow of the table ends before edges are pushed (the entry vectors
+/// are short: visible writers/readers since the last kill).
+fn slot_cloned<T: Clone>(table: &[Vec<T>], i: usize) -> Vec<T> {
+    table.get(i).cloned().unwrap_or_default()
+}
+
 impl<'a> Builder<'a> {
-    fn edge(&mut self, from: usize, to: usize, kind: DepKind, latency: i32) {
+    fn edge(&mut self, from: usize, to: usize, kind: DepKind, rule: LatRule) {
         if from == to {
             return;
         }
         debug_assert!(from < to);
-        self.edges.push(DepEdge { from, to, kind, latency });
+        self.edges.push(RawEdge { from, to, kind, rule });
     }
 
     fn disjoint(&mut self, i: usize, j: usize) -> bool {
@@ -395,60 +525,47 @@ impl<'a> Builder<'a> {
 
     fn visit(&mut self, i: usize) {
         let op = &self.ops[i];
-        let lat = (self.latency)(op) as i32;
-        let blat = self.opts.branch_latency;
 
         // --- register uses: flow from all visible writers ---
         let used_regs: Vec<Reg> = op.uses_regs().collect();
         for r in &used_regs {
-            if let Some(ws) = self.reg_writers.get(r).cloned() {
-                for w in ws {
-                    let wlat = (self.latency)(&self.ops[w]) as i32;
-                    self.edge(w, i, DepKind::Flow, wlat);
-                }
+            for w in slot_cloned(&self.reg_writers, r.index()) {
+                self.edge(w, i, DepKind::Flow, LatRule::FromLat);
             }
-            self.reg_readers.entry(*r).or_default().push(i);
+            slot(&mut self.reg_readers, r.index()).push(i);
         }
 
         // --- predicate uses (guard + data): flow from writers ---
         let used_preds: Vec<PredReg> = op.uses_preds_with_guard().collect();
         for p in &used_preds {
-            if let Some(ws) = self.pred_writers.get(p).cloned() {
-                for (w, _) in ws {
-                    let wlat = (self.latency)(&self.ops[w]) as i32;
-                    self.edge(w, i, DepKind::Flow, wlat);
-                }
+            for (w, _) in slot_cloned(&self.pred_writers, p.index()) {
+                self.edge(w, i, DepKind::Flow, LatRule::FromLat);
             }
-            self.pred_readers.entry(*p).or_default().push(i);
+            slot(&mut self.pred_readers, p.index()).push(i);
         }
 
         // --- register defs: anti from readers, output from writers ---
         let def_regs: Vec<Reg> = op.defs_regs().collect();
         for r in &def_regs {
-            if let Some(rs) = self.reg_readers.get(r).cloned() {
-                for rd in rs {
-                    if !(self.disjoint(rd, i) && self.write_vanishes_when_nullified(i)) {
-                        self.edge(rd, i, DepKind::Anti, 0);
-                    }
+            for rd in slot_cloned(&self.reg_readers, r.index()) {
+                if !(self.disjoint(rd, i) && self.write_vanishes_when_nullified(i)) {
+                    self.edge(rd, i, DepKind::Anti, LatRule::Const(0));
                 }
             }
-            if let Some(ws) = self.reg_writers.get(r).cloned() {
-                for w in ws {
-                    if !(self.disjoint(w, i)
-                        && self.write_vanishes_when_nullified(i)
-                        && self.write_vanishes_when_nullified(w))
-                    {
-                        self.edge(w, i, DepKind::Output, 1);
-                    }
+            for w in slot_cloned(&self.reg_writers, r.index()) {
+                if !(self.disjoint(w, i)
+                    && self.write_vanishes_when_nullified(i)
+                    && self.write_vanishes_when_nullified(w))
+                {
+                    self.edge(w, i, DepKind::Output, LatRule::Const(1));
                 }
             }
             // Update writer set: an unguarded def kills, a guarded one joins.
-            let ws = self.reg_writers.entry(*r).or_default();
             if op.guard.is_none() {
-                ws.clear();
-                self.reg_readers.entry(*r).or_default().clear();
+                slot(&mut self.reg_writers, r.index()).clear();
+                slot(&mut self.reg_readers, r.index()).clear();
             }
-            ws.push(i);
+            slot(&mut self.reg_writers, r.index()).push(i);
         }
 
         // --- predicate defs ---
@@ -461,36 +578,31 @@ impl<'a> Builder<'a> {
             })
             .collect();
         for (p, kind) in &pred_dests {
-            if let Some(rs) = self.pred_readers.get(p).cloned() {
-                for rd in rs {
-                    let skippable = *kind != PredActionKind::Uncond && self.disjoint(rd, i);
-                    if !skippable {
-                        self.edge(rd, i, DepKind::Anti, 0);
-                    }
+            for rd in slot_cloned(&self.pred_readers, p.index()) {
+                let skippable = *kind != PredActionKind::Uncond && self.disjoint(rd, i);
+                if !skippable {
+                    self.edge(rd, i, DepKind::Anti, LatRule::Const(0));
                 }
             }
-            if let Some(ws) = self.pred_writers.get(p).cloned() {
-                for (w, wkind) in ws {
-                    // Same wired kind: unordered (commutative accumulation).
-                    if wkind == *kind && *kind != PredActionKind::Uncond {
-                        continue;
-                    }
-                    let both_wired = wkind != PredActionKind::Uncond
-                        && *kind != PredActionKind::Uncond;
-                    if both_wired && self.disjoint(w, i) {
-                        continue;
-                    }
-                    self.edge(w, i, DepKind::Output, 1);
+            for (w, wkind) in slot_cloned(&self.pred_writers, p.index()) {
+                // Same wired kind: unordered (commutative accumulation).
+                if wkind == *kind && *kind != PredActionKind::Uncond {
+                    continue;
                 }
+                let both_wired =
+                    wkind != PredActionKind::Uncond && *kind != PredActionKind::Uncond;
+                if both_wired && self.disjoint(w, i) {
+                    continue;
+                }
+                self.edge(w, i, DepKind::Output, LatRule::Const(1));
             }
             let is_barrier = *kind == PredActionKind::Uncond && op.guard.is_none()
                 || matches!(op.opcode, Opcode::PredInit) && op.guard.is_none();
-            let ws = self.pred_writers.entry(*p).or_default();
             if is_barrier {
-                ws.clear();
-                self.pred_readers.entry(*p).or_default().clear();
+                slot(&mut self.pred_writers, p.index()).clear();
+                slot(&mut self.pred_readers, p.index()).clear();
             }
-            ws.push((i, *kind));
+            slot(&mut self.pred_writers, p.index()).push((i, *kind));
         }
 
         // --- memory ---
@@ -502,8 +614,7 @@ impl<'a> Builder<'a> {
                     {
                         continue;
                     }
-                    let slat = (self.latency)(&self.ops[s]) as i32;
-                    self.edge(s, i, DepKind::Mem, slat);
+                    self.edge(s, i, DepKind::Mem, LatRule::FromLat);
                 }
                 self.loads.push(i);
             }
@@ -514,7 +625,7 @@ impl<'a> Builder<'a> {
                     {
                         continue;
                     }
-                    self.edge(s, i, DepKind::Mem, 1);
+                    self.edge(s, i, DepKind::Mem, LatRule::Const(1));
                 }
                 for l in self.loads.clone() {
                     if no_alias(self.addrs[l], self.addrs[i], self.classes[l], self.classes[i])
@@ -522,7 +633,7 @@ impl<'a> Builder<'a> {
                     {
                         continue;
                     }
-                    self.edge(l, i, DepKind::Mem, 0);
+                    self.edge(l, i, DepKind::Mem, LatRule::Const(0));
                 }
                 self.stores.push(i);
             }
@@ -530,6 +641,9 @@ impl<'a> Builder<'a> {
         }
 
         // --- control dependences from earlier branches ---
+        if !self.control {
+            return;
+        }
         for b in self.branches.clone() {
             // Non-speculative ops must wait out the branch shadow.
             let mut needs_control = !self.is_speculative(i);
@@ -539,7 +653,7 @@ impl<'a> Builder<'a> {
                 needs_control = true;
             }
             if needs_control && !(self.disjoint(b, i) && self.write_vanishes_when_nullified(i)) {
-                self.edge(b, i, DepKind::Control, blat);
+                self.edge(b, i, DepKind::Control, LatRule::Blat);
             }
         }
 
@@ -549,35 +663,28 @@ impl<'a> Builder<'a> {
             // takes; earlier non-speculative ops must have issued.
             let (live_regs, live_preds) = self.live_at_exit(i);
             for r in live_regs {
-                if let Some(ws) = self.reg_writers.get(&r).cloned() {
-                    for w in ws {
-                        if w == i {
-                            continue;
-                        }
-                        let wlat = (self.latency)(&self.ops[w]) as i32;
-                        self.edge(w, i, DepKind::Control, wlat - blat);
+                for w in slot_cloned(&self.reg_writers, r.index()) {
+                    if w == i {
+                        continue;
                     }
+                    self.edge(w, i, DepKind::Control, LatRule::FromLatMinusBlat);
                 }
             }
             for p in live_preds {
-                if let Some(ws) = self.pred_writers.get(&p).cloned() {
-                    for (w, _) in ws {
-                        if w == i {
-                            continue;
-                        }
-                        let wlat = (self.latency)(&self.ops[w]) as i32;
-                        self.edge(w, i, DepKind::Control, wlat - blat);
+                for (w, _) in slot_cloned(&self.pred_writers, p.index()) {
+                    if w == i {
+                        continue;
                     }
+                    self.edge(w, i, DepKind::Control, LatRule::FromLatMinusBlat);
                 }
             }
             for s in self.stores.clone() {
                 if !self.disjoint(s, i) {
-                    self.edge(s, i, DepKind::Control, 1 - blat);
+                    self.edge(s, i, DepKind::Control, LatRule::OneMinusBlat);
                 }
             }
             self.branches.push(i);
         }
-        let _ = lat;
     }
 
     /// Registers and predicates live at the exit taken by branch `b`.
@@ -589,8 +696,18 @@ impl<'a> Builder<'a> {
             },
             // Conservative: everything written so far is live.
             None => (
-                self.reg_writers.keys().copied().collect(),
-                self.pred_writers.keys().copied().collect(),
+                self.reg_writers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ws)| !ws.is_empty())
+                    .map(|(r, _)| Reg(r as u32))
+                    .collect(),
+                self.pred_writers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ws)| !ws.is_empty())
+                    .map(|(p, _)| PredReg(p as u32))
+                    .collect(),
             ),
         }
     }

@@ -23,13 +23,31 @@
 //!   EPIC scheduler and by the ICBM separability test and off-trace motion.
 
 pub mod bdd;
+pub mod bitset;
 pub mod depgraph;
 pub mod liveness;
 pub mod pred_facts;
 pub mod reaching;
 
 pub use bdd::{Bdd, BddManager};
+pub use bitset::BitSet;
 pub use depgraph::{DepEdge, DepGraph, DepKind, DepOptions, ExitLiveness};
 pub use liveness::{GlobalLiveness, IncrementalLiveness, RegionLiveness};
 pub use pred_facts::PredFacts;
 pub use reaching::{PredDef, PredReaching};
+
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide `bdd.memo_hits` counter: disjoint/implies queries answered
+/// from a [`BddManager`] query memo. Managers flush their tallies on drop.
+pub(crate) fn obs_bdd_memo_hits() -> &'static Arc<epic_obs::Counter> {
+    static C: OnceLock<Arc<epic_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| epic_obs::MetricsRegistry::global().counter("bdd.memo_hits"))
+}
+
+/// Process-wide `bdd.memo_misses` counter: disjoint/implies queries that had
+/// to run the BDD apply recursion.
+pub(crate) fn obs_bdd_memo_misses() -> &'static Arc<epic_obs::Counter> {
+    static C: OnceLock<Arc<epic_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| epic_obs::MetricsRegistry::global().counter("bdd.memo_misses"))
+}

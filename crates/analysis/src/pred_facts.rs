@@ -63,10 +63,22 @@ impl PredFacts {
             m.var(v)
         };
 
-        let mut reg_version: HashMap<Reg, u32> = HashMap::new();
-        let mut pred_version: HashMap<PredReg, u32> = HashMap::new();
-        let mut pred_state: HashMap<PredReg, Bdd> = HashMap::new();
+        // Dense, grow-on-demand tables indexed by register / predicate
+        // number (IR ids are allocated contiguously from zero).
+        let mut reg_version = VersionTable::default();
+        let mut pred_version = VersionTable::default();
+        let mut pred_state: Vec<Option<Bdd>> = Vec::new();
         let mut cond_vars: HashMap<CondKey, Bdd> = HashMap::new();
+
+        let state_of = |p: PredReg, pred_state: &mut Vec<Option<Bdd>>,
+                            m: &mut BddManager,
+                            next_var: &mut u32|
+         -> Bdd {
+            if p.index() >= pred_state.len() {
+                pred_state.resize(p.index() + 1, None);
+            }
+            *pred_state[p.index()].get_or_insert_with(|| fresh(m, next_var))
+        };
 
         let mut guards = Vec::with_capacity(ops.len());
         let mut dest_values = Vec::with_capacity(ops.len());
@@ -76,9 +88,7 @@ impl PredFacts {
             // variable (unknown region-entry value).
             let guard = match op.guard {
                 None => Bdd::TRUE,
-                Some(p) => *pred_state
-                    .entry(p)
-                    .or_insert_with(|| fresh(&mut m, &mut next_var)),
+                Some(p) => state_of(p, &mut pred_state, &mut m, &mut next_var),
             };
             guards.push(guard);
 
@@ -97,9 +107,7 @@ impl PredFacts {
                     );
                     for d in &op.dests {
                         if let Dest::Pred(p, action) = *d {
-                            let old = *pred_state
-                                .entry(p)
-                                .or_insert_with(|| fresh(&mut m, &mut next_var));
+                            let old = state_of(p, &mut pred_state, &mut m, &mut next_var);
                             let eff = match action.sense {
                                 epic_ir::PredSense::Normal => cond_bdd,
                                 epic_ir::PredSense::Complement => m.not(cond_bdd),
@@ -119,8 +127,8 @@ impl PredFacts {
                                     m.and(old, keep)
                                 }
                             };
-                            pred_state.insert(p, new);
-                            *pred_version.entry(p).or_insert(0) += 1;
+                            pred_state[p.index()] = Some(new);
+                            pred_version.bump(p.index());
                             written.push((p, new));
                         }
                     }
@@ -128,9 +136,7 @@ impl PredFacts {
                 Opcode::PredInit => {
                     for (d, s) in op.dests.iter().zip(&op.srcs) {
                         if let Dest::Pred(p, _) = *d {
-                            let old = *pred_state
-                                .entry(p)
-                                .or_insert_with(|| fresh(&mut m, &mut next_var));
+                            let old = state_of(p, &mut pred_state, &mut m, &mut next_var);
                             let constant = matches!(s, Operand::Imm(1));
                             let new = if guard.is_true() {
                                 if constant {
@@ -143,22 +149,27 @@ impl PredFacts {
                             } else {
                                 m.and_not(old, guard)
                             };
-                            pred_state.insert(p, new);
-                            *pred_version.entry(p).or_insert(0) += 1;
+                            pred_state[p.index()] = Some(new);
+                            pred_version.bump(p.index());
                             written.push((p, new));
                         }
                     }
                 }
                 _ => {
                     for r in op.defs_regs() {
-                        *reg_version.entry(r).or_insert(0) += 1;
+                        reg_version.bump(r.index());
                     }
                 }
             }
             dest_values.push(written);
         }
 
-        PredFacts { manager: m, guards, dest_values, final_preds: pred_state }
+        let final_preds = pred_state
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|b| (PredReg(i as u32), b)))
+            .collect();
+        PredFacts { manager: m, guards, dest_values, final_preds }
     }
 
     /// The symbolic guard of op `i` (indices into the analyzed slice).
@@ -198,6 +209,27 @@ impl PredFacts {
     }
 }
 
+/// A grow-on-demand definition-version table indexed by register /
+/// predicate number; absent entries are version 0.
+#[derive(Default)]
+struct VersionTable {
+    versions: Vec<u32>,
+}
+
+impl VersionTable {
+    #[inline]
+    fn get(&self, i: usize) -> u32 {
+        self.versions.get(i).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, i: usize) {
+        if i >= self.versions.len() {
+            self.versions.resize(i + 1, 0);
+        }
+        self.versions[i] += 1;
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn condition_bdd(
     m: &mut BddManager,
@@ -206,13 +238,13 @@ fn condition_bdd(
     cond: CmpCond,
     a: Operand,
     b: Operand,
-    reg_version: &HashMap<Reg, u32>,
-    pred_version: &HashMap<PredReg, u32>,
+    reg_version: &VersionTable,
+    pred_version: &VersionTable,
 ) -> Bdd {
     let key_of = |s: Operand| -> ValKey {
         match s {
-            Operand::Reg(r) => ValKey::Reg(r, reg_version.get(&r).copied().unwrap_or(0)),
-            Operand::Pred(p) => ValKey::Pred(p, pred_version.get(&p).copied().unwrap_or(0)),
+            Operand::Reg(r) => ValKey::Reg(r, reg_version.get(r.index())),
+            Operand::Pred(p) => ValKey::Pred(p, pred_version.get(p.index())),
             Operand::Imm(i) => ValKey::Imm(i),
             Operand::Label(l) => ValKey::Label(l.0),
         }

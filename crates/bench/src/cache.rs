@@ -124,12 +124,19 @@ pub struct CacheOutcome {
     pub hit: bool,
 }
 
-struct Inner {
+#[derive(Default)]
+struct Shard {
     map: HashMap<CacheKey, Arc<StageArtifact>>,
     order: VecDeque<CacheKey>,
 }
 
 /// A concurrent, content-addressed cache of pipeline stage artifacts.
+///
+/// The in-memory map is split into [`CompileCache::DEFAULT_SHARDS`]
+/// independently locked shards addressed by a stable hash of the key, so
+/// parallel table drivers probing different workloads never serialize on
+/// one mutex. Capacity is divided evenly across shards and each shard
+/// evicts FIFO beyond its share.
 ///
 /// Every cache also mirrors its counters into the process-wide
 /// [`MetricsRegistry`](epic_obs::MetricsRegistry) under
@@ -137,8 +144,8 @@ struct Inner {
 /// all cache instances in the process), and each probe opens a trace span
 /// under the `cache` category when the global tracer is enabled.
 pub struct CompileCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -166,18 +173,33 @@ impl CompileCache {
     /// config fits without eviction.
     pub const DEFAULT_CAPACITY: usize = 4096;
 
+    /// Lock shards in the in-memory layer. Far more shards than the thread
+    /// counts the table drivers use, so two threads rarely contend unless
+    /// they probe the very same key.
+    pub const DEFAULT_SHARDS: usize = 16;
+
     /// An in-memory cache with the default capacity.
     pub fn new() -> CompileCache {
         CompileCache::with_capacity(CompileCache::DEFAULT_CAPACITY)
     }
 
     /// An in-memory cache holding at most `capacity` artifacts (FIFO
-    /// eviction beyond that).
+    /// eviction beyond that), sharded [`DEFAULT_SHARDS`] ways.
+    ///
+    /// [`DEFAULT_SHARDS`]: CompileCache::DEFAULT_SHARDS
     pub fn with_capacity(capacity: usize) -> CompileCache {
+        CompileCache::with_capacity_and_shards(capacity, CompileCache::DEFAULT_SHARDS)
+    }
+
+    /// An in-memory cache with an explicit shard count. The capacity is
+    /// split evenly across shards (at least one entry each); a single shard
+    /// gives the exact global FIFO bound of the pre-sharded cache.
+    pub fn with_capacity_and_shards(capacity: usize, shards: usize) -> CompileCache {
+        let shards = shards.max(1);
         let registry = epic_obs::MetricsRegistry::global();
         CompileCache {
-            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
-            capacity: capacity.max(1),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: (capacity.max(1)).div_ceil(shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -217,6 +239,17 @@ impl CompileCache {
     /// # Errors
     ///
     /// Whatever `compute` returns.
+    /// The shard owning `key`: a stable FNV-1a hash over all three key
+    /// components, so entries spread evenly even when every probe shares
+    /// one stage name or one input fingerprint.
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = epic_ir::Fnv64::new();
+        h.write_u64(key.input_fp);
+        h.write_u64(key.config);
+        h.write_str(key.stage);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
     pub fn get_or_compute(
         &self,
         key: CacheKey,
@@ -224,7 +257,7 @@ impl CompileCache {
         compute: impl FnOnce() -> Result<StageArtifact, CompileError>,
     ) -> Result<CacheOutcome, CompileError> {
         let _probe = epic_obs::Span::enter(key.stage, "cache");
-        if let Some(artifact) = self.inner.lock().unwrap().map.get(&key).cloned() {
+        if let Some(artifact) = self.shard_of(&key).lock().unwrap().map.get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.m_hits.inc();
             return Ok(CacheOutcome { artifact, hit: true });
@@ -248,18 +281,18 @@ impl CompileCache {
         Ok(CacheOutcome { artifact, hit: false })
     }
 
-    /// Inserts `artifact` under `key`, evicting FIFO beyond capacity. If a
-    /// concurrent caller already inserted the key, their artifact wins (so
-    /// every caller shares one allocation).
+    /// Inserts `artifact` under `key`, evicting FIFO beyond the owning
+    /// shard's capacity share. If a concurrent caller already inserted the
+    /// key, their artifact wins (so every caller shares one allocation).
     fn insert(&self, key: CacheKey, artifact: Arc<StageArtifact>) -> Arc<StageArtifact> {
-        let mut inner = self.inner.lock().unwrap();
-        if let Some(existing) = inner.map.get(&key) {
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        if let Some(existing) = shard.map.get(&key) {
             return existing.clone();
         }
-        while inner.map.len() >= self.capacity {
-            match inner.order.pop_front() {
+        while shard.map.len() >= self.shard_capacity {
+            match shard.order.pop_front() {
                 Some(old) => {
-                    if inner.map.remove(&old).is_some() {
+                    if shard.map.remove(&old).is_some() {
                         self.evictions.fetch_add(1, Ordering::Relaxed);
                         self.m_evictions.inc();
                     }
@@ -267,8 +300,8 @@ impl CompileCache {
                 None => break,
             }
         }
-        inner.map.insert(key, artifact.clone());
-        inner.order.push_back(key);
+        shard.map.insert(key, artifact.clone());
+        shard.order.push_back(key);
         artifact
     }
 
@@ -279,7 +312,7 @@ impl CompileCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            entries: self.inner.lock().unwrap().map.len(),
+            entries: self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum(),
         }
     }
 
@@ -549,7 +582,8 @@ mod tests {
 
     #[test]
     fn fifo_eviction_bounds_residency() {
-        let cache = CompileCache::with_capacity(2);
+        // One shard gives the exact global FIFO bound.
+        let cache = CompileCache::with_capacity_and_shards(2, 1);
         let make = || Ok(StageArtifact::Func(sample_func()));
         for n in 0..3 {
             cache.get_or_compute(key(n), false, make).unwrap();
@@ -560,6 +594,50 @@ mod tests {
         // The oldest entry (0) was evicted; the newest two remain.
         assert!(!cache.get_or_compute(key(0), false, make).unwrap().hit);
         assert!(cache.get_or_compute(key(2), false, make).unwrap().hit);
+    }
+
+    #[test]
+    fn sharded_eviction_bounds_total_residency() {
+        let cache = CompileCache::with_capacity_and_shards(16, 4);
+        let make = || Ok(StageArtifact::Func(sample_func()));
+        for n in 0..64 {
+            cache.get_or_compute(key(n), false, make).unwrap();
+        }
+        let stats = cache.stats();
+        // Each of the 4 shards holds at most its share (16/4 = 4).
+        assert!(stats.entries <= 16, "entries {} exceed capacity", stats.entries);
+        assert_eq!(stats.evictions, 64 - stats.entries as u64);
+    }
+
+    #[test]
+    fn shards_serve_concurrent_probes_without_poisoning() {
+        use std::sync::Arc as StdArc;
+        let cache = StdArc::new(CompileCache::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let cache = StdArc::clone(&cache);
+                std::thread::spawn(move || {
+                    for n in 0..32 {
+                        // Half the keys are shared across threads, half
+                        // are thread-private.
+                        let fp = if n % 2 == 0 { n } else { t * 1000 + n };
+                        let out = cache
+                            .get_or_compute(key(fp), false, || {
+                                Ok(StageArtifact::Func(sample_func()))
+                            })
+                            .unwrap();
+                        assert!(StdArc::strong_count(&out.artifact) >= 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        // 16 shared keys + 4×16 private keys.
+        assert_eq!(stats.entries, 16 + 64);
+        assert_eq!(stats.hits + stats.misses, 4 * 32);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use epic_machine::Machine;
 use epic_perf::{geomean, weighted_cycles, CountRatios};
-use epic_sched::{schedule_function, SchedOptions};
+use epic_sched::{schedule_function_suite, SchedOptions};
 use epic_workloads::{Group, Workload};
 use rayon::prelude::*;
 
@@ -115,36 +115,42 @@ pub fn table2_with_timings_cached(
 /// `BENCH_pr1.json`.
 pub fn table2_serial(workloads: &[Workload], cfg: &PipelineConfig) -> Vec<Table2Row> {
     let machines = Machine::paper_suite();
-    let opts = SchedOptions::default();
     workloads
         .iter()
         .map(|w| {
             let c = compile_maybe_cached(w, cfg, None);
-            let cycles = machines
-                .iter()
-                .map(|m| machine_cycles(&c, m, &opts))
-                .collect();
-            Table2Row { name: w.name.to_string(), group: w.group, cycles }
+            Table2Row {
+                name: w.name.to_string(),
+                group: w.group,
+                cycles: suite_cycles(&c, &machines),
+            }
         })
         .collect()
 }
 
-/// Computes one row from an already compiled pair, scheduling the machine
-/// models in parallel (results stay in `machines` order).
+/// Computes one row from an already compiled pair. The machine models are
+/// scheduled through [`schedule_function_suite`], which shares the
+/// machine-independent analyses (liveness, predicate facts, exit liveness)
+/// across the whole suite instead of recomputing them per machine.
 pub fn table2_row(w: &Workload, c: &Compiled, machines: &[Machine]) -> Table2Row {
-    let opts = SchedOptions::default();
-    let cycles = machines.par_iter().map(|m| machine_cycles(c, m, &opts)).collect();
-    Table2Row { name: w.name.to_string(), group: w.group, cycles }
+    Table2Row { name: w.name.to_string(), group: w.group, cycles: suite_cycles(c, machines) }
 }
 
-/// Schedules both sides of a compiled pair on one machine and returns the
-/// profile-weighted cycle estimates.
-fn machine_cycles(c: &Compiled, m: &Machine, opts: &SchedOptions) -> (String, u64, u64) {
-    let base_sched = schedule_function(&c.baseline, m, opts);
-    let opt_sched = schedule_function(&c.optimized, m, opts);
-    let base = weighted_cycles(&c.baseline, &c.base_profile, &base_sched);
-    let opt = weighted_cycles(&c.optimized, &c.opt_profile, &opt_sched);
-    (m.name().to_string(), base, opt)
+/// Schedules both sides of a compiled pair on every machine of the suite and
+/// returns the profile-weighted cycle estimates, in `machines` order.
+fn suite_cycles(c: &Compiled, machines: &[Machine]) -> Vec<(String, u64, u64)> {
+    let opts = SchedOptions::default();
+    let base_scheds = schedule_function_suite(&c.baseline, machines, &opts);
+    let opt_scheds = schedule_function_suite(&c.optimized, machines, &opts);
+    machines
+        .iter()
+        .zip(base_scheds.iter().zip(&opt_scheds))
+        .map(|(m, (bs, os))| {
+            let base = weighted_cycles(&c.baseline, &c.base_profile, bs);
+            let opt = weighted_cycles(&c.optimized, &c.opt_profile, os);
+            (m.name().to_string(), base, opt)
+        })
+        .collect()
 }
 
 /// One row of Table 3: operation-count ratios for one benchmark.

@@ -78,7 +78,10 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
     // touch exactly the CPR block and its compensation block, so only those
     // two summaries are recomputed per mutation instead of re-analyzing the
     // whole function per CPR block.
-    let mut live = IncrementalLiveness::new(func);
+    let mut live = {
+        let _s = Span::enter("icbm.liveness", "icbm");
+        IncrementalLiveness::new(func)
+    };
 
     for hb in hyperblocks {
         stats.hyperblocks += 1;
@@ -105,12 +108,16 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
                 stats.skipped += 1;
                 continue;
             };
-            live.repair(func, &r.touched_blocks());
+            {
+                let _s = Span::enter("icbm.liveness", "icbm");
+                live.repair(func, &r.touched_blocks());
+            }
             let moved = {
                 let _s = Span::enter("icbm.motion", "icbm");
                 off_trace_motion(func, &r, live.live())
             };
             if moved {
+                let _s = Span::enter("icbm.liveness", "icbm");
                 live.repair(func, &r.touched_blocks());
                 stats.cpr_blocks += 1;
                 if r.taken_variation {
@@ -122,7 +129,10 @@ pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> Ic
                 // detach the compensation block from the layout.
                 func.block_mut(hb).ops = saved_ops;
                 func.layout.retain(|&b| b != r.comp);
-                live.repair(func, &[hb]);
+                {
+                    let _s = Span::enter("icbm.liveness", "icbm");
+                    live.repair(func, &[hb]);
+                }
                 stats.skipped += 1;
             }
         }

@@ -96,7 +96,9 @@ pub fn match_cpr_blocks(
         mem_classes: mem_classes.clone(),
         ..epic_analysis::DepOptions::default()
     };
-    let graph = DepGraph::build(ops, &mut facts, &|_| 1, &dep_opts, None);
+    // The separability closure follows flow/memory edges only; skip the
+    // control half of the graph.
+    let graph = DepGraph::build_data(ops, &mut facts, &dep_opts);
 
     let infos: Vec<BranchInfo> = chain
         .iter()

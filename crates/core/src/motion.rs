@@ -62,9 +62,18 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
     }
 
     // --- dependence graph for closure and legality ---
-    let mut facts = PredFacts::compute(&ops);
-    let dep_opts = DepOptions::for_function(func);
-    let graph = DepGraph::build(&ops, &mut facts, &|_| 1, &dep_opts, None);
+    let (mut facts, graph) = {
+        let mut facts = {
+            let _s = epic_obs::Span::enter("motion.facts", "icbm");
+            PredFacts::compute(&ops)
+        };
+        let _s = epic_obs::Span::enter("motion.deps", "icbm");
+        let dep_opts = DepOptions::for_function(func);
+        // Motion only follows flow/memory edges and checks anti/output
+        // hazards; the data-only build skips the control construction.
+        let graph = DepGraph::build_data(&ops, &mut facts, &dep_opts);
+        (facts, graph)
+    };
 
     // set 1: flow closure over registers, predicates, and store→load memory
     // dependences.

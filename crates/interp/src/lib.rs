@@ -37,10 +37,30 @@
 //! # Ok::<(), epic_interp::Trap>(())
 //! ```
 
+mod decode;
 mod diff;
 mod exec;
+#[doc(hidden)]
+pub mod reference;
 mod trap;
 
+pub use decode::{DecodedProgram, ExecState};
 pub use diff::{diff_test, DiffError};
 pub use exec::{run, run_traced, Input, Outcome};
 pub use trap::Trap;
+
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide `interp.steps` counter: total operations fetched across
+/// all runs. Updated once per run (a single relaxed add), not per step.
+pub(crate) fn obs_steps() -> &'static Arc<epic_obs::Counter> {
+    static C: OnceLock<Arc<epic_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| epic_obs::MetricsRegistry::global().counter("interp.steps"))
+}
+
+/// Process-wide `interp.decode_ns` counter: nanoseconds spent pre-decoding
+/// functions into [`DecodedProgram`] form.
+pub(crate) fn obs_decode_ns() -> &'static Arc<epic_obs::Counter> {
+    static C: OnceLock<Arc<epic_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| epic_obs::MetricsRegistry::global().counter("interp.decode_ns"))
+}

@@ -1,11 +1,16 @@
 # Project task runner. `just --list` shows recipes.
 
 # Full pre-merge gate: release build, tests, clippy clean, fuzz corpus,
-# batch-server smoke, observability smoke, schedule validation.
-bench-check: fuzz-smoke serve-smoke obs-smoke sched-check
+# batch-server smoke, observability smoke, schedule validation, perf gate.
+bench-check: fuzz-smoke serve-smoke obs-smoke sched-check perf-check
     cargo build --release
     cargo test -q
     cargo clippy --all-targets -- -D warnings
+
+# Performance gate: a quick serial table2 timing run (min of 3) must stay
+# within 25% of the committed BENCH_pr6.json snapshot.
+perf-check:
+    cargo run --release -p epic-bench --bin bench_snapshot -- --quick --check
 
 # Schedule translation validation: the independent checker's negative
 # suite and mutation kill-rate harness, plus whole-suite stage validation,
@@ -34,7 +39,8 @@ obs-smoke:
 fuzz-smoke:
     cargo test --release -q -p epic-fuzz --test fuzz_smoke
 
-# Regenerate the committed serial-vs-parallel timing snapshot.
+# Regenerate the committed timing snapshot (serial runs, thread sweep,
+# per-stage geomeans).
 bench-snapshot:
     cargo run --release -p epic-bench --bin bench_snapshot
 

@@ -11,16 +11,104 @@
 //! Thread count comes from `RAYON_NUM_THREADS` (0 or unset ⇒ all available
 //! cores), matching upstream rayon's environment variable.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread count forced by an enclosing [`ThreadPool::install`] call.
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
 
 /// The number of worker threads a parallel iterator will use.
 ///
-/// `RAYON_NUM_THREADS` overrides the detected core count; values of 0 (or
-/// unparsable values) fall back to `std::thread::available_parallelism`.
+/// An enclosing [`ThreadPool::install`] wins; otherwise `RAYON_NUM_THREADS`
+/// overrides the detected core count; values of 0 (or unparsable values)
+/// fall back to `std::thread::available_parallelism`.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
     match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
         Some(n) if n > 0 => n,
         _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; the shim's builds are
+/// infallible, the type exists for upstream signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with every setting at its default.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Fixes the pool's thread count (0 ⇒ detected core count).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors upstream's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A scoped thread-count override, approximating `rayon::ThreadPool`.
+///
+/// Upstream runs `install`'s closure *on* a persistent worker pool; the
+/// shim instead runs it on the calling thread and pins the worker count
+/// every parallel iterator **started from that thread** will use (workers
+/// are spawned per call via `std::thread::scope`). Parallel iterators
+/// started from inside another spawned thread do not see the override —
+/// none of the harness's drivers nest pools that way.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's fixed thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count forced onto every parallel
+    /// iterator the closure starts (restores the previous override on exit,
+    /// including on panic-free early return).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(Some(self.threads))));
+        op()
     }
 }
 
@@ -244,5 +332,34 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_overrides_and_restores_thread_count() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let outside = super::current_num_threads();
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(super::current_num_threads(), outside);
+        // Nested installs compose: innermost wins, outer is restored.
+        let inner_pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (inner, outer_again) =
+            pool.install(|| (inner_pool.install(super::current_num_threads), super::current_num_threads()));
+        assert_eq!((inner, outer_again), (2, 3));
+    }
+
+    #[test]
+    fn install_scopes_parallel_maps() {
+        let xs: Vec<u64> = (0..100).collect();
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ys: Vec<u64> = pool.install(|| xs.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(ys, xs.iter().map(|&x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_thread_builder_falls_back_to_cores() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 }

@@ -1,0 +1,100 @@
+//! Workload-scale differential oracles for the hot-path rewrites.
+//!
+//! The pre-decoded interpreter and the bitset/BDD liveness solver each keep
+//! their pre-optimization implementation alive as a reference oracle
+//! (`epic_interp::reference`, `epic_analysis::liveness::reference`). The
+//! unit tests in those crates compare the pair on small hand-built
+//! functions; these tests compare them at workload scale — every paper
+//! workload in source, compiled-baseline, and compiled-optimized form, plus
+//! the deterministic fuzz corpus (`FUZZ_SEED`/`FUZZ_CASES` override, same
+//! defaults as `fuzz_smoke`).
+
+use epic_bench::{compile, PipelineConfig};
+use epic_fuzz::{env_u64, generate};
+use epic_interp::Input;
+use epic_ir::Function;
+
+fn assert_same_outcome(func: &Function, input: &Input, what: &str) {
+    let fast = epic_interp::run(func, input);
+    let slow = epic_interp::reference::run(func, input);
+    match (fast, slow) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.memory, b.memory, "{what}: final memory diverged");
+            assert_eq!(a.regs, b.regs, "{what}: final registers diverged");
+            assert_eq!(a.profile, b.profile, "{what}: profiles diverged");
+            assert_eq!(a.dynamic_ops, b.dynamic_ops, "{what}: dynamic op counts diverged");
+            assert_eq!(
+                a.dynamic_branches, b.dynamic_branches,
+                "{what}: dynamic branch counts diverged"
+            );
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "{what}: traps diverged")
+        }
+        (a, b) => panic!("{what}: one side trapped: fast {a:?} vs reference {b:?}"),
+    }
+}
+
+fn assert_same_liveness(func: &Function, what: &str) {
+    let fast = epic_analysis::GlobalLiveness::compute(func);
+    let slow = epic_analysis::liveness::reference::compute(func);
+    assert_eq!(fast, slow, "{what}: liveness diverged from reference");
+}
+
+/// Every workload's inputs (training first, then the rare-path evaluation
+/// inputs).
+fn workload_inputs(w: &epic_workloads::Workload) -> Vec<&Input> {
+    std::iter::once(&w.training).chain(&w.evaluation).collect()
+}
+
+#[test]
+fn interp_matches_reference_on_all_workload_sources() {
+    for w in epic_workloads::all() {
+        for (i, input) in workload_inputs(&w).into_iter().enumerate() {
+            assert_same_outcome(&w.func, input, &format!("{} source input {i}", w.name));
+        }
+    }
+}
+
+#[test]
+fn interp_matches_reference_on_compiled_workloads() {
+    let cfg = PipelineConfig::default();
+    for w in epic_workloads::all() {
+        let c = compile(&w, &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        for (i, input) in workload_inputs(&w).into_iter().enumerate() {
+            assert_same_outcome(&c.baseline, input, &format!("{} baseline input {i}", w.name));
+            assert_same_outcome(
+                &c.optimized,
+                input,
+                &format!("{} optimized input {i}", w.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn liveness_matches_reference_on_all_workloads() {
+    let cfg = PipelineConfig::default();
+    for w in epic_workloads::all() {
+        assert_same_liveness(&w.func, &format!("{} source", w.name));
+        let c = compile(&w, &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        // The optimized side is the interesting one: FRP conversion and
+        // ICBM leave heavily guarded hyperblocks, exercising the
+        // predicate-aware summary paths the fast solver special-cases.
+        assert_same_liveness(&c.baseline, &format!("{} baseline", w.name));
+        assert_same_liveness(&c.optimized, &format!("{} optimized", w.name));
+    }
+}
+
+#[test]
+fn interp_and_liveness_match_reference_on_fuzz_corpus() {
+    let seed = env_u64("FUZZ_SEED", 20990);
+    let cases = env_u64("FUZZ_CASES", 256);
+    for s in seed..seed + cases {
+        let case = generate(s);
+        assert_same_liveness(&case.func, &format!("fuzz seed {s}"));
+        for (i, input) in case.inputs.iter().enumerate() {
+            assert_same_outcome(&case.func, input, &format!("fuzz seed {s} input {i}"));
+        }
+    }
+}
