@@ -52,6 +52,18 @@ pub struct CacheKey {
     pub config: u64,
 }
 
+/// Routes an input fingerprint to one of `buckets` executors with the
+/// same FNV-1a mix [`CompileCache::shard_index`] uses for its lock shards
+/// (hashing the fingerprint alone — stage and config are chosen by the
+/// executor, not the router). The serve-layer worker pool routes requests
+/// through this so every probe for one hot workload lands on one worker
+/// and its cache shard stays core-local instead of ping-ponging.
+pub fn route_fingerprint(input_fp: u64, buckets: usize) -> usize {
+    let mut h = epic_ir::Fnv64::new();
+    h.write_u64(input_fp);
+    (h.finish() % buckets.max(1) as u64) as usize
+}
+
 /// One memoized stage output.
 #[derive(Clone, Debug)]
 pub enum StageArtifact {
@@ -229,6 +241,30 @@ impl CompileCache {
         }
     }
 
+    /// The number of lock shards in this cache's in-memory layer.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The index of the shard that owns `key`: a stable FNV-1a hash over
+    /// all three key components, so entries spread evenly even when every
+    /// probe shares one stage name or one input fingerprint. Exposed so
+    /// callers that pin work to executors (the serve-layer worker pool)
+    /// can route by the same function and keep a hot key's probes on one
+    /// worker instead of bouncing its shard lock between all of them.
+    pub fn shard_index(&self, key: &CacheKey) -> usize {
+        let mut h = epic_ir::Fnv64::new();
+        h.write_u64(key.input_fp);
+        h.write_u64(key.config);
+        h.write_str(key.stage);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// The shard owning `key`; see [`CompileCache::shard_index`].
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(key)]
+    }
+
     /// Serves `key` from memory (then disk, when `use_disk` and a disk
     /// layer exists), computing and inserting on miss.
     ///
@@ -239,17 +275,6 @@ impl CompileCache {
     /// # Errors
     ///
     /// Whatever `compute` returns.
-    /// The shard owning `key`: a stable FNV-1a hash over all three key
-    /// components, so entries spread evenly even when every probe shares
-    /// one stage name or one input fingerprint.
-    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
-        let mut h = epic_ir::Fnv64::new();
-        h.write_u64(key.input_fp);
-        h.write_u64(key.config);
-        h.write_str(key.stage);
-        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
-    }
-
     pub fn get_or_compute(
         &self,
         key: CacheKey,
@@ -607,6 +632,35 @@ mod tests {
         // Each of the 4 shards holds at most its share (16/4 = 4).
         assert!(stats.entries <= 16, "entries {} exceed capacity", stats.entries);
         assert_eq!(stats.evictions, 64 - stats.entries as u64);
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        let cache = CompileCache::new();
+        assert_eq!(cache.shards(), CompileCache::DEFAULT_SHARDS);
+        for n in 0..256 {
+            let idx = cache.shard_index(&key(n));
+            assert!(idx < cache.shards());
+            assert_eq!(idx, cache.shard_index(&key(n)), "shard routing must be stable");
+        }
+    }
+
+    #[test]
+    fn route_fingerprint_spreads_and_is_stable() {
+        use std::collections::HashSet;
+        let buckets = 8;
+        let mut seen = HashSet::new();
+        for fp in 0..1024u64 {
+            let b = super::route_fingerprint(fp, buckets);
+            assert!(b < buckets);
+            assert_eq!(b, super::route_fingerprint(fp, buckets));
+            seen.insert(b);
+        }
+        // 1024 fingerprints over 8 buckets must touch every bucket.
+        assert_eq!(seen.len(), buckets);
+        // Degenerate bucket counts still route somewhere valid.
+        assert_eq!(super::route_fingerprint(42, 0), 0);
+        assert_eq!(super::route_fingerprint(42, 1), 0);
     }
 
     #[test]

@@ -196,6 +196,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
         }
     }
 }
@@ -213,6 +214,8 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile (the serve-layer tail the load generator gates).
+    pub p999: u64,
 }
 
 enum Metric {
@@ -385,8 +388,8 @@ impl Snapshot {
                 }
                 MetricValue::Histogram(h) => out.push_str(&format!(
                     "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\
-                     \"p50\":{},\"p90\":{},\"p99\":{}}}",
-                    h.count, h.sum, h.p50, h.p90, h.p99
+                     \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                    h.count, h.sum, h.p50, h.p90, h.p99, h.p999
                 )),
             }
         }
@@ -418,7 +421,9 @@ impl Snapshot {
                 MetricValue::Counter(n) => out.push_str(&format!("{base}{labels} {n}\n")),
                 MetricValue::Gauge(n) => out.push_str(&format!("{base}{labels} {n}\n")),
                 MetricValue::Histogram(h) => {
-                    for (q, val) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                    for (q, val) in
+                        [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99), ("0.999", h.p999)]
+                    {
                         let series = if labels.is_empty() {
                             format!("{base}{{quantile=\"{q}\"}}")
                         } else {

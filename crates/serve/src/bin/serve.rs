@@ -3,6 +3,8 @@
 //! ```text
 //! serve [--threads N] [--timeout-ms N] [--max-detached N]
 //!       [--heartbeat-ms N] [--tcp ADDR]
+//!       [--event] [--workers N] [--max-inflight N]
+//!       [--shed-window N] [--shed-caps S,M,L] [--conn-buffer BYTES] [--sndbuf BYTES] [--poll]
 //! ```
 //!
 //! By default the server reads newline-delimited JSON requests from stdin
@@ -18,6 +20,17 @@
 //! its own thread with the same protocol, reporting per-connection metrics
 //! on stderr as connections close.
 //!
+//! `--tcp ADDR --event` selects the **event-driven server** (serve v2):
+//! one epoll/poll event loop multiplexing every connection with
+//! non-blocking I/O, compile work on a fixed pool of `--workers N`
+//! threads routed by target fingerprint, per-connection write
+//! backpressure (`--conn-buffer BYTES` high-water mark), and layered
+//! admission control — a deterministic per-connection sliding window
+//! (`--shed-window N` requests, per-tier caps `--shed-caps S,M,L` for
+//! small/medium/large shape clusters) plus a global `--max-inflight N`
+//! backstop. Shed requests get a structured `overloaded` error reply.
+//! `--poll` forces the portable poll(2) backend even where epoll exists.
+//!
 //! All connections (and all requests within a batch) share one
 //! [`CompileCache`]; set `EPIC_CACHE_DIR` to also persist stage artifacts
 //! across server restarts. See `epic_serve::proto` for the wire format.
@@ -28,7 +41,7 @@ use std::process::exit;
 use std::sync::Arc;
 
 use epic_bench::CompileCache;
-use epic_serve::{serve, ServerOptions};
+use epic_serve::{serve, EventOptions, EventServer, ServerOptions};
 
 fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
@@ -41,38 +54,58 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(v)
 }
 
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(i);
+    true
+}
+
+fn parse_or_die<T: std::str::FromStr>(v: &str, flag: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs an integer");
+        exit(2);
+    })
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = take_value_flag(&mut args, "--threads")
-        .map(|v| v.parse().unwrap_or_else(|_| {
-            eprintln!("--threads needs an integer");
-            exit(2);
-        }))
-        .unwrap_or(0);
-    let default_timeout_ms = take_value_flag(&mut args, "--timeout-ms").map(|v| {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("--timeout-ms needs an integer");
-            exit(2);
-        })
-    });
-    let max_detached = take_value_flag(&mut args, "--max-detached").map(|v| {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("--max-detached needs an integer");
-            exit(2);
-        })
-    });
-    let heartbeat_ms = take_value_flag(&mut args, "--heartbeat-ms").map(|v| {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("--heartbeat-ms needs an integer");
-            exit(2);
-        })
-    });
+    let threads =
+        take_value_flag(&mut args, "--threads").map_or(0, |v| parse_or_die(&v, "--threads"));
+    let default_timeout_ms =
+        take_value_flag(&mut args, "--timeout-ms").map(|v| parse_or_die(&v, "--timeout-ms"));
+    let max_detached =
+        take_value_flag(&mut args, "--max-detached").map(|v| parse_or_die(&v, "--max-detached"));
+    let heartbeat_ms =
+        take_value_flag(&mut args, "--heartbeat-ms").map(|v| parse_or_die(&v, "--heartbeat-ms"));
     let tcp = take_value_flag(&mut args, "--tcp");
+    let event = take_bool_flag(&mut args, "--event");
+    let workers =
+        take_value_flag(&mut args, "--workers").map_or(0, |v| parse_or_die(&v, "--workers"));
+    let max_inflight =
+        take_value_flag(&mut args, "--max-inflight").map(|v| parse_or_die(&v, "--max-inflight"));
+    let shed_window =
+        take_value_flag(&mut args, "--shed-window").map(|v| parse_or_die(&v, "--shed-window"));
+    let shed_caps = take_value_flag(&mut args, "--shed-caps").map(|v| {
+        let parts: Vec<usize> = v.split(',').map(|p| parse_or_die(p, "--shed-caps")).collect();
+        if parts.len() != 3 {
+            eprintln!("--shed-caps needs three comma-separated integers (small,medium,large)");
+            exit(2);
+        }
+        [parts[0], parts[1], parts[2]]
+    });
+    let conn_buffer =
+        take_value_flag(&mut args, "--conn-buffer").map(|v| parse_or_die(&v, "--conn-buffer"));
+    let sndbuf = take_value_flag(&mut args, "--sndbuf").map(|v| parse_or_die(&v, "--sndbuf"));
+    let force_poll = take_bool_flag(&mut args, "--poll");
     if let Some(unknown) = args.first() {
         eprintln!("unknown argument: {unknown}");
         eprintln!(
             "usage: serve [--threads N] [--timeout-ms N] [--max-detached N] \
-             [--heartbeat-ms N] [--tcp ADDR]"
+             [--heartbeat-ms N] [--tcp ADDR] [--event] [--workers N] \
+             [--max-inflight N] [--shed-window N] [--shed-caps S,M,L] \
+             [--conn-buffer BYTES] [--sndbuf BYTES] [--poll]"
         );
         exit(2);
     }
@@ -85,6 +118,10 @@ fn main() {
     let cache = Arc::new(CompileCache::from_env());
 
     let Some(addr) = tcp else {
+        if event {
+            eprintln!("serve: --event requires --tcp ADDR");
+            exit(2);
+        }
         // StdinLock is not Send (the reader runs on its own thread), so
         // wrap the handle instead of locking it.
         let stdin = BufReader::new(std::io::stdin());
@@ -98,6 +135,45 @@ fn main() {
         }
         return;
     };
+
+    if event {
+        let mut ev_opts = EventOptions {
+            workers,
+            default_timeout_ms,
+            force_poll,
+            ..EventOptions::default()
+        };
+        if let Some(cap) = max_detached {
+            ev_opts.max_detached = cap;
+        }
+        if let Some(n) = max_inflight {
+            ev_opts.max_inflight = n;
+        }
+        if let Some(n) = shed_window {
+            ev_opts.shed_window = n;
+        }
+        if let Some(caps) = shed_caps {
+            ev_opts.shed_caps = caps;
+        }
+        if let Some(n) = conn_buffer {
+            ev_opts.conn_buffer = n;
+        }
+        ev_opts.sndbuf = sndbuf;
+        let server = EventServer::bind(&addr, cache, ev_opts).unwrap_or_else(|e| {
+            eprintln!("serve: cannot listen on {addr}: {e}");
+            exit(1);
+        });
+        let backend = if server.is_poll_fallback() { "poll" } else { "epoll" };
+        eprintln!("serve: event server ({backend}) listening on {addr}");
+        match server.run() {
+            Ok(metrics) => eprintln!("serve: {}", metrics.to_json()),
+            Err(e) => {
+                eprintln!("serve: event loop failed: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
 
     let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
         eprintln!("serve: cannot listen on {addr}: {e}");

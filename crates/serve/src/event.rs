@@ -1,0 +1,653 @@
+//! The event-driven compile server (serve v2).
+//!
+//! One event-loop thread multiplexes every TCP connection through a
+//! [`Poller`] (epoll on Linux, poll(2) fallback): non-blocking accept,
+//! read, and write, with a per-connection state machine. Compile work
+//! never runs on the loop — requests are dispatched to a **fixed worker
+//! pool**, routed by the target's structural fingerprint (the same FNV
+//! mix the [`CompileCache`] shards by), so a hot workload's probes stay
+//! on one worker and its cache shard stays core-local. Workers push
+//! completions onto a queue and wake the loop through the poller's
+//! self-pipe.
+//!
+//! ## Ordering and backpressure
+//!
+//! Replies stream back **in request order per connection**: every parsed
+//! line takes a sequence number, completions park in a reorder map, and
+//! the writer drains the map contiguously. A connection's output buffer
+//! has a high-water mark; crossing it *pauses reading* from that client
+//! (its socket stays open, its submitted work finishes) until the buffer
+//! drains below half — so a slow reader bounds its own memory instead of
+//! growing the server's. Half-closed sockets (client shut down its write
+//! side) still receive every reply already in flight.
+//!
+//! ## Admission and load shedding
+//!
+//! Three layers, cheapest first:
+//! 1. **Deterministic shape admission** ([`crate::shape`]): requests are
+//!    classified into shape clusters (op count, branch height, config
+//!    hash) before any parse; each connection has a sliding window with
+//!    per-tier caps, and over-cap requests get a structured `overloaded`
+//!    reply. Same stream + same caps ⇒ same shed set, always.
+//! 2. **Global in-flight backstop** (`max_inflight`): when the worker
+//!    queues hold that many unfinished compiles, further compile requests
+//!    are shed (non-deterministic by design — it reacts to actual load).
+//! 3. **Detached-thread cap** (`max_detached`, shared with v1): bounds
+//!    threads left behind by expired per-request timeout budgets.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use epic_bench::{route_fingerprint, CompileCache};
+use epic_obs::{metric_name, Counter, Gauge, Histogram, MetricsRegistry};
+
+use crate::exec::{process, LiveMetrics, Outcome, ServerMetrics, DETACHED_WORKERS_GAUGE};
+use crate::poller::{Event, Interest, Poller, WakeHandle};
+use crate::proto::{parse_control, peek_id, render_metrics, ControlOp};
+use crate::shape::{Admission, ShapeTable, Tier};
+use crate::ServeError;
+
+/// Registry name of the gauge tracking compile jobs queued or running on
+/// the worker pool.
+pub const QUEUE_DEPTH_GAUGE: &str = "serve_event_queue_depth";
+/// Registry name of the counter of read-side backpressure pauses.
+pub const READ_PAUSES_COUNTER: &str = "serve_read_pauses_total";
+/// Base name of the per-tier shed counters
+/// (`serve_shed_total{tier="small"|"medium"|"large"}`).
+pub const SHED_COUNTER: &str = "serve_shed_total";
+
+/// Tuning knobs for one [`EventServer`].
+#[derive(Clone, Debug)]
+pub struct EventOptions {
+    /// Compile worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Budget applied to requests that don't set their own `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+    /// Cap on concurrently-abandoned budget threads (see
+    /// [`crate::ServerOptions::max_detached`]).
+    pub max_detached: usize,
+    /// Global backstop: compile requests arriving while this many are
+    /// queued or running are shed with an `overloaded` reply. Load-
+    /// dependent, hence non-deterministic; set it high when replaying
+    /// streams for byte comparison.
+    pub max_inflight: usize,
+    /// Size of the per-connection deterministic admission window.
+    pub shed_window: usize,
+    /// Per-tier admission caps (`[small, medium, large]`) within the
+    /// window. A cap `>= shed_window` never sheds that tier.
+    pub shed_caps: [usize; 3],
+    /// Output-buffer high-water mark per connection, bytes. Crossing it
+    /// pauses reading from the connection until the buffer half-drains.
+    pub conn_buffer: usize,
+    /// Kernel `SO_SNDBUF` cap applied to accepted connections. `None`
+    /// keeps the kernel's auto-tuned default, which can absorb megabytes
+    /// per stalled client before `conn_buffer` backpressure engages; set
+    /// it to make a slow reader's backlog land in the server's bounded
+    /// buffer instead.
+    pub sndbuf: Option<usize>,
+    /// Force the poll(2) backend even where epoll is available.
+    pub force_poll: bool,
+}
+
+impl Default for EventOptions {
+    fn default() -> Self {
+        EventOptions {
+            workers: 0,
+            default_timeout_ms: None,
+            max_detached: 64,
+            max_inflight: 1024,
+            shed_window: 64,
+            shed_caps: [64, 64, 64],
+            conn_buffer: 256 * 1024,
+            sndbuf: None,
+            force_poll: false,
+        }
+    }
+}
+
+impl EventOptions {
+    fn worker_count(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    }
+}
+
+/// Requests a running [`EventServer::run`] loop to stop (idempotent,
+/// thread-safe). The loop finishes its current poll round, drops every
+/// connection, joins the workers, and returns.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    wake: WakeHandle,
+}
+
+impl ShutdownHandle {
+    /// Signals the loop to stop and wakes it if blocked.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::Release);
+        self.wake.wake();
+    }
+}
+
+/// One compile job shipped to a worker.
+struct Job {
+    token: usize,
+    seq: u64,
+    line: String,
+    tier: Tier,
+}
+
+/// One finished job coming back from a worker.
+struct Completion {
+    token: usize,
+    seq: u64,
+    tier: Tier,
+    outcome: Outcome,
+}
+
+/// A reply waiting for its turn in a connection's output order.
+enum PendingReply {
+    /// A finished (or immediately-failed) compile outcome.
+    Done(Outcome),
+    /// A control op, rendered when its turn comes so its snapshot covers
+    /// exactly the requests answered before it (v1 semantics).
+    Control(ControlOp),
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    /// Bytes read but not yet consumed as complete lines.
+    inbuf: Vec<u8>,
+    /// Reply bytes not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    /// Prefix of `outbuf` already written.
+    out_pos: usize,
+    /// Sequence number the next parsed line will take.
+    next_seq: u64,
+    /// Sequence number the next emitted reply must have.
+    next_write: u64,
+    /// Out-of-order completions waiting for their turn.
+    pending: HashMap<u64, PendingReply>,
+    /// Jobs dispatched to workers and not yet completed.
+    inflight: usize,
+    /// Client sent EOF (possibly a half-close: replies still flow).
+    read_closed: bool,
+    /// Reading is paused by output backpressure.
+    paused: bool,
+    /// Connection is broken; discard it at the next opportunity.
+    dead: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    admission: Admission,
+    /// Per-connection tallies ({"op":"metrics"} replies and the close
+    /// report reconcile against these).
+    live: LiveMetrics,
+}
+
+impl Conn {
+    fn queued_out(&self) -> usize {
+        self.outbuf.len() - self.out_pos
+    }
+
+    fn wants(&self) -> Interest {
+        Interest {
+            read: !self.read_closed && !self.paused && !self.dead,
+            write: self.queued_out() > 0,
+        }
+    }
+
+    /// Finished: all input consumed, all replies delivered.
+    fn drained(&self) -> bool {
+        self.read_closed && self.inflight == 0 && self.pending.is_empty() && self.queued_out() == 0
+    }
+}
+
+/// Shared handles the loop threads use for accounting.
+struct Ctx {
+    cache: Arc<CompileCache>,
+    opts: EventOptions,
+    worker_count: usize,
+    senders: Vec<mpsc::Sender<Job>>,
+    shape: ShapeTable,
+    global_live: Arc<LiveMetrics>,
+    queue_gauge: Arc<Gauge>,
+    pause_counter: Arc<Counter>,
+    shed_counters: [Arc<Counter>; 3],
+    tier_hists: [Arc<Histogram>; 3],
+    latency_hist: Arc<Histogram>,
+    detached_gauge: Arc<Gauge>,
+}
+
+/// The event-driven compile server. [`bind`](EventServer::bind) it, grab
+/// a [`ShutdownHandle`], then [`run`](EventServer::run) the loop (it
+/// blocks until shut down).
+pub struct EventServer {
+    listener: TcpListener,
+    poller: Poller,
+    ctx: Ctx,
+    receivers: Vec<mpsc::Receiver<Job>>,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+const LISTENER_TOKEN: usize = 0;
+
+impl EventServer {
+    /// Binds `addr` and prepares the poller and worker channels (workers
+    /// start inside [`run`](EventServer::run)).
+    ///
+    /// # Errors
+    ///
+    /// Socket or poller creation failures, verbatim.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cache: Arc<CompileCache>,
+        opts: EventOptions,
+    ) -> io::Result<EventServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new(opts.force_poll)?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        let worker_count = opts.worker_count();
+        let mut senders = Vec::with_capacity(worker_count);
+        let mut receivers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let registry = MetricsRegistry::global();
+        let tier_metric =
+            |base: &str, t: Tier| registry.histogram(&metric_name(base, &[("tier", t.name())]));
+        let ctx = Ctx {
+            cache,
+            worker_count,
+            senders,
+            shape: ShapeTable::new(),
+            global_live: Arc::new(LiveMetrics::default()),
+            queue_gauge: registry.gauge(QUEUE_DEPTH_GAUGE),
+            pause_counter: registry.counter(READ_PAUSES_COUNTER),
+            shed_counters: Tier::ALL.map(|t| {
+                registry.counter(&metric_name(SHED_COUNTER, &[("tier", t.name())]))
+            }),
+            tier_hists: Tier::ALL.map(|t| tier_metric(crate::exec::REQUEST_LATENCY_HISTOGRAM, t)),
+            latency_hist: registry.histogram(crate::exec::REQUEST_LATENCY_HISTOGRAM),
+            detached_gauge: registry.gauge(DETACHED_WORKERS_GAUGE),
+            opts,
+        };
+        Ok(EventServer {
+            listener,
+            poller,
+            ctx,
+            receivers,
+            completions: Arc::new(Mutex::new(VecDeque::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `getsockname` failure, if any.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// True when running on the poll(2) fallback backend.
+    pub fn is_poll_fallback(&self) -> bool {
+        self.poller.is_poll_fallback()
+    }
+
+    /// A handle that stops [`run`](EventServer::run) from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { flag: Arc::clone(&self.shutdown), wake: self.poller.wake_handle() }
+    }
+
+    /// Runs the loop until [`ShutdownHandle::shutdown`]. Returns the
+    /// server-wide tallies (per-connection tallies are reported on stderr
+    /// as connections close, mirroring the v1 TCP front-end).
+    ///
+    /// # Errors
+    ///
+    /// Only poller-level failures escape; per-connection I/O errors drop
+    /// that connection and per-request failures become `{"ok":false}`
+    /// replies.
+    pub fn run(mut self) -> io::Result<ServerMetrics> {
+        let wake = self.poller.wake_handle();
+        let workers: Vec<std::thread::JoinHandle<()>> = self
+            .receivers
+            .drain(..)
+            .map(|rx| {
+                let cache = Arc::clone(&self.ctx.cache);
+                let completions = Arc::clone(&self.completions);
+                let default_timeout = self.ctx.opts.default_timeout_ms;
+                let max_detached = self.ctx.opts.max_detached;
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let outcome = process(&job.line, &cache, default_timeout, max_detached);
+                        completions.lock().expect("completion queue poisoned").push_back(
+                            Completion {
+                                token: job.token,
+                                seq: job.seq,
+                                tier: job.tier,
+                                outcome,
+                            },
+                        );
+                        wake.wake();
+                    }
+                })
+            })
+            .collect();
+
+        let mut conns: HashMap<usize, Conn> = HashMap::new();
+        let mut next_token = LISTENER_TOKEN + 1;
+        let mut inflight_total: usize = 0;
+        let mut events: Vec<Event> = Vec::new();
+        let loop_result = loop {
+            if let Err(e) = self.poller.wait(&mut events) {
+                break Err(e);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                break Ok(());
+            }
+            for ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    accept_ready(
+                        &self.listener,
+                        &mut self.poller,
+                        &mut conns,
+                        &mut next_token,
+                        &self.ctx,
+                    );
+                } else if let Some(conn) = conns.get_mut(&ev.token) {
+                    if ev.error {
+                        conn.dead = true;
+                    }
+                    if ev.readable && !conn.dead {
+                        read_ready(conn, ev.token, &self.ctx, &mut inflight_total);
+                    }
+                    if ev.writable && !conn.dead {
+                        write_ready(conn);
+                    }
+                }
+            }
+            // Worker completions (the wake pipe got us here if nothing
+            // else did).
+            let batch: Vec<Completion> = {
+                let mut q = self.completions.lock().expect("completion queue poisoned");
+                q.drain(..).collect()
+            };
+            for done in batch {
+                self.ctx.queue_gauge.add(-1);
+                inflight_total = inflight_total.saturating_sub(1);
+                let Some(conn) = conns.get_mut(&done.token) else {
+                    continue; // connection died before its reply
+                };
+                conn.inflight -= 1;
+                let us = (done.outcome.ms * 1e3) as u64;
+                self.ctx.latency_hist.observe(us);
+                self.ctx.tier_hists[done.tier.index()].observe(us);
+                conn.pending.insert(done.seq, PendingReply::Done(done.outcome));
+            }
+            // Advance every connection's state machine and sweep the dead.
+            let tokens: Vec<usize> = conns.keys().copied().collect();
+            for token in tokens {
+                let conn = conns.get_mut(&token).expect("token just listed");
+                advance(conn, &self.ctx);
+                if conn.dead || conn.drained() {
+                    let conn = conns.remove(&token).expect("token just listed");
+                    let _ = self.poller.deregister(conn.fd);
+                    eprintln!("serve-event: conn closed {}", conn.live.snapshot().to_json());
+                } else {
+                    let want = conn.wants();
+                    if want != conn.interest {
+                        conn.interest = want;
+                        let _ = self.poller.modify(conn.fd, token, want);
+                    }
+                }
+            }
+        };
+        drop(self.ctx.senders); // workers drain their queues and exit
+        for w in workers {
+            let _ = w.join();
+        }
+        loop_result?;
+        Ok(self.ctx.global_live.snapshot())
+    }
+}
+
+/// Accepts every pending connection on the listener.
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    conns: &mut HashMap<usize, Conn>,
+    next_token: &mut usize,
+    ctx: &Ctx,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let fd = stream.as_raw_fd();
+                if let Some(bytes) = ctx.opts.sndbuf {
+                    let _ = crate::poller::set_send_buffer(fd, bytes);
+                }
+                let token = *next_token;
+                *next_token += 1;
+                let conn = Conn {
+                    stream,
+                    fd,
+                    inbuf: Vec::new(),
+                    outbuf: Vec::new(),
+                    out_pos: 0,
+                    next_seq: 0,
+                    next_write: 0,
+                    pending: HashMap::new(),
+                    inflight: 0,
+                    read_closed: false,
+                    paused: false,
+                    dead: false,
+                    interest: Interest::READ,
+                    admission: Admission::new(ctx.opts.shed_window, ctx.opts.shed_caps),
+                    live: LiveMetrics::default(),
+                };
+                if poller.register(fd, token, Interest::READ).is_ok() {
+                    conns.insert(token, conn);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                eprintln!("serve-event: accept failed: {e}");
+                break;
+            }
+        }
+    }
+}
+
+/// Reads everything currently available and turns complete lines into
+/// dispatched jobs or immediate replies.
+fn read_ready(conn: &mut Conn, token: usize, ctx: &Ctx, inflight_total: &mut usize) {
+    let mut buf = [0u8; 16384];
+    loop {
+        if conn.paused {
+            break; // backpressure engaged mid-read
+        }
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&buf[..n]);
+                consume_lines(conn, token, ctx, inflight_total);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    consume_lines(conn, token, ctx, inflight_total);
+}
+
+/// Splits `inbuf` at newlines and handles each complete line.
+fn consume_lines(conn: &mut Conn, token: usize, ctx: &Ctx, inflight_total: &mut usize) {
+    let mut start = 0;
+    while let Some(nl) = conn.inbuf[start..].iter().position(|&b| b == b'\n') {
+        let end = start + nl;
+        let mut line_end = end;
+        if line_end > start && conn.inbuf[line_end - 1] == b'\r' {
+            line_end -= 1; // BufRead::lines strips \r\n too
+        }
+        let line = conn.inbuf[start..line_end].to_vec();
+        start = end + 1;
+        handle_line(conn, token, &line, ctx, inflight_total);
+    }
+    conn.inbuf.drain(..start);
+}
+
+/// Classifies, admits, and routes one request line — or produces its
+/// immediate reply. Mirrors v1 line semantics exactly: blank lines are
+/// skipped, invalid UTF-8 answers an `io` error and keeps the stream
+/// alive, control ops render in reply order.
+fn handle_line(
+    conn: &mut Conn,
+    token: usize,
+    raw: &[u8],
+    ctx: &Ctx,
+    inflight_total: &mut usize,
+) {
+    let Ok(line) = std::str::from_utf8(raw) else {
+        // Same wording the v1 reader's BufRead::lines error carries.
+        let e = ServeError::Io("stream did not contain valid UTF-8".into());
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.pending.insert(seq, PendingReply::Done(Outcome::error_line(None, &e)));
+        return;
+    };
+    if line.trim().is_empty() {
+        return; // no reply slot, exactly like the v1 reader
+    }
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    match parse_control(line) {
+        Some(Ok(op)) => {
+            conn.pending.insert(seq, PendingReply::Control(op));
+            return;
+        }
+        Some(Err((id, e))) => {
+            conn.pending.insert(seq, PendingReply::Done(Outcome::error_line(id, &e)));
+            return;
+        }
+        None => {}
+    }
+    let class = ctx.shape.classify_line(line);
+    if *inflight_total >= ctx.opts.max_inflight {
+        let e = ServeError::Shed { tier: class.tier.name(), cap: ctx.opts.max_inflight };
+        ctx.shed_counters[class.tier.index()].inc();
+        conn.pending.insert(seq, PendingReply::Done(Outcome::error_line(peek_id(line), &e)));
+        return;
+    }
+    if !conn.admission.admit(class.tier) {
+        let e = ServeError::Shed {
+            tier: class.tier.name(),
+            cap: conn.admission.cap(class.tier),
+        };
+        ctx.shed_counters[class.tier.index()].inc();
+        conn.pending.insert(seq, PendingReply::Done(Outcome::error_line(peek_id(line), &e)));
+        return;
+    }
+    let worker = route_fingerprint(class.route_fp, ctx.worker_count);
+    conn.inflight += 1;
+    *inflight_total += 1;
+    ctx.queue_gauge.add(1);
+    let job = Job { token, seq, line: line.to_string(), tier: class.tier };
+    if ctx.senders[worker].send(job).is_err() {
+        // Worker pool is shutting down; undo the dispatch accounting.
+        conn.inflight -= 1;
+        *inflight_total -= 1;
+        ctx.queue_gauge.add(-1);
+        let e = ServeError::Io("worker pool stopped".into());
+        conn.pending.insert(seq, PendingReply::Done(Outcome::error_line(peek_id(line), &e)));
+    }
+}
+
+/// Flushes as much queued output as the socket accepts.
+fn write_ready(conn: &mut Conn) {
+    while conn.out_pos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true; // EPIPE/reset: the client is gone
+                return;
+            }
+        }
+    }
+    if conn.out_pos == conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.out_pos = 0;
+    } else if conn.out_pos > 64 * 1024 {
+        conn.outbuf.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+}
+
+/// Drains in-order replies into the output buffer, writes what the
+/// socket will take, and updates the backpressure state.
+fn advance(conn: &mut Conn, ctx: &Ctx) {
+    while let Some(reply) = conn.pending.remove(&conn.next_write) {
+        match reply {
+            PendingReply::Done(out) => {
+                conn.outbuf.extend_from_slice(out.line.as_bytes());
+                conn.outbuf.push(b'\n');
+                conn.live.tally(&out);
+                ctx.global_live.tally(&out);
+            }
+            PendingReply::Control(ControlOp::Metrics { id }) => {
+                // Rendered now, in order: the snapshot covers exactly the
+                // requests this connection already got answers for.
+                let line = render_metrics(
+                    id,
+                    &conn.live.snapshot().to_json(),
+                    ctx.detached_gauge.value(),
+                    &MetricsRegistry::global().snapshot().to_json(),
+                );
+                conn.outbuf.extend_from_slice(line.as_bytes());
+                conn.outbuf.push(b'\n');
+            }
+        }
+        conn.next_write += 1;
+    }
+    if !conn.dead {
+        write_ready(conn);
+    }
+    // Backpressure: a slow reader's replies pile up here, not without
+    // bound — crossing the high-water mark stops reading (and therefore
+    // admitting) until the client drains half the buffer.
+    if !conn.paused && conn.queued_out() >= ctx.opts.conn_buffer {
+        conn.paused = true;
+        ctx.pause_counter.inc();
+    } else if conn.paused && conn.queued_out() <= ctx.opts.conn_buffer / 2 {
+        conn.paused = false;
+    }
+}

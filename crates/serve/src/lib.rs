@@ -18,8 +18,12 @@
 //! See [`proto`] for the wire format and [`server`] for the execution
 //! model; the `serve` binary fronts both over stdin/stdout or TCP.
 
+pub mod event;
+mod exec;
+pub mod poller;
 pub mod proto;
 pub mod server;
+pub mod shape;
 
 use std::error::Error;
 use std::fmt;
@@ -27,8 +31,10 @@ use std::fmt;
 use epic_bench::timing::json_string;
 use epic_bench::{CompileError, JsonError};
 
+pub use event::{EventOptions, EventServer, ShutdownHandle};
 pub use proto::{ControlOp, InlineTarget, Request, Target};
 pub use server::{serve, ServerMetrics, ServerOptions};
+pub use shape::{Admission, Classified, Shape, ShapeTable, Tier};
 
 /// Any failure of one batch-compile request.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +53,17 @@ pub enum ServeError {
     /// cap (the payload) was already reached; retry once earlier abandoned
     /// compiles finish.
     Overloaded(usize),
+    /// The event server's admission controller shed the request: its
+    /// shape cluster exceeded the tier's cap within the sliding admission
+    /// window (deterministic), or the global in-flight backstop tripped.
+    /// Reported under the same `overloaded` kind as [`Self::Overloaded`]
+    /// so clients need one retry path.
+    Shed {
+        /// Lower-case tier label (`"small"`, `"medium"`, `"large"`).
+        tier: &'static str,
+        /// The cap the request exceeded.
+        cap: usize,
+    },
     /// The input stream produced a line the reader could not decode
     /// (invalid UTF-8 or a transient read failure). The offending line is
     /// answered with this error and the stream keeps being read.
@@ -67,6 +84,7 @@ impl ServeError {
             ServeError::UnknownWorkload(_) => "unknown-workload",
             ServeError::Timeout(_) => "timeout",
             ServeError::Overloaded(_) => "overloaded",
+            ServeError::Shed { .. } => "overloaded",
             ServeError::Io(_) => "io",
             ServeError::Schedule(_) => "schedule",
         }
@@ -95,6 +113,9 @@ impl fmt::Display for ServeError {
             ServeError::Timeout(ms) => write!(f, "request exceeded {ms}ms"),
             ServeError::Overloaded(cap) => {
                 write!(f, "detached-worker cap ({cap}) reached; retry later")
+            }
+            ServeError::Shed { tier, cap } => {
+                write!(f, "shed: {tier}-tier admission cap ({cap}) exceeded; retry later")
             }
             ServeError::Io(m) => write!(f, "unreadable request line: {m}"),
             ServeError::Schedule(m) => write!(f, "schedule validation failed: {m}"),
@@ -149,6 +170,10 @@ mod tests {
         let e = ServeError::Overloaded(8);
         assert_eq!(e.kind(), "overloaded");
         assert!(e.to_json().contains("cap (8)"), "{}", e.to_json());
+
+        let e = ServeError::Shed { tier: "large", cap: 4 };
+        assert_eq!(e.kind(), "overloaded", "sheds share the retry path");
+        assert!(e.to_json().contains("large-tier admission cap (4)"), "{}", e.to_json());
 
         let e = ServeError::Io("stream did not contain valid UTF-8".into());
         assert_eq!(e.kind(), "io");

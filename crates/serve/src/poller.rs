@@ -1,0 +1,512 @@
+//! Readiness polling without a dependency: raw `epoll` on Linux, raw
+//! `poll(2)` everywhere else (or on Linux when forced, which is how the
+//! fallback stays tested).
+//!
+//! The workspace builds offline, so instead of pulling in `mio`/`libc`
+//! this module declares the handful of syscall wrappers it needs as
+//! `extern "C"` items against the C library the Rust standard library
+//! already links. Both backends are level-triggered and expose the same
+//! tiny interface: register/modify/deregister an fd under a caller-chosen
+//! token, and wait for events.
+//!
+//! A [`WakeHandle`] (a self-pipe) lets worker threads interrupt a blocked
+//! [`Poller::wait`] from outside the event loop — completions wake the
+//! loop the same way readable sockets do.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::raw::{c_int, c_short, c_ulong, c_void};
+use std::os::unix::io::RawFd;
+
+/// Readiness interest for one registered fd.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable.
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest { read: true, write: false };
+    /// Read + write interest.
+    pub const BOTH: Interest = Interest { read: true, write: true };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: usize,
+    /// The fd has bytes to read (or a pending accept, or EOF).
+    pub readable: bool,
+    /// The fd can accept writes.
+    pub writable: bool,
+    /// Error or hangup; the connection is usually dead.
+    pub error: bool,
+}
+
+// --- shared libc declarations -------------------------------------------
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+}
+
+const SOL_SOCKET: c_int = 1;
+const SO_SNDBUF: c_int = 7;
+
+/// Caps the kernel send buffer of a socket (the kernel may round up and
+/// doubles the value for bookkeeping). The event server uses this to keep
+/// slow-reader backpressure in *its* buffers — where it is bounded and
+/// observable — instead of letting the kernel's auto-tuned buffers absorb
+/// megabytes per stalled client.
+///
+/// # Errors
+///
+/// The underlying `setsockopt` failure, if any.
+pub fn set_send_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+    let val = bytes as c_int;
+    // SAFETY: optval points at a live c_int of the stated length.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_SNDBUF,
+            (&val as *const c_int).cast::<c_void>(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+
+const POLLIN: c_short = 0x1;
+const POLLOUT: c_short = 0x4;
+const POLLERR: c_short = 0x8;
+const POLLHUP: c_short = 0x10;
+
+#[repr(C)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
+    // SAFETY: plain fcntl on an owned fd.
+    if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+// --- epoll backend (Linux) ----------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::*;
+
+    // x86_64 packs epoll_event; other Linux targets use natural layout.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub(super) fn epoll_create1(flags: c_int) -> c_int;
+        pub(super) fn epoll_ctl(
+            epfd: c_int,
+            op: c_int,
+            fd: c_int,
+            event: *mut EpollEvent,
+        ) -> c_int;
+        pub(super) fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    pub(super) const EPOLL_CLOEXEC: c_int = 0x80000;
+    pub(super) const EPOLL_CTL_ADD: c_int = 1;
+    pub(super) const EPOLL_CTL_DEL: c_int = 2;
+    pub(super) const EPOLL_CTL_MOD: c_int = 3;
+    pub(super) const EPOLLIN: u32 = 0x1;
+    pub(super) const EPOLLOUT: u32 = 0x4;
+    pub(super) const EPOLLERR: u32 = 0x8;
+    pub(super) const EPOLLHUP: u32 = 0x10;
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll { epfd: RawFd },
+    Poll { registered: HashMap<RawFd, (usize, Interest)> },
+}
+
+/// A level-triggered readiness poller over raw fds.
+pub struct Poller {
+    backend: Backend,
+    /// Wake-pipe read end, drained transparently inside [`Poller::wait`].
+    wake_rx: RawFd,
+    wake_tx: RawFd,
+}
+
+impl Poller {
+    /// Creates a poller: epoll on Linux, poll(2) otherwise.
+    /// `force_poll` selects the poll(2) backend even on Linux (the
+    /// fallback is exercised in tests and behind the server's `--poll`
+    /// flag, so it cannot rot).
+    ///
+    /// # Errors
+    ///
+    /// Any `epoll_create1`/`pipe` failure, verbatim.
+    pub fn new(force_poll: bool) -> io::Result<Poller> {
+        let mut pipe_fds = [0 as c_int; 2];
+        // SAFETY: out-param array of exactly two ints.
+        if unsafe { pipe(pipe_fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let (wake_rx, wake_tx) = (pipe_fds[0], pipe_fds[1]);
+        set_nonblocking_fd(wake_rx)?;
+        set_nonblocking_fd(wake_tx)?;
+        let backend = Poller::make_backend(force_poll)?;
+        let mut poller = Poller { backend, wake_rx, wake_tx };
+        poller.register(wake_rx, WAKE_TOKEN, Interest::READ)?;
+        Ok(poller)
+    }
+
+    #[cfg(target_os = "linux")]
+    fn make_backend(force_poll: bool) -> io::Result<Backend> {
+        if force_poll {
+            return Ok(Backend::Poll { registered: HashMap::new() });
+        }
+        // SAFETY: plain syscall; the fd is owned by the backend.
+        let epfd = unsafe { epoll::epoll_create1(epoll::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Backend::Epoll { epfd })
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn make_backend(_force_poll: bool) -> io::Result<Backend> {
+        Ok(Backend::Poll { registered: HashMap::new() })
+    }
+
+    /// True when running on the poll(2) fallback.
+    pub fn is_poll_fallback(&self) -> bool {
+        matches!(self.backend, Backend::Poll { .. })
+    }
+
+    /// A handle worker threads use to interrupt [`Poller::wait`].
+    pub fn wake_handle(&self) -> WakeHandle {
+        WakeHandle { fd: self.wake_tx }
+    }
+
+    /// Starts watching `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` failure, if any.
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                epoll_ctl_checked(*epfd, epoll::EPOLL_CTL_ADD, fd, token, interest)
+            }
+            Backend::Poll { registered } => {
+                registered.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Updates the interest set of an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` failure, if any.
+    pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                epoll_ctl_checked(*epfd, epoll::EPOLL_CTL_MOD, fd, token, interest)
+            }
+            Backend::Poll { registered } => {
+                registered.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Stops watching `fd`. Must be called before the fd is closed.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` failure, if any.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                epoll_ctl_checked(*epfd, epoll::EPOLL_CTL_DEL, fd, 0, Interest::READ)
+            }
+            Backend::Poll { registered } => {
+                registered.remove(&fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready (or a
+    /// [`WakeHandle::wake`] fires), appending events to `out`. Wake-pipe
+    /// events are drained and *not* reported; a wake with no other ready
+    /// fd simply returns with `out` empty.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_wait`/`poll` failure (`EINTR` is retried).
+    pub fn wait(&mut self, out: &mut Vec<Event>) -> io::Result<()> {
+        out.clear();
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut buf = [epoll::EpollEvent { events: 0, data: 0 }; 256];
+                let n = loop {
+                    // SAFETY: buf outlives the call; maxevents matches.
+                    let n = unsafe {
+                        epoll::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as c_int, -1)
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                for ev in &buf[..n] {
+                    let (events, data) = (ev.events, ev.data);
+                    if data as usize == WAKE_TOKEN {
+                        drain_fd(self.wake_rx);
+                        continue;
+                    }
+                    out.push(Event {
+                        token: data as usize,
+                        readable: events & (epoll::EPOLLIN | epoll::EPOLLHUP) != 0,
+                        writable: events & epoll::EPOLLOUT != 0,
+                        error: events & (epoll::EPOLLERR | epoll::EPOLLHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+            Backend::Poll { registered } => {
+                let mut fds: Vec<PollFd> = Vec::with_capacity(registered.len());
+                let mut tokens: Vec<usize> = Vec::with_capacity(registered.len());
+                for (&fd, &(token, interest)) in registered.iter() {
+                    let mut events = 0;
+                    if interest.read {
+                        events |= POLLIN;
+                    }
+                    if interest.write {
+                        events |= POLLOUT;
+                    }
+                    fds.push(PollFd { fd, events, revents: 0 });
+                    tokens.push(token);
+                }
+                loop {
+                    // SAFETY: fds is a live slice of PollFd; nfds matches.
+                    let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, -1) };
+                    if n >= 0 {
+                        break;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                }
+                for (pfd, &token) in fds.iter().zip(&tokens) {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    if token == WAKE_TOKEN {
+                        drain_fd(self.wake_rx);
+                        continue;
+                    }
+                    out.push(Event {
+                        token,
+                        readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                        writable: pfd.revents & POLLOUT != 0,
+                        error: pfd.revents & (POLLERR | POLLHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: fds owned by this poller, closed exactly once.
+        unsafe {
+            #[cfg(target_os = "linux")]
+            if let Backend::Epoll { epfd } = self.backend {
+                close(epfd);
+            }
+            close(self.wake_rx);
+            close(self.wake_tx);
+        }
+    }
+}
+
+/// The reserved token of the internal wake pipe; never reported to
+/// callers, so any token is safe for them to use.
+const WAKE_TOKEN: usize = usize::MAX;
+
+#[cfg(target_os = "linux")]
+fn epoll_ctl_checked(
+    epfd: RawFd,
+    op: c_int,
+    fd: RawFd,
+    token: usize,
+    interest: Interest,
+) -> io::Result<()> {
+    let mut events: u32 = 0;
+    if interest.read {
+        events |= epoll::EPOLLIN;
+    }
+    if interest.write {
+        events |= epoll::EPOLLOUT;
+    }
+    let mut ev = epoll::EpollEvent { events, data: token as u64 };
+    // SAFETY: ev lives across the call; DEL ignores the event pointer on
+    // modern kernels but passing a valid one is always allowed.
+    if unsafe { epoll::epoll_ctl(epfd, op, fd, &mut ev) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Swallows everything currently readable from `fd` (wake-pipe drain).
+fn drain_fd(fd: RawFd) {
+    let mut buf = [0u8; 64];
+    loop {
+        // SAFETY: buf is a live local; count matches its length.
+        let n = unsafe { read(fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+        if n <= 0 {
+            break;
+        }
+    }
+}
+
+/// Wakes a [`Poller`] blocked in [`Poller::wait`] from any thread.
+/// Cloneable and cheap: one nonblocking byte down a self-pipe (a full
+/// pipe means a wake is already pending, which is just as good).
+#[derive(Clone, Copy, Debug)]
+pub struct WakeHandle {
+    fd: RawFd,
+}
+
+// SAFETY: writing one byte to a pipe fd is thread-safe.
+unsafe impl Send for WakeHandle {}
+unsafe impl Sync for WakeHandle {}
+
+impl WakeHandle {
+    /// Interrupts the poller's current (or next) wait.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: one-byte write from a live local; EAGAIN means the pipe
+        // already holds a pending wake.
+        unsafe { write(self.fd, (&byte as *const u8).cast::<c_void>(), 1) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn readiness_roundtrip(force_poll: bool) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new(force_poll).unwrap();
+        assert_eq!(poller.is_poll_fallback(), force_poll || cfg!(not(target_os = "linux")));
+        poller.register(server.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable), "{events:?}");
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+
+        // Write interest reports immediately on an empty socket buffer.
+        poller.modify(server.as_raw_fd(), 7, Interest::BOTH).unwrap();
+        poller.wait(&mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable), "{events:?}");
+
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn epoll_backend_reports_readiness() {
+        readiness_roundtrip(false);
+    }
+
+    #[test]
+    fn poll_fallback_reports_readiness() {
+        readiness_roundtrip(true);
+    }
+
+    fn wake_interrupts_wait(force_poll: bool) {
+        let mut poller = Poller::new(force_poll).unwrap();
+        let wake = poller.wake_handle();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            wake.wake();
+        });
+        let mut events = Vec::new();
+        // Without the wake this would block forever: nothing registered.
+        poller.wait(&mut events).unwrap();
+        assert!(events.is_empty(), "wake itself is not an event: {events:?}");
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn wake_interrupts_epoll_wait() {
+        wake_interrupts_wait(false);
+    }
+
+    #[test]
+    fn wake_interrupts_poll_wait() {
+        wake_interrupts_wait(true);
+    }
+}

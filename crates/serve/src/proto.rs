@@ -136,6 +136,18 @@ pub fn parse_control(line: &str) -> Option<Result<ControlOp, (Option<u64>, Serve
     }
 }
 
+/// Best-effort extraction of the request's `"id"` without a full JSON
+/// parse. The event server's admission layer sheds requests *before*
+/// parsing them (that is the point of shedding), but the `overloaded`
+/// reply should still echo the id when one is plainly present. A miss
+/// just means the reply carries `"id":null`.
+pub fn peek_id(line: &str) -> Option<u64> {
+    let i = line.find("\"id\"")?;
+    let rest = line[i + 4..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn want_u64(j: &Json, key: &str) -> Result<Option<u64>, ServeError> {
     match j.get(key) {
         None => Ok(None),

@@ -1,4 +1,4 @@
-//! The batch-compile execution model.
+//! The thread-per-batch execution model (server v1).
 //!
 //! [`serve`] reads request lines from any `BufRead`, fans them out over a
 //! pool of worker threads, and writes exactly one response line per
@@ -7,33 +7,31 @@
 //! of the writer). All workers share one [`CompileCache`], so duplicate
 //! requests in a batch compile once and everything else is a lookup.
 //!
-//! A request with a wall-clock budget (its own `timeout_ms`, or the server
-//! default) runs on a detached thread; if the budget expires the worker
-//! answers with a `timeout` error and moves on — the abandoned compile
-//! finishes in the background and may still warm the cache for a retry.
+//! The per-request pipeline — budgeted execution on detached threads,
+//! reply rendering, tallies — lives in the crate's `exec` module and is
+//! shared with the event-driven [`crate::event`] server, which replaces this model
+//! for TCP serving (this loop blocks one reader thread per stream; the
+//! event server multiplexes every connection onto one poller). This
+//! blocking loop remains the reference implementation and the stdin/stdout
+//! front-end.
+//!
 //! No request failure, however exotic, kills the loop: every panic-free
 //! error path degrades to an `{"ok":false,...}` line.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use epic_bench::{check_equivalence, check_pair_schedules, compile_cached, CompileCache, Pipeline};
-use epic_interp::diff_test;
-use epic_obs::{MetricsRegistry, Span, TraceIdGuard};
+use epic_bench::CompileCache;
+use epic_obs::MetricsRegistry;
 
-use crate::proto::{
-    parse_control, render_err, render_metrics, render_ok, result_json, ControlOp, Request, Target,
-};
+use crate::exec::{process, LiveMetrics, Outcome};
+use crate::proto::{parse_control, render_metrics, ControlOp};
 use crate::ServeError;
 
-/// Registry name of the gauge counting currently-abandoned compile threads.
-pub const DETACHED_WORKERS_GAUGE: &str = "serve_detached_workers";
-/// Registry name of the per-request latency histogram (microseconds).
-pub const REQUEST_LATENCY_HISTOGRAM: &str = "serve_request_us";
+pub use crate::exec::{ServerMetrics, DETACHED_WORKERS_GAUGE, REQUEST_LATENCY_HISTOGRAM};
 
 /// Tuning knobs for one [`serve`] loop.
 #[derive(Clone, Debug)]
@@ -69,292 +67,6 @@ impl ServerOptions {
             return self.threads;
         }
         std::thread::available_parallelism().map_or(4, |n| n.get())
-    }
-}
-
-/// What one [`serve`] loop did, reported once at shutdown (and live, to
-/// `{"op":"metrics"}` control requests and the stderr heartbeat). Control
-/// requests themselves are not counted: the tallies cover compile
-/// requests only, so a metrics reply reconciles exactly with the final
-/// report.
-#[derive(Clone, Debug, Default)]
-pub struct ServerMetrics {
-    /// Request lines answered.
-    pub requests: u64,
-    /// ... of which succeeded.
-    pub ok: u64,
-    /// ... of which failed (including timeouts).
-    pub errors: u64,
-    /// ... of which timed out specifically.
-    pub timeouts: u64,
-    /// Stage lookups served from the cache, summed over all requests.
-    pub cache_hits: u64,
-    /// Stage lookups that computed, summed over all requests.
-    pub cache_misses: u64,
-    /// Total request latency (sum over requests), milliseconds.
-    pub total_ms: f64,
-    /// Worst single-request latency, milliseconds.
-    pub max_ms: f64,
-}
-
-impl ServerMetrics {
-    /// Stable JSON rendering for the shutdown report.
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\"requests\":{},\"ok\":{},\"errors\":{},\"timeouts\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\
-             \"total_ms\":{:.3},\"max_ms\":{:.3}}}",
-            self.requests,
-            self.ok,
-            self.errors,
-            self.timeouts,
-            self.cache_hits,
-            self.cache_misses,
-            self.total_ms,
-            self.max_ms
-        )
-    }
-}
-
-/// The writer's tallies behind atomics, so the heartbeat thread (and the
-/// `{"op":"metrics"}` renderer) can snapshot them while the loop runs.
-/// Latencies are stored as integer microseconds; [`ServerMetrics`] gets
-/// them back as milliseconds.
-#[derive(Default)]
-struct LiveMetrics {
-    requests: AtomicU64,
-    ok: AtomicU64,
-    errors: AtomicU64,
-    timeouts: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    total_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl LiveMetrics {
-    fn tally(&self, out: &Outcome) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        if out.ok {
-            self.ok.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        if out.timed_out {
-            self.timeouts.fetch_add(1, Ordering::Relaxed);
-        }
-        self.cache_hits.fetch_add(out.hits, Ordering::Relaxed);
-        self.cache_misses.fetch_add(out.misses, Ordering::Relaxed);
-        let us = (out.ms * 1e3) as u64;
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> ServerMetrics {
-        ServerMetrics {
-            requests: self.requests.load(Ordering::Relaxed),
-            ok: self.ok.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            total_ms: self.total_us.load(Ordering::Relaxed) as f64 / 1e3,
-            max_ms: self.max_us.load(Ordering::Relaxed) as f64 / 1e3,
-        }
-    }
-}
-
-/// A finished compile, reduced to what the response needs.
-struct Summary {
-    result: String,
-    hits: u64,
-    misses: u64,
-}
-
-/// The machines a `check:true` request validates schedules under: the
-/// wide and sequential extremes bracket the paper suite.
-fn check_machines() -> [epic_machine::Machine; 2] {
-    [epic_machine::Machine::wide(), epic_machine::Machine::sequential()]
-}
-
-/// Runs the pipeline for one request. Owns everything it touches so it can
-/// be shipped to a detached thread when a timeout budget applies.
-fn execute(req: &Request, cache: &CompileCache) -> Result<Summary, ServeError> {
-    match &req.target {
-        Target::Workload(name) => {
-            let w = epic_workloads::by_name(name)
-                .ok_or_else(|| ServeError::UnknownWorkload(name.clone()))?;
-            let c = compile_cached(&w, &req.cfg, cache)?;
-            if req.check {
-                check_equivalence(&w, &c).map_err(epic_bench::CompileError::Diff)?;
-                check_pair_schedules(w.name, &c, &check_machines())
-                    .map_err(ServeError::Schedule)?;
-            }
-            Ok(Summary {
-                result: result_json(w.name, &c, req.emit_ir),
-                hits: c.cache_hits,
-                misses: c.cache_misses,
-            })
-        }
-        Target::Inline(t) => {
-            let c = Pipeline::for_function(&t.name, &t.func, &t.input, t.unroll, &req.cfg)
-                .with_cache(cache)
-                .if_convert()?
-                .superblock()?
-                .unroll()?
-                .frp()?
-                .icbm()?;
-            if req.check {
-                diff_test(&t.func, &c.baseline, &t.input)
-                    .map_err(epic_bench::CompileError::Diff)?;
-                diff_test(&t.func, &c.optimized, &t.input)
-                    .map_err(epic_bench::CompileError::Diff)?;
-                check_pair_schedules(&t.name, &c, &check_machines())
-                    .map_err(ServeError::Schedule)?;
-            }
-            Ok(Summary {
-                result: result_json(&t.name, &c, req.emit_ir),
-                hits: c.cache_hits,
-                misses: c.cache_misses,
-            })
-        }
-    }
-}
-
-/// Lifecycle of one budgeted compile thread, tracked so the
-/// [`DETACHED_WORKERS_GAUGE`] balances exactly: whichever side observes
-/// both transitions (the timeout seeing `RUNNING`, or the compile thread
-/// seeing `ABANDONED`) adjusts the gauge, so a finish racing the timeout
-/// can neither leak an increment nor decrement twice.
-const STATE_RUNNING: u8 = 0;
-const STATE_DONE: u8 = 1;
-const STATE_ABANDONED: u8 = 2;
-
-/// `execute` under a wall-clock budget: the compile runs on a detached
-/// thread and an expired budget abandons it (it keeps warming the cache).
-/// Abandoned threads are counted on the [`DETACHED_WORKERS_GAUGE`]; at
-/// `max_detached` of them the request is refused outright with
-/// [`ServeError::Overloaded`] rather than spawning another.
-fn execute_with_budget(
-    req: Request,
-    cache: &Arc<CompileCache>,
-    budget_ms: Option<u64>,
-    max_detached: usize,
-) -> Result<Summary, ServeError> {
-    let Some(ms) = budget_ms else {
-        return execute(&req, cache);
-    };
-    let detached = MetricsRegistry::global().gauge(DETACHED_WORKERS_GAUGE);
-    if detached.value() >= max_detached as i64 {
-        return Err(ServeError::Overloaded(max_detached));
-    }
-    let (tx, rx) = mpsc::channel();
-    let cache = Arc::clone(cache);
-    let state = Arc::new(AtomicU8::new(STATE_RUNNING));
-    let trace_id = epic_obs::current_trace_id();
-    let thread_state = Arc::clone(&state);
-    let thread_detached = Arc::clone(&detached);
-    std::thread::spawn(move || {
-        // Propagate the request's trace id so spans recorded by the
-        // (possibly abandoned) compile still group under the request.
-        let _g = trace_id.map(TraceIdGuard::set);
-        // The receiver is gone iff the budget already expired; the result
-        // is then simply dropped along with this thread.
-        let _ = tx.send(execute(&req, &cache));
-        if thread_state.swap(STATE_DONE, Ordering::AcqRel) == STATE_ABANDONED {
-            thread_detached.add(-1);
-        }
-    });
-    match rx.recv_timeout(Duration::from_millis(ms)) {
-        Ok(res) => res,
-        Err(_) => {
-            if state.swap(STATE_ABANDONED, Ordering::AcqRel) == STATE_RUNNING {
-                detached.add(1);
-            }
-            Err(ServeError::Timeout(ms))
-        }
-    }
-}
-
-/// One response line plus the accounting the writer tallies. A control
-/// request's outcome carries no line: the writer renders it in-place when
-/// its turn in the response order comes up, so the reported tallies cover
-/// exactly the requests answered before it.
-struct Outcome {
-    line: String,
-    ok: bool,
-    timed_out: bool,
-    hits: u64,
-    misses: u64,
-    ms: f64,
-    control: Option<ControlOp>,
-}
-
-impl Outcome {
-    /// A control request, deferred to the writer (not tallied).
-    fn control(op: ControlOp) -> Outcome {
-        Outcome {
-            line: String::new(),
-            ok: true,
-            timed_out: false,
-            hits: 0,
-            misses: 0,
-            ms: 0.0,
-            control: Some(op),
-        }
-    }
-
-    /// An error outcome produced outside `process` (reader failures,
-    /// malformed control requests) — no compile ran, so no latency.
-    fn error_line(id: Option<u64>, e: &ServeError) -> Outcome {
-        Outcome {
-            line: render_err(id, e, 0, 0, 0.0, epic_obs::next_trace_id()),
-            ok: false,
-            timed_out: matches!(e, ServeError::Timeout(_)),
-            hits: 0,
-            misses: 0,
-            ms: 0.0,
-            control: None,
-        }
-    }
-}
-
-fn process(line: &str, cache: &Arc<CompileCache>, opts: &ServerOptions) -> Outcome {
-    // One trace id per request: every span recorded while serving it —
-    // pipeline stages, cache probes, ICBM sub-phases, even on an abandoned
-    // budget thread — carries this id, and the reply echoes it.
-    let trace_id = epic_obs::next_trace_id();
-    let _id_guard = TraceIdGuard::set(trace_id);
-    let _span = Span::enter("serve.request", "serve");
-    let t0 = Instant::now();
-    let (id, res) = match Request::parse(line) {
-        Err(e) => (None, Err(e)),
-        Ok(req) => {
-            let id = req.id;
-            let budget = req.timeout_ms.or(opts.default_timeout_ms);
-            (id, execute_with_budget(req, cache, budget, opts.max_detached))
-        }
-    };
-    let ms = t0.elapsed().as_secs_f64() * 1e3;
-    match res {
-        Ok(s) => Outcome {
-            line: render_ok(id, &s.result, s.hits, s.misses, ms, trace_id),
-            ok: true,
-            timed_out: false,
-            hits: s.hits,
-            misses: s.misses,
-            ms,
-            control: None,
-        },
-        Err(e) => Outcome {
-            line: render_err(id, &e, 0, 0, ms, trace_id),
-            ok: false,
-            timed_out: matches!(e, ServeError::Timeout(_)),
-            hits: 0,
-            misses: 0,
-            ms,
-            control: None,
-        },
     }
 }
 
@@ -434,7 +146,7 @@ pub fn serve<R: BufRead + Send, W: Write>(
                 let outcome = match parse_control(&line) {
                     Some(Ok(op)) => Outcome::control(op),
                     Some(Err((id, e))) => Outcome::error_line(id, &e),
-                    None => process(&line, cache, opts),
+                    None => process(&line, cache, opts.default_timeout_ms, opts.max_detached),
                 };
                 if tx_out.send((seq, outcome)).is_err() {
                     break;
@@ -501,6 +213,7 @@ pub fn serve<R: BufRead + Send, W: Write>(
 mod tests {
     use super::*;
     use epic_bench::Json;
+    use std::time::Instant;
 
     fn run_batch_with(
         input: &str,

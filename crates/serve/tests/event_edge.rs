@@ -1,0 +1,263 @@
+//! Edge-case tests for the event-driven server: ordering against the v1
+//! reference, write backpressure against slow readers, half-closed
+//! sockets, pathological clients, and deterministic load shedding.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use epic_bench::CompileCache;
+use epic_obs::MetricsRegistry;
+use epic_serve::event::READ_PAUSES_COUNTER;
+use epic_serve::{serve, EventOptions, EventServer, ServerMetrics, ServerOptions, ShutdownHandle};
+
+/// Spawns an event server on a loopback port and returns how to reach,
+/// stop, and join it.
+fn start(opts: EventOptions) -> (SocketAddr, ShutdownHandle, JoinHandle<ServerMetrics>) {
+    let cache = Arc::new(CompileCache::new());
+    let server = EventServer::bind("127.0.0.1:0", cache, opts).expect("bind");
+    let addr = server.local_addr().expect("local_addr");
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().expect("event loop"));
+    (addr, shutdown, handle)
+}
+
+/// Lenient options: nothing sheds, nothing times out.
+fn open_opts() -> EventOptions {
+    EventOptions { workers: 2, ..EventOptions::default() }
+}
+
+/// Truncates a reply at its `"cache"` key: everything before it is a pure
+/// function of the request (the suffix carries wall-clock `ms` and the
+/// run-specific `trace_id`).
+fn stable_prefix(line: &str) -> &str {
+    line.split(",\"cache\":").next().unwrap()
+}
+
+/// Runs `lines` through the v1 in-process server and returns its replies.
+fn v1_replies(lines: &str) -> Vec<String> {
+    let cache = Arc::new(CompileCache::new());
+    let mut out: Vec<u8> = Vec::new();
+    let opts = ServerOptions { threads: 2, ..ServerOptions::default() };
+    serve(BufReader::new(lines.as_bytes()), &mut out, cache, &opts).expect("v1 serve");
+    String::from_utf8(out).unwrap().lines().map(str::to_string).collect()
+}
+
+/// Sends `lines` over one connection, half-closes, and reads every reply.
+fn roundtrip(addr: SocketAddr, lines: &str) -> Vec<String> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(lines.as_bytes()).expect("send");
+    conn.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut replies = Vec::new();
+    for line in BufReader::new(conn).lines() {
+        replies.push(line.expect("reply line"));
+    }
+    replies
+}
+
+#[test]
+fn replies_stream_in_order_and_match_v1() {
+    let stream = concat!(
+        "{\"id\":1,\"workload\":\"strcpy\"}\n",
+        "\n", // blank: skipped, no reply slot
+        "{\"id\":2,\"workload\":\"wc\",\"check\":true}\n",
+        "{\"id\":3,\"workload\":\"no-such-workload\"}\n",
+        "this is not json\n",
+        "{\"id\":4,\"op\":\"metrics\"}\n",
+        "{\"id\":5,\"workload\":\"strcpy\",\"config\":{\"trace\":{\"max_blocks\":6}}}\n",
+        "{\"id\":6,\"op\":\"nonsense\"}\n",
+    );
+    let expect = v1_replies(stream);
+    let (addr, shutdown, handle) = start(open_opts());
+    let got = roundtrip(addr, stream);
+    shutdown.shutdown();
+    handle.join().unwrap();
+
+    assert_eq!(got.len(), expect.len(), "one reply per non-blank line\n{got:#?}");
+    for (g, e) in got.iter().zip(&expect) {
+        if g.contains("\"metrics\"") {
+            // Control replies carry live global-registry snapshots; check
+            // the shape, not the counter values.
+            assert!(e.contains("\"metrics\""), "reply kind diverged: {g} vs {e}");
+            assert!(g.starts_with("{\"id\":4,\"ok\":true,\"metrics\":{\"requests\":"), "{g}");
+            continue;
+        }
+        assert_eq!(stable_prefix(g), stable_prefix(e), "v2 must answer byte-like v1");
+    }
+}
+
+#[test]
+fn slow_reader_hits_backpressure_but_loses_nothing() {
+    // Tiny output budget + emit_ir (multi-KB replies) forces the
+    // high-water mark quickly; the sndbuf cap keeps the kernel from
+    // absorbing the backlog before the server's own buffer sees it.
+    let opts = EventOptions {
+        workers: 2,
+        conn_buffer: 2048,
+        sndbuf: Some(4096),
+        ..EventOptions::default()
+    };
+    let (addr, shutdown, handle) = start(opts);
+    let pauses_before = MetricsRegistry::global().counter(READ_PAUSES_COUNTER).value();
+
+    // Enough emit_ir volume that replies overrun both the kernel socket
+    // buffer and the 2 KiB server-side high-water mark while the client
+    // dawdles. cccp is the suite's largest function, so its compiled IR
+    // makes replies multi-KB each.
+    let n = 60;
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    for i in 0..n {
+        let line = format!("{{\"id\":{i},\"workload\":\"cccp\",\"emit_ir\":true}}\n");
+        conn.write_all(line.as_bytes()).expect("send");
+    }
+    conn.shutdown(std::net::Shutdown::Write).expect("half-close");
+
+    // Read far slower than the server can answer (~200 KB/s against
+    // ~750 KB of replies), so the backlog must land in the server's
+    // output buffer once the kernel socket buffers fill.
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(k) => {
+                raw.extend_from_slice(&chunk[..k]);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    shutdown.shutdown();
+    handle.join().unwrap();
+
+    let replies: Vec<&str> = std::str::from_utf8(&raw).unwrap().lines().collect();
+    assert_eq!(replies.len(), n, "every reply must survive backpressure");
+    for (i, r) in replies.iter().enumerate() {
+        assert!(
+            r.starts_with(&format!("{{\"id\":{i},\"ok\":true")),
+            "reply {i} out of order or failed: {r}"
+        );
+    }
+    let pauses_after = MetricsRegistry::global().counter(READ_PAUSES_COUNTER).value();
+    assert!(
+        pauses_after > pauses_before,
+        "a stalled reader must trip the pause counter ({pauses_before} -> {pauses_after})"
+    );
+}
+
+#[test]
+fn half_closed_socket_still_gets_every_reply() {
+    let (addr, shutdown, handle) = start(open_opts());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    for i in 0..10 {
+        conn.write_all(format!("{{\"id\":{i},\"workload\":\"wc\"}}\n").as_bytes()).unwrap();
+    }
+    // Client is done sending *before* any reply lands; the server must
+    // treat EOF as half-close, not hangup.
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let replies: Vec<String> =
+        BufReader::new(conn).lines().map(|l| l.expect("reply")).collect();
+    shutdown.shutdown();
+    handle.join().unwrap();
+    assert_eq!(replies.len(), 10);
+    for (i, r) in replies.iter().enumerate() {
+        assert!(r.starts_with(&format!("{{\"id\":{i},\"ok\":true")), "{r}");
+    }
+}
+
+#[test]
+fn one_byte_per_syscall_client_is_just_slow() {
+    let (addr, shutdown, handle) = start(open_opts());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let lines = "{\"id\":1,\"workload\":\"strcpy\"}\n{\"id\":2,\"workload\":\"wc\"}\n";
+    for b in lines.as_bytes() {
+        conn.write_all(std::slice::from_ref(b)).expect("dribble");
+    }
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let replies: Vec<String> =
+        BufReader::new(conn).lines().map(|l| l.expect("reply")).collect();
+    shutdown.shutdown();
+    handle.join().unwrap();
+    assert_eq!(replies.len(), 2);
+    assert!(replies[0].starts_with("{\"id\":1,\"ok\":true"), "{}", replies[0]);
+    assert!(replies[1].starts_with("{\"id\":2,\"ok\":true"), "{}", replies[1]);
+}
+
+#[test]
+fn invalid_utf8_answers_io_error_and_stream_survives() {
+    let (addr, shutdown, handle) = start(open_opts());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(b"{\"id\":1,\"workload\":\"strcpy\"}\n").unwrap();
+    conn.write_all(&[0xff, 0xfe, b'x', b'\n']).unwrap();
+    conn.write_all(b"{\"id\":3,\"workload\":\"wc\"}\n").unwrap();
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let replies: Vec<String> =
+        BufReader::new(conn).lines().map(|l| l.expect("reply")).collect();
+    shutdown.shutdown();
+    handle.join().unwrap();
+    assert_eq!(replies.len(), 3);
+    assert!(replies[0].starts_with("{\"id\":1,\"ok\":true"), "{}", replies[0]);
+    assert!(replies[1].contains("\"kind\":\"io\""), "{}", replies[1]);
+    assert!(replies[1].contains("valid UTF-8"), "same wording as v1: {}", replies[1]);
+    assert!(replies[2].starts_with("{\"id\":3,\"ok\":true"), "{}", replies[2]);
+}
+
+/// Ids answered with an `overloaded` error, in reply order.
+fn shed_ids(replies: &[String]) -> Vec<u64> {
+    replies
+        .iter()
+        .filter(|r| r.contains("\"kind\":\"overloaded\""))
+        .map(|r| {
+            let after = r.split("\"id\":").nth(1).expect("id in reply");
+            after.split([',', '}']).next().unwrap().parse().expect("numeric id")
+        })
+        .collect()
+}
+
+#[test]
+fn shedding_is_deterministic_per_stream() {
+    // A window of 8 admitting at most 2 large requests: a large-heavy
+    // stream must shed, and must shed the *same* requests every time.
+    let opts = EventOptions {
+        workers: 2,
+        shed_window: 8,
+        shed_caps: [8, 8, 2],
+        ..EventOptions::default()
+    };
+    let (addr, shutdown, handle) = start(opts);
+    let mut stream = String::new();
+    for i in 0..24 {
+        let w = if i % 3 == 0 { "strcpy" } else { "cccp" }; // cccp is Large
+        stream.push_str(&format!("{{\"id\":{i},\"workload\":\"{w}\"}}\n"));
+    }
+    let first = roundtrip(addr, &stream);
+    let second = roundtrip(addr, &stream);
+    shutdown.shutdown();
+    handle.join().unwrap();
+
+    assert_eq!(first.len(), 24, "shed requests still get replies");
+    let (a, b) = (shed_ids(&first), shed_ids(&second));
+    assert!(!a.is_empty(), "this stream must shed under a 2-large cap");
+    assert_eq!(a, b, "same stream + same caps must shed the same ids");
+    // And admitted large requests still succeeded.
+    assert!(first.iter().any(|r| r.contains("\"ok\":true")), "{first:#?}");
+}
+
+#[test]
+fn poll_fallback_serves_the_same_protocol() {
+    let opts = EventOptions { workers: 2, force_poll: true, ..EventOptions::default() };
+    let cache = Arc::new(CompileCache::new());
+    let server = EventServer::bind("127.0.0.1:0", cache, opts).expect("bind");
+    assert!(server.is_poll_fallback());
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().expect("event loop"));
+    let replies = roundtrip(addr, "{\"id\":1,\"workload\":\"strcpy\"}\n{\"id\":2,\"op\":\"metrics\"}\n");
+    shutdown.shutdown();
+    handle.join().unwrap();
+    assert_eq!(replies.len(), 2);
+    assert!(replies[0].starts_with("{\"id\":1,\"ok\":true"), "{}", replies[0]);
+    assert!(replies[1].contains("\"metrics\""), "{}", replies[1]);
+}

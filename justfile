@@ -1,8 +1,9 @@
 # Project task runner. `just --list` shows recipes.
 
 # Full pre-merge gate: release build, tests, clippy clean, fuzz corpus,
-# batch-server smoke, observability smoke, schedule validation, perf gate.
-bench-check: fuzz-smoke serve-smoke obs-smoke sched-check perf-check
+# batch-server smoke, event-server load smoke, observability smoke,
+# schedule validation, perf gate.
+bench-check: fuzz-smoke serve-smoke serve-bench obs-smoke sched-check perf-check
     cargo build --release
     cargo test -q
     cargo clippy --all-targets -- -D warnings
@@ -24,6 +25,19 @@ sched-check:
 # entirely from the compile cache, byte-identical to the first.
 serve-smoke:
     cargo test --release -q -p epic-serve --test serve_smoke
+    cargo test --release -q -p epic-serve --test event_edge
+
+# Event-server load smoke: replays a deterministic mixed stream through
+# the epoll server (plus slow-reader and byte-per-syscall torture
+# clients), requires every reply byte-identical to the v1 server and in
+# order, deterministic shed sets across replays, and a sane p99.
+serve-bench:
+    cargo run --release -q -p epic-serve --bin loadgen -- --quick
+
+# Regenerate the committed serve latency benchmark (full 100k-request
+# replay; see EXPERIMENTS.md "Serving").
+serve-snapshot:
+    cargo run --release -q -p epic-serve --bin loadgen -- --out BENCH_serve_pr7.json
 
 # Observability smoke: Chrome-trace export validity (one span per
 # pipeline stage per workload, parsed with the bench Json parser) and the

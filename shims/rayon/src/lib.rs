@@ -3,20 +3,33 @@
 //! The build environment cannot reach a crates.io mirror, so the workspace
 //! vendors the slice of rayon's API the benchmark harness uses:
 //! `slice.par_iter().map(f).collect::<Vec<_>>()` (plus `for_each` and
-//! indexed `map_with_index`). The implementation distributes indices over
-//! `std::thread::scope` workers through an atomic cursor (self-balancing for
-//! uneven item costs) and **always returns results in input order**, which
-//! is what keeps the parallel tables byte-identical to the serial ones.
+//! indexed `map_with_index`). Work is distributed over **persistent worker
+//! threads** through an atomic cursor (self-balancing for uneven item
+//! costs) and **always returns results in input order**, which is what
+//! keeps the parallel tables byte-identical to the serial ones.
+//!
+//! Workers are persistent for a reason: the first version of this shim
+//! spawned fresh `std::thread::scope` threads per parallel call, so every
+//! call re-paid thread spawn *and* every thread-local lazy init the
+//! workload keeps (interpreter `ExecState` pools, BDD managers) — enough
+//! to make 2/4-thread table runs measurably *slower* than serial on a
+//! single-core host. Now a [`ThreadPool`] owns its workers for its whole
+//! lifetime (the implicit global pool grows on demand and keeps its
+//! threads forever), so thread-locals stay warm across calls.
 //!
 //! Thread count comes from `RAYON_NUM_THREADS` (0 or unset ⇒ all available
 //! cores), matching upstream rayon's environment variable.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
-    /// Thread count forced by an enclosing [`ThreadPool::install`] call.
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Pool forced by an enclosing [`ThreadPool::install`] call, with its
+    /// thread count.
+    static CURRENT_POOL: RefCell<Option<(Arc<PoolCore>, usize)>> =
+        const { RefCell::new(None) };
 }
 
 /// The number of worker threads a parallel iterator will use.
@@ -25,7 +38,7 @@ thread_local! {
 /// overrides the detected core count; values of 0 (or unparsable values)
 /// fall back to `std::thread::available_parallelism`.
 pub fn current_num_threads() -> usize {
-    if let Some(n) = POOL_THREADS.with(Cell::get) {
+    if let Some(n) = CURRENT_POOL.with(|c| c.borrow().as_ref().map(|(_, n)| *n)) {
         return n.max(1);
     }
     match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
@@ -33,6 +46,196 @@ pub fn current_num_threads() -> usize {
         _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     }
 }
+
+// ---------------------------------------------------------------------------
+// The persistent pool core.
+// ---------------------------------------------------------------------------
+
+/// A type-erased borrow of the per-item runner. The raw pointer is only
+/// dereferenced while the owning [`run_on`] frame is alive (its completion
+/// wait is the proof: no worker claims an item index after `done == n`,
+/// and `run_on` does not return before then), so erasing the closure's
+/// lifetime is sound.
+struct RawTaskFn(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (calling it from many threads is fine) and
+// the pointer is only shared for the duration of the submitting call.
+unsafe impl Send for RawTaskFn {}
+unsafe impl Sync for RawTaskFn {}
+
+struct Task {
+    f: RawTaskFn,
+    n: usize,
+    /// Next unclaimed item index.
+    cursor: AtomicUsize,
+    /// Items fully executed; completion fires at `done == n`.
+    done: AtomicUsize,
+    /// Worker join slots remaining (the submitter participates for free).
+    slots: AtomicIsize,
+    /// First panic message observed while running items.
+    panic: Mutex<Option<String>>,
+}
+
+struct PoolState {
+    task: Option<Arc<Task>>,
+    /// Bumped per installed task so a worker joins each task at most once.
+    epoch: u64,
+    /// Workers currently attached to this core.
+    workers: usize,
+    shutdown: bool,
+}
+
+struct PoolCore {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new task (or shutdown).
+    work_cv: Condvar,
+    /// The submitter waits here for its task's last item.
+    done_cv: Condvar,
+}
+
+impl PoolCore {
+    fn new() -> Arc<PoolCore> {
+        Arc::new(PoolCore {
+            state: Mutex::new(PoolState {
+                task: None,
+                epoch: 0,
+                workers: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        })
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Claims and runs items of `task` until the cursor is exhausted. Shared
+/// by workers and the submitting thread. Whoever finishes the *last* item
+/// clears the task and wakes the submitter.
+fn run_items(task: &Task, core: &PoolCore) {
+    loop {
+        let i = task.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= task.n {
+            break;
+        }
+        // SAFETY: `i < n`, so the submitting frame (which owns the pointee)
+        // is still waiting on this task; see `RawTaskFn`.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*task.f.0)(i) }));
+        if let Err(p) = result {
+            let mut slot = task.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(panic_message(p));
+            }
+        }
+        if task.done.fetch_add(1, Ordering::AcqRel) + 1 == task.n {
+            let mut st = core.state.lock().unwrap();
+            st.task = None;
+            drop(st);
+            core.done_cv.notify_all();
+            break;
+        }
+    }
+}
+
+/// The persistent worker loop: wait for a task epoch not yet joined, grab
+/// a join slot if one is left, help run it, repeat until shutdown.
+fn worker_loop(core: Arc<PoolCore>) {
+    let mut last_epoch = 0u64;
+    loop {
+        let task = {
+            let mut st = core.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(t) = &st.task {
+                    if st.epoch != last_epoch {
+                        last_epoch = st.epoch;
+                        if t.slots.fetch_sub(1, Ordering::AcqRel) > 0 {
+                            break Arc::clone(t);
+                        }
+                        // No slot for us in this task; wait for the next.
+                    }
+                }
+                st = core.work_cv.wait(st).unwrap();
+            }
+        };
+        run_items(&task, &core);
+    }
+}
+
+/// Spawns detached workers on `core` until it has at least `want`.
+fn ensure_workers(core: &Arc<PoolCore>, want: usize) {
+    let mut st = core.state.lock().unwrap();
+    while st.workers < want {
+        st.workers += 1;
+        let core = Arc::clone(core);
+        std::thread::spawn(move || worker_loop(core));
+    }
+}
+
+/// Runs `f(0..n)` on `core` with up to `helpers` workers assisting the
+/// calling thread. Returns `false` without running anything if the pool is
+/// already busy with another task (the caller then runs serially — this
+/// also makes nested parallel iterators degrade gracefully instead of
+/// deadlocking).
+fn run_on(core: &Arc<PoolCore>, helpers: usize, n: usize, f: &(dyn Fn(usize) + Sync)) -> bool {
+    // SAFETY: lifetime erasure only; see `RawTaskFn` for the invariant.
+    let raw: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+            f as *const _,
+        )
+    };
+    let task = Arc::new(Task {
+        f: RawTaskFn(raw),
+        n,
+        cursor: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        slots: AtomicIsize::new(helpers as isize),
+        panic: Mutex::new(None),
+    });
+    {
+        let mut st = core.state.lock().unwrap();
+        if st.task.is_some() {
+            return false;
+        }
+        st.task = Some(Arc::clone(&task));
+        st.epoch = st.epoch.wrapping_add(1);
+        drop(st);
+        core.work_cv.notify_all();
+    }
+    run_items(&task, core);
+    let mut st = core.state.lock().unwrap();
+    while task.done.load(Ordering::Acquire) < n {
+        st = core.done_cv.wait(st).unwrap();
+    }
+    drop(st);
+    if let Some(msg) = task.panic.lock().unwrap().take() {
+        panic!("parallel worker panicked: {msg}");
+    }
+    true
+}
+
+/// The implicit pool used by parallel iterators outside any
+/// [`ThreadPool::install`]. Grows on demand and keeps its workers for the
+/// life of the process.
+fn global_core() -> &'static Arc<PoolCore> {
+    static GLOBAL: OnceLock<Arc<PoolCore>> = OnceLock::new();
+    GLOBAL.get_or_init(PoolCore::new)
+}
+
+// ---------------------------------------------------------------------------
+// Public pool API (mirrors rayon's).
+// ---------------------------------------------------------------------------
 
 /// Error type of [`ThreadPoolBuilder::build`]; the shim's builds are
 /// infallible, the type exists for upstream signature compatibility.
@@ -65,30 +268,40 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool.
+    /// Builds the pool, spawning its persistent workers (`threads - 1` of
+    /// them: the thread calling [`ThreadPool::install`] participates too).
     ///
     /// # Errors
     ///
     /// Never fails in the shim; the `Result` mirrors upstream's signature.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let threads = self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        });
-        Ok(ThreadPool { threads })
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+            .max(1);
+        let core = PoolCore::new();
+        ensure_workers(&core, threads - 1);
+        Ok(ThreadPool { core, threads })
     }
 }
 
-/// A scoped thread-count override, approximating `rayon::ThreadPool`.
+/// A persistent worker pool, approximating `rayon::ThreadPool`.
 ///
-/// Upstream runs `install`'s closure *on* a persistent worker pool; the
-/// shim instead runs it on the calling thread and pins the worker count
-/// every parallel iterator **started from that thread** will use (workers
-/// are spawned per call via `std::thread::scope`). Parallel iterators
-/// started from inside another spawned thread do not see the override —
-/// none of the harness's drivers nest pools that way.
+/// `install`'s closure runs on the calling thread; every parallel iterator
+/// it starts executes on this pool's persistent workers (plus the calling
+/// thread), so worker thread-locals stay warm across calls. Parallel
+/// iterators started from inside another spawned thread do not see the
+/// override — none of the harness's drivers nest pools that way.
 #[derive(Debug)]
 pub struct ThreadPool {
+    core: Arc<PoolCore>,
     threads: usize,
+}
+
+impl std::fmt::Debug for PoolCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolCore")
+    }
 }
 
 impl ThreadPool {
@@ -97,69 +310,101 @@ impl ThreadPool {
         self.threads
     }
 
-    /// Runs `op` with this pool's thread count forced onto every parallel
-    /// iterator the closure starts (restores the previous override on exit,
-    /// including on panic-free early return).
+    /// Runs `op` with this pool hosting every parallel iterator the
+    /// closure starts (restores the previous override on exit, including
+    /// on unwind).
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        struct Restore(Option<usize>);
+        struct Restore(Option<(Arc<PoolCore>, usize)>);
         impl Drop for Restore {
             fn drop(&mut self) {
-                POOL_THREADS.with(|c| c.set(self.0));
+                CURRENT_POOL.with(|c| *c.borrow_mut() = self.0.take());
             }
         }
-        let _restore = Restore(POOL_THREADS.with(|c| c.replace(Some(self.threads))));
+        let prev = CURRENT_POOL
+            .with(|c| c.borrow_mut().replace((Arc::clone(&self.core), self.threads)));
+        let _restore = Restore(prev);
         op()
     }
 }
 
-/// Runs `f` over `items` on up to [`current_num_threads`] scoped threads,
-/// returning results in input order. Panics in `f` propagate to the caller.
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        let mut st = self.core.state.lock().unwrap();
+        st.shutdown = true;
+        drop(st);
+        self.core.work_cv.notify_all();
+        // Workers are detached; the shutdown flag retires them. Their Arc
+        // on the core keeps the state alive until the last one exits.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordered parallel map.
+// ---------------------------------------------------------------------------
+
+/// Result slots writable from many threads at *distinct* indices.
+struct SlotVec<R>(Vec<std::cell::UnsafeCell<Option<R>>>);
+
+// SAFETY: each index is written by exactly one claimant (the atomic cursor
+// hands out every index once) and read only after the completion barrier.
+unsafe impl<R: Send> Sync for SlotVec<R> {}
+
+/// Runs `f` over `items` on the current venue (installed pool or the
+/// global one), returning results in input order. Panics in `f` propagate
+/// to the caller.
 fn ordered_parallel_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &'a T) -> R + Sync,
 {
-    ordered_parallel_map_with(items, current_num_threads(), f)
+    let installed = CURRENT_POOL.with(|c| c.borrow().clone());
+    let threads = current_num_threads().min(items.len());
+    let n = items.len();
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let core = match &installed {
+        Some((core, _)) => Arc::clone(core),
+        None => {
+            let core = Arc::clone(global_core());
+            ensure_workers(&core, threads - 1);
+            core
+        }
+    };
+    let mut slots = SlotVec(Vec::with_capacity(n));
+    slots.0.resize_with(n, || std::cell::UnsafeCell::new(None));
+    let ran = {
+        let slots = &slots;
+        let runner = |i: usize| {
+            let r = f(i, &items[i]);
+            // SAFETY: index `i` is claimed exactly once; see `SlotVec`.
+            unsafe { *slots.0[i].get() = Some(r) };
+        };
+        run_on(&core, threads - 1, n, &runner)
+    };
+    if !ran {
+        // Pool busy (e.g. a nested parallel iterator): degrade to serial.
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    slots
+        .0
+        .into_iter()
+        .map(|s| s.into_inner().expect("every index produced"))
+        .collect()
 }
 
+/// [`ordered_parallel_map`] on an ephemeral pool of exactly `threads`
+/// threads (tests; production paths use persistent pools).
+#[cfg(test)]
 fn ordered_parallel_map_with<'a, T, R, F>(items: &'a [T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &'a T) -> R + Sync,
 {
-    let n = items.len();
-    let threads = threads.min(n);
-    if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut produced: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        produced.push((i, f(i, &items[i])));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("parallel worker panicked") {
-                slots[i] = Some(r);
-            }
-        }
-    });
-    slots.into_iter().map(|s| s.expect("every index produced")).collect()
+    let pool = ThreadPoolBuilder::new().num_threads(threads.max(1)).build().unwrap();
+    pool.install(|| ordered_parallel_map(items, f))
 }
 
 /// Conversion of a borrowed collection into a parallel iterator
@@ -344,8 +589,8 @@ mod tests {
         assert_eq!(super::current_num_threads(), outside);
         // Nested installs compose: innermost wins, outer is restored.
         let inner_pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
-        let (inner, outer_again) =
-            pool.install(|| (inner_pool.install(super::current_num_threads), super::current_num_threads()));
+        let (inner, outer_again) = pool
+            .install(|| (inner_pool.install(super::current_num_threads), super::current_num_threads()));
         assert_eq!((inner, outer_again), (2, 3));
     }
 
@@ -353,6 +598,57 @@ mod tests {
     fn install_scopes_parallel_maps() {
         let xs: Vec<u64> = (0..100).collect();
         let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ys: Vec<u64> = pool.install(|| xs.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(ys, xs.iter().map(|&x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_workers_persist_across_calls() {
+        // Two maps on one pool must reuse the same worker threads (warm
+        // thread-locals are the whole point of pool persistence).
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen = Mutex::new(HashSet::new());
+        let xs: Vec<u64> = (0..256).collect();
+        for _ in 0..2 {
+            pool.install(|| {
+                xs.par_iter().for_each(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                });
+            });
+        }
+        // At most the pool's 3 workers + the calling thread ever ran items,
+        // across *both* calls — fresh threads per call would exceed this.
+        assert!(seen.lock().unwrap().len() <= 4, "{}", seen.lock().unwrap().len());
+    }
+
+    #[test]
+    fn nested_parallel_iterators_degrade_to_serial() {
+        // An inner par_iter started from inside an outer one finds the
+        // pool busy and must run inline instead of deadlocking.
+        let xs: Vec<u64> = (0..16).collect();
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ys: Vec<u64> = pool.install(|| {
+            xs.par_iter()
+                .map(|&x| {
+                    let inner: Vec<u64> = xs.par_iter().map(|&y| y).collect();
+                    x + inner.iter().sum::<u64>()
+                })
+                .collect()
+        });
+        let total: u64 = xs.iter().sum();
+        assert_eq!(ys, xs.iter().map(|&x| x + total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropping_a_pool_does_not_wedge_others() {
+        let xs: Vec<u64> = (0..64).collect();
+        {
+            let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            let _: Vec<u64> = pool.install(|| xs.par_iter().map(|&x| x).collect());
+        } // pool dropped; workers retire
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let ys: Vec<u64> = pool.install(|| xs.par_iter().map(|&x| x + 1).collect());
         assert_eq!(ys, xs.iter().map(|&x| x + 1).collect::<Vec<_>>());
     }
