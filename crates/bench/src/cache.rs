@@ -25,7 +25,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use control_cpr::IcbmStats;
 use epic_ir::{BlockId, Function, OpId, Profile};
@@ -113,6 +113,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// The subset of `hits` served by reloading a disk entry.
     pub disk_hits: u64,
+    /// Lookups that blocked on another caller's in-flight compute of the
+    /// same key instead of duplicating it (singleflight).
+    pub inflight_waits: u64,
     /// Entries currently resident in memory.
     pub entries: usize,
 }
@@ -121,8 +124,10 @@ impl CacheStats {
     /// Renders the counters as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"disk_hits\":{},\"entries\":{}}}",
-            self.hits, self.misses, self.evictions, self.disk_hits, self.entries
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"disk_hits\":{},\
+             \"inflight_waits\":{},\"entries\":{}}}",
+            self.hits, self.misses, self.evictions, self.disk_hits, self.inflight_waits,
+            self.entries
         )
     }
 }
@@ -140,6 +145,40 @@ pub struct CacheOutcome {
 struct Shard {
     map: HashMap<CacheKey, Arc<StageArtifact>>,
     order: VecDeque<CacheKey>,
+}
+
+/// One in-flight compute of a key: waiters block on `cv` until the leader
+/// flips `done` (success, error or panic alike — see [`InflightGuard`]).
+#[derive(Default)]
+struct InflightEntry {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl InflightEntry {
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// Unregisters a leader's in-flight entry and wakes its waiters on *every*
+/// exit path — normal return, compute error, or panic — so a failed leader
+/// can never strand waiters.
+struct InflightGuard<'a> {
+    cache: &'a CompileCache,
+    key: CacheKey,
+    entry: Arc<InflightEntry>,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.cache.inflight.lock().unwrap().remove(&self.key);
+        *self.entry.done.lock().unwrap() = true;
+        self.entry.cv.notify_all();
+    }
 }
 
 /// A concurrent, content-addressed cache of pipeline stage artifacts.
@@ -162,6 +201,11 @@ pub struct CompileCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     disk_hits: AtomicU64,
+    inflight_waits: AtomicU64,
+    // Keys currently being computed by some caller (singleflight): a
+    // second caller for the same key waits for the leader instead of
+    // duplicating the compute.
+    inflight: Mutex<HashMap<CacheKey, Arc<InflightEntry>>>,
     disk_dir: Option<PathBuf>,
     // Serializes disk reads/writes so concurrent requests for the same key
     // never observe a half-written file.
@@ -172,6 +216,7 @@ pub struct CompileCache {
     m_misses: Arc<epic_obs::Counter>,
     m_evictions: Arc<epic_obs::Counter>,
     m_disk_hits: Arc<epic_obs::Counter>,
+    m_inflight_waits: Arc<epic_obs::Counter>,
 }
 
 impl Default for CompileCache {
@@ -216,12 +261,15 @@ impl CompileCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            inflight_waits: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
             disk_dir: None,
             disk_lock: Mutex::new(()),
             m_hits: registry.counter("compile_cache_hits_total"),
             m_misses: registry.counter("compile_cache_misses_total"),
             m_evictions: registry.counter("compile_cache_evictions_total"),
             m_disk_hits: registry.counter("compile_cache_disk_hits_total"),
+            m_inflight_waits: registry.counter("cache_inflight_waits_total"),
         }
     }
 
@@ -268,6 +316,13 @@ impl CompileCache {
     /// Serves `key` from memory (then disk, when `use_disk` and a disk
     /// layer exists), computing and inserting on miss.
     ///
+    /// Misses are *singleflighted*: concurrent callers of the same key
+    /// elect one leader to run `compute` while the rest block until the
+    /// leader finishes, then serve the freshly inserted artifact as a hit
+    /// (counted under [`CacheStats::inflight_waits`]). If the leader's
+    /// compute fails, one waiter takes over and computes itself, so an
+    /// error on one caller never poisons the others.
+    ///
     /// Errors from `compute` are propagated and never cached. Stages whose
     /// artifacts must stay id-consistent with a sibling artifact pass
     /// `use_disk: false`; see the module docs.
@@ -282,28 +337,66 @@ impl CompileCache {
         compute: impl FnOnce() -> Result<StageArtifact, CompileError>,
     ) -> Result<CacheOutcome, CompileError> {
         let _probe = epic_obs::Span::enter(key.stage, "cache");
-        if let Some(artifact) = self.shard_of(&key).lock().unwrap().map.get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.m_hits.inc();
-            return Ok(CacheOutcome { artifact, hit: true });
-        }
-        if use_disk {
-            if let Some(artifact) = self.disk_load(&key) {
+        let mut compute = Some(compute);
+        loop {
+            if let Some(artifact) = self.shard_of(&key).lock().unwrap().map.get(&key).cloned()
+            {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.m_hits.inc();
-                self.m_disk_hits.inc();
-                let artifact = self.insert(key, artifact);
                 return Ok(CacheOutcome { artifact, hit: true });
             }
+            if use_disk {
+                if let Some(artifact) = self.disk_load(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.m_hits.inc();
+                    self.m_disk_hits.inc();
+                    let artifact = self.insert(key, artifact);
+                    return Ok(CacheOutcome { artifact, hit: true });
+                }
+            }
+            // Elect a leader for this key, or join an existing flight.
+            let role = {
+                let mut inflight = self.inflight.lock().unwrap();
+                match inflight.get(&key) {
+                    Some(entry) => Err(Arc::clone(entry)),
+                    None => {
+                        let entry = Arc::new(InflightEntry::default());
+                        inflight.insert(key, Arc::clone(&entry));
+                        Ok(entry)
+                    }
+                }
+            };
+            match role {
+                Ok(entry) => {
+                    let _flight = InflightGuard { cache: self, key, entry };
+                    // A previous leader may have inserted between our probe
+                    // and our election; serve that instead of recomputing.
+                    if let Some(artifact) =
+                        self.shard_of(&key).lock().unwrap().map.get(&key).cloned()
+                    {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.m_hits.inc();
+                        return Ok(CacheOutcome { artifact, hit: true });
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.m_misses.inc();
+                    let computed = (compute.take().expect("one leader election per caller"))()?;
+                    let artifact = self.insert(key, Arc::new(computed));
+                    if use_disk {
+                        self.disk_store(&key, &artifact);
+                    }
+                    return Ok(CacheOutcome { artifact, hit: false });
+                }
+                Err(entry) => {
+                    self.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                    self.m_inflight_waits.inc();
+                    entry.wait();
+                    // Re-probe: the leader either inserted the artifact
+                    // (hit) or failed (we may become the next leader).
+                }
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.m_misses.inc();
-        let artifact = self.insert(key, Arc::new(compute()?));
-        if use_disk {
-            self.disk_store(&key, &artifact);
-        }
-        Ok(CacheOutcome { artifact, hit: false })
     }
 
     /// Inserts `artifact` under `key`, evicting FIFO beyond the owning
@@ -337,6 +430,7 @@ impl CompileCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            inflight_waits: self.inflight_waits.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum(),
         }
     }
@@ -692,6 +786,91 @@ mod tests {
         // 16 shared keys + 4×16 private keys.
         assert_eq!(stats.entries, 16 + 64);
         assert_eq!(stats.hits + stats.misses, 4 * 32);
+    }
+
+    #[test]
+    fn inflight_dedup_computes_once_per_key() {
+        use std::sync::Barrier;
+        let cache = Arc::new(CompileCache::new());
+        let computes = Arc::new(AtomicU64::new(0));
+        let threads = 8u64;
+        let barrier = Arc::new(Barrier::new(threads as usize));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let out = cache
+                        .get_or_compute(key(77), false, || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open until every other
+                            // caller has registered as a waiter, so the
+                            // dedup (not scheduling luck) is what the
+                            // assertions below observe.
+                            let mut spins = 0u64;
+                            while cache.stats().inflight_waits < threads - 1 {
+                                std::thread::yield_now();
+                                spins += 1;
+                                assert!(spins < 1_000_000_000, "waiters never arrived");
+                            }
+                            Ok(StageArtifact::Func(sample_func()))
+                        })
+                        .unwrap();
+                    assert!(Arc::strong_count(&out.artifact) >= 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "singleflight must compute once");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (threads - 1, 1));
+        assert_eq!(stats.inflight_waits, threads - 1);
+        assert!(stats.to_json().contains("\"inflight_waits\":7"), "{}", stats.to_json());
+    }
+
+    #[test]
+    fn failed_leader_hands_the_flight_to_a_waiter() {
+        use std::sync::mpsc;
+        let cache = Arc::new(CompileCache::new());
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (fail_tx, fail_rx) = mpsc::channel::<()>();
+        let leader = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute(key(5), false, || {
+                    entered_tx.send(()).unwrap();
+                    // Stay in flight until the main thread has joined as a
+                    // waiter, then fail.
+                    fail_rx.recv().unwrap();
+                    Err(CompileError::Stage { stage: stage::SUPERBLOCK, message: "boom".into() })
+                })
+            })
+        };
+        entered_rx.recv().unwrap();
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute(key(5), false, || Ok(StageArtifact::Func(sample_func())))
+            })
+        };
+        // Release the leader once the waiter is blocked on the flight.
+        let mut spins = 0u64;
+        while cache.stats().inflight_waits < 1 {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 1_000_000_000, "waiter never blocked");
+        }
+        fail_tx.send(()).unwrap();
+        assert!(leader.join().unwrap().is_err(), "leader's own error propagates");
+        let out = waiter.join().unwrap().unwrap();
+        assert!(!out.hit, "the waiter recomputed after the leader failed");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "failed leader + recovering waiter");
+        assert_eq!(stats.entries, 1);
     }
 
     #[test]

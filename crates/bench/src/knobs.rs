@@ -1,0 +1,876 @@
+//! The typed knob registry: one config surface over the whole pipeline.
+//!
+//! Every tunable the repro exposes — superblock formation
+//! ([`epic_regions::TraceConfig`]), if-conversion ([`IfConvertConfig`]), the ICBM
+//! heuristics ([`control_cpr::CprConfig`]) and the target machine shape
+//! ([`epic_machine::Machine`]) — is described here as a [`KnobSpec`]:
+//! a dotted name (`cpr.exit_weight_threshold`), a typed kind with its
+//! legal range, the paper default, and a small grid of search choices.
+//! [`KnobSpace::new`] reads the defaults from the real config structs
+//! (`PipelineConfig::default()`, `Machine::medium()`), so the registry can
+//! never drift from the code it describes.
+//!
+//! A [`ConfigDelta`] is a validated set of named knob assignments. It is
+//! the one currency shared by everything that manipulates configurations:
+//!
+//! * the `epic-tune` search driver samples and mutates deltas,
+//! * the serve override path parses client JSON into a delta (rejecting
+//!   unknown or out-of-range knobs by name),
+//! * the fuzzer's config sampling draws knob values through the same
+//!   validation,
+//! * and [`ConfigDelta::apply`] turns a delta into a concrete
+//!   [`TunedConfig`] whose [`PipelineConfig`] feeds the existing
+//!   `config_hash` (and therefore the compile cache) unchanged.
+//!
+//! Deltas render to flat JSON (`{"cpr.speculate":false}`) and parse back
+//! losslessly; infinite thresholds (the §4.1 "uniform" ablation) are
+//! encoded as the string `"inf"` since JSON has no infinity literal.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use epic_ir::{combine_hashes, Fnv64};
+use epic_machine::{Latencies, Machine, Widths};
+use epic_regions::IfConvertConfig;
+
+use crate::compile::PipelineConfig;
+use crate::json::Json;
+use crate::timing::json_string;
+
+/// One typed knob value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KnobValue {
+    /// A floating-point threshold (may be `inf` where the range allows).
+    F64(f64),
+    /// An unsigned count or width.
+    U64(u64),
+    /// An on/off switch.
+    Bool(bool),
+}
+
+impl KnobValue {
+    /// The JSON rendering of this value. Infinite floats become the string
+    /// `"inf"` (JSON has no infinity literal); everything else is a bare
+    /// number or boolean that [`Json::parse`] reads back exactly.
+    pub fn to_json(&self) -> String {
+        match *self {
+            KnobValue::F64(v) if v.is_infinite() => "\"inf\"".to_string(),
+            KnobValue::F64(v) => format!("{v:?}"),
+            KnobValue::U64(v) => v.to_string(),
+            KnobValue::Bool(v) => v.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for KnobValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            KnobValue::F64(v) if v.is_infinite() => write!(f, "inf"),
+            KnobValue::F64(v) => write!(f, "{v:?}"),
+            KnobValue::U64(v) => write!(f, "{v}"),
+            KnobValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// The type and legal range of one knob.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KnobKind {
+    /// A float in `[min, max]`; `max == f64::INFINITY` admits `inf`.
+    F64 {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// An unsigned integer in `[min, max]`.
+    U64 {
+        /// Inclusive lower bound.
+        min: u64,
+        /// Inclusive upper bound.
+        max: u64,
+    },
+    /// A boolean switch.
+    Bool,
+}
+
+impl KnobKind {
+    /// Human name of the expected JSON type, for error messages.
+    fn expected(&self) -> &'static str {
+        match self {
+            KnobKind::F64 { .. } => "number (or \"inf\")",
+            KnobKind::U64 { .. } => "non-negative integer",
+            KnobKind::Bool => "boolean",
+        }
+    }
+}
+
+/// One knob: its dotted name, type/range, paper default, and the discrete
+/// grid the tuner samples from. The grid always contains the default.
+#[derive(Clone, Copy, Debug)]
+pub struct KnobSpec {
+    /// Dotted name, `<group>.<field>` (e.g. `cpr.max_branches`).
+    pub name: &'static str,
+    /// Type and legal range.
+    pub kind: KnobKind,
+    /// The paper-default value (read from the live config structs).
+    pub default: KnobValue,
+    /// Discrete search grid for the tuner's samplers.
+    pub choices: &'static [KnobValue],
+    /// One-line description.
+    pub doc: &'static str,
+}
+
+const INF: f64 = f64::INFINITY;
+
+const TRACE_MIN_PROB: &[KnobValue] = &[
+    KnobValue::F64(0.5),
+    KnobValue::F64(0.6),
+    KnobValue::F64(0.65),
+    KnobValue::F64(0.7),
+    KnobValue::F64(0.8),
+    KnobValue::F64(0.9),
+];
+const TRACE_MAX_OPS: &[KnobValue] =
+    &[KnobValue::U64(100), KnobValue::U64(200), KnobValue::U64(400), KnobValue::U64(800)];
+const SMALL_COUNTS: &[KnobValue] =
+    &[KnobValue::U64(1), KnobValue::U64(4), KnobValue::U64(16), KnobValue::U64(64)];
+const EXIT_WEIGHT: &[KnobValue] = &[
+    KnobValue::F64(0.15),
+    KnobValue::F64(0.25),
+    KnobValue::F64(0.35),
+    KnobValue::F64(0.5),
+    KnobValue::F64(0.7),
+    KnobValue::F64(1.0),
+    KnobValue::F64(INF),
+];
+const PREDICT_TAKEN: &[KnobValue] = &[
+    KnobValue::F64(0.5),
+    KnobValue::F64(0.6),
+    KnobValue::F64(0.75),
+    KnobValue::F64(0.9),
+    KnobValue::F64(INF),
+];
+const MAX_BRANCHES: &[KnobValue] = &[
+    KnobValue::U64(2),
+    KnobValue::U64(4),
+    KnobValue::U64(8),
+    KnobValue::U64(16),
+    KnobValue::U64(32),
+    KnobValue::U64(u64::MAX),
+];
+const BOOLS: &[KnobValue] = &[KnobValue::Bool(false), KnobValue::Bool(true)];
+const IC_MIN_TAKEN: &[KnobValue] =
+    &[KnobValue::F64(0.0), KnobValue::F64(0.2), KnobValue::F64(0.4)];
+const IC_MAX_TAKEN: &[KnobValue] =
+    &[KnobValue::F64(0.6), KnobValue::F64(0.8), KnobValue::F64(1.0)];
+const IC_MAX_OPS: &[KnobValue] = &[KnobValue::U64(8), KnobValue::U64(24), KnobValue::U64(48)];
+const WIDTHS_INT: &[KnobValue] =
+    &[KnobValue::U64(1), KnobValue::U64(2), KnobValue::U64(4), KnobValue::U64(8)];
+const WIDTHS_SMALL: &[KnobValue] = &[KnobValue::U64(1), KnobValue::U64(2), KnobValue::U64(4)];
+const LAT_BRANCH: &[KnobValue] = &[KnobValue::U64(1), KnobValue::U64(2), KnobValue::U64(3)];
+const LAT_LOAD: &[KnobValue] = &[KnobValue::U64(1), KnobValue::U64(2), KnobValue::U64(4)];
+
+/// The registry of every knob, in canonical order. Construct once (or use
+/// [`KnobSpace::global`]); defaults are read from the real config structs
+/// so the registry and the code cannot disagree.
+#[derive(Debug)]
+pub struct KnobSpace {
+    specs: Vec<KnobSpec>,
+}
+
+impl Default for KnobSpace {
+    fn default() -> Self {
+        KnobSpace::new()
+    }
+}
+
+impl KnobSpace {
+    /// Builds the registry from the live defaults.
+    pub fn new() -> KnobSpace {
+        let p = PipelineConfig::default();
+        let ic = IfConvertConfig::default();
+        let m = Machine::medium();
+        let w = m.widths().expect("medium machine has widths");
+        let l = m.latencies();
+        let f = KnobValue::F64;
+        let u = KnobValue::U64;
+        let b = KnobValue::Bool;
+        let specs = vec![
+            KnobSpec {
+                name: "trace.min_prob",
+                kind: KnobKind::F64 { min: 0.0, max: 1.0 },
+                default: f(p.trace.min_prob),
+                choices: TRACE_MIN_PROB,
+                doc: "minimum fall-through probability to extend a trace",
+            },
+            KnobSpec {
+                name: "trace.max_ops",
+                kind: KnobKind::U64 { min: 1, max: 100_000 },
+                default: u(p.trace.max_ops as u64),
+                choices: TRACE_MAX_OPS,
+                doc: "maximum operations in one superblock",
+            },
+            KnobSpec {
+                name: "trace.min_count",
+                kind: KnobKind::U64 { min: 0, max: 1 << 32 },
+                default: u(p.trace.min_count),
+                choices: SMALL_COUNTS,
+                doc: "minimum dynamic entry count to seed or join a trace",
+            },
+            KnobSpec {
+                name: "cpr.exit_weight_threshold",
+                kind: KnobKind::F64 { min: 0.0, max: INF },
+                default: f(p.cpr.exit_weight_threshold),
+                choices: EXIT_WEIGHT,
+                doc: "cumulative exit-probability cutoff ending a CPR block (\u{a7}5.2)",
+            },
+            KnobSpec {
+                name: "cpr.predict_taken_threshold",
+                kind: KnobKind::F64 { min: 0.0, max: INF },
+                default: f(p.cpr.predict_taken_threshold),
+                choices: PREDICT_TAKEN,
+                doc: "taken-probability cutoff for the likely-taken variation (\u{a7}5.3)",
+            },
+            KnobSpec {
+                name: "cpr.min_entry_count",
+                kind: KnobKind::U64 { min: 0, max: 1 << 32 },
+                default: u(p.cpr.min_entry_count),
+                choices: SMALL_COUNTS,
+                doc: "hyperblocks entered fewer times are left untouched",
+            },
+            KnobSpec {
+                name: "cpr.max_branches",
+                kind: KnobKind::U64 { min: 1, max: u64::MAX },
+                default: u(p.cpr.max_branches as u64),
+                choices: MAX_BRANCHES,
+                doc: "blocking cap on branches per CPR block (\u{a7}4.1)",
+            },
+            KnobSpec {
+                name: "cpr.speculate",
+                kind: KnobKind::Bool,
+                default: b(p.cpr.speculate),
+                choices: BOOLS,
+                doc: "run predicate speculation before matching (\u{a7}5.1)",
+            },
+            KnobSpec {
+                name: "cpr.enable_taken_variation",
+                kind: KnobKind::Bool,
+                default: b(p.cpr.enable_taken_variation),
+                choices: BOOLS,
+                doc: "enable the taken variation for likely-taken branches (\u{a7}5.3)",
+            },
+            KnobSpec {
+                name: "if_convert.enable",
+                kind: KnobKind::Bool,
+                default: b(p.if_convert.is_some()),
+                choices: BOOLS,
+                doc: "run traditional if-conversion before region formation",
+            },
+            KnobSpec {
+                name: "if_convert.min_taken",
+                kind: KnobKind::F64 { min: 0.0, max: 1.0 },
+                default: f(ic.min_taken),
+                choices: IC_MIN_TAKEN,
+                doc: "convert only branches at least this likely taken",
+            },
+            KnobSpec {
+                name: "if_convert.max_taken",
+                kind: KnobKind::F64 { min: 0.0, max: 1.0 },
+                default: f(ic.max_taken),
+                choices: IC_MAX_TAKEN,
+                doc: "convert only branches at most this likely taken",
+            },
+            KnobSpec {
+                name: "if_convert.max_ops",
+                kind: KnobKind::U64 { min: 0, max: 100_000 },
+                default: u(ic.max_ops as u64),
+                choices: IC_MAX_OPS,
+                doc: "maximum side-block size to if-convert",
+            },
+            KnobSpec {
+                name: "machine.int_width",
+                kind: KnobKind::U64 { min: 1, max: 128 },
+                default: u(w.int as u64),
+                choices: WIDTHS_INT,
+                doc: "integer issue width (I)",
+            },
+            KnobSpec {
+                name: "machine.float_width",
+                kind: KnobKind::U64 { min: 1, max: 128 },
+                default: u(w.float as u64),
+                choices: WIDTHS_SMALL,
+                doc: "floating-point issue width (F)",
+            },
+            KnobSpec {
+                name: "machine.mem_width",
+                kind: KnobKind::U64 { min: 1, max: 128 },
+                default: u(w.mem as u64),
+                choices: WIDTHS_SMALL,
+                doc: "memory issue width (M)",
+            },
+            KnobSpec {
+                name: "machine.branch_width",
+                kind: KnobKind::U64 { min: 1, max: 128 },
+                default: u(w.branch as u64),
+                choices: WIDTHS_SMALL,
+                doc: "branch issue width (B)",
+            },
+            KnobSpec {
+                name: "machine.branch_latency",
+                kind: KnobKind::U64 { min: 1, max: 16 },
+                default: u(l.branch as u64),
+                choices: LAT_BRANCH,
+                doc: "exposed branch latency (\u{a7}3)",
+            },
+            KnobSpec {
+                name: "machine.load_latency",
+                kind: KnobKind::U64 { min: 1, max: 16 },
+                default: u(l.load as u64),
+                choices: LAT_LOAD,
+                doc: "memory load latency",
+            },
+        ];
+        KnobSpace { specs }
+    }
+
+    /// The process-wide registry instance.
+    pub fn global() -> &'static KnobSpace {
+        static SPACE: OnceLock<KnobSpace> = OnceLock::new();
+        SPACE.get_or_init(KnobSpace::new)
+    }
+
+    /// All knobs, in canonical (registry) order.
+    pub fn specs(&self) -> &[KnobSpec] {
+        &self.specs
+    }
+
+    /// Looks a knob up by dotted name.
+    pub fn find(&self, name: &str) -> Option<(usize, &KnobSpec)> {
+        self.specs.iter().enumerate().find(|(_, s)| s.name == name)
+    }
+
+    /// Validates `value` against the named knob's kind and range.
+    pub fn validate(&self, name: &str, value: KnobValue) -> Result<usize, KnobError> {
+        let Some((idx, spec)) = self.find(name) else {
+            return Err(KnobError::Unknown { name: name.to_string() });
+        };
+        match (spec.kind, value) {
+            (KnobKind::F64 { min, max }, KnobValue::F64(v)) => {
+                if v.is_nan() || v < min || v > max {
+                    return Err(KnobError::out_of_range(spec, value));
+                }
+            }
+            (KnobKind::U64 { min, max }, KnobValue::U64(v)) => {
+                if v < min || v > max {
+                    return Err(KnobError::out_of_range(spec, value));
+                }
+            }
+            (KnobKind::Bool, KnobValue::Bool(_)) => {}
+            (kind, _) => {
+                return Err(KnobError::WrongType {
+                    name: spec.name.to_string(),
+                    expected: kind.expected(),
+                })
+            }
+        }
+        Ok(idx)
+    }
+}
+
+/// A rejected knob assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KnobError {
+    /// No knob of this name exists in the registry.
+    Unknown {
+        /// The offending (dotted) name.
+        name: String,
+    },
+    /// The value's JSON type does not match the knob's kind.
+    WrongType {
+        /// The knob's name.
+        name: String,
+        /// What type the knob wants.
+        expected: &'static str,
+    },
+    /// The value lies outside the knob's legal range.
+    OutOfRange {
+        /// The knob's name.
+        name: String,
+        /// The rejected value, rendered.
+        got: String,
+        /// The legal range, rendered.
+        range: String,
+    },
+    /// The enclosing JSON was not shaped like a config at all.
+    Malformed {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl KnobError {
+    fn out_of_range(spec: &KnobSpec, value: KnobValue) -> KnobError {
+        let range = match spec.kind {
+            KnobKind::F64 { min, max } if max.is_infinite() => format!("[{min:?}, inf]"),
+            KnobKind::F64 { min, max } => format!("[{min:?}, {max:?}]"),
+            KnobKind::U64 { min, max } => format!("[{min}, {max}]"),
+            KnobKind::Bool => "{true, false}".to_string(),
+        };
+        KnobError::OutOfRange { name: spec.name.to_string(), got: value.to_string(), range }
+    }
+
+    /// The knob this error names, when there is one.
+    pub fn knob(&self) -> Option<&str> {
+        match self {
+            KnobError::Unknown { name }
+            | KnobError::WrongType { name, .. }
+            | KnobError::OutOfRange { name, .. } => Some(name),
+            KnobError::Malformed { .. } => None,
+        }
+    }
+
+    /// Machine-readable class: `"out_of_range"` for range violations,
+    /// `"bad_knob"` for everything else.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            KnobError::OutOfRange { .. } => "out_of_range",
+            _ => "bad_knob",
+        }
+    }
+}
+
+impl fmt::Display for KnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnobError::Unknown { name } => write!(f, "unknown knob `{name}`"),
+            KnobError::WrongType { name, expected } => {
+                write!(f, "knob `{name}` wants a {expected}")
+            }
+            KnobError::OutOfRange { name, got, range } => {
+                write!(f, "knob `{name}` = {got} outside {range}")
+            }
+            KnobError::Malformed { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for KnobError {}
+
+/// A validated set of named knob assignments, kept in registry order so
+/// two deltas with the same content are identical (and render identically).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConfigDelta {
+    /// `(spec index, value)`, sorted by spec index, one entry per knob.
+    entries: Vec<(usize, KnobValue)>,
+}
+
+impl ConfigDelta {
+    /// The empty delta (pure paper defaults).
+    pub fn new() -> ConfigDelta {
+        ConfigDelta::default()
+    }
+
+    /// Sets one knob (validating name, type and range). Overwrites a
+    /// previous assignment of the same knob.
+    ///
+    /// # Errors
+    ///
+    /// [`KnobError`] on unknown name, type mismatch, or range violation.
+    pub fn set(&mut self, space: &KnobSpace, name: &str, value: KnobValue) -> Result<(), KnobError> {
+        let idx = space.validate(name, value)?;
+        match self.entries.binary_search_by_key(&idx, |(i, _)| *i) {
+            Ok(pos) => self.entries[pos].1 = value,
+            Err(pos) => self.entries.insert(pos, (idx, value)),
+        }
+        Ok(())
+    }
+
+    /// The assigned value of a knob, if this delta touches it.
+    pub fn get(&self, space: &KnobSpace, name: &str) -> Option<KnobValue> {
+        let (idx, _) = space.find(name)?;
+        self.entries
+            .binary_search_by_key(&idx, |(i, _)| *i)
+            .ok()
+            .map(|pos| self.entries[pos].1)
+    }
+
+    /// Number of knobs assigned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no knob is assigned (the paper default configuration).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The assignments, as `(name, value)` in registry order.
+    pub fn iter<'s>(
+        &'s self,
+        space: &'s KnobSpace,
+    ) -> impl Iterator<Item = (&'static str, KnobValue)> + 's {
+        self.entries.iter().map(move |&(i, v)| (space.specs[i].name, v))
+    }
+
+    /// True when the delta assigns any `machine.*` knob.
+    pub fn touches_machine(&self, space: &KnobSpace) -> bool {
+        self.iter(space).any(|(name, _)| name.starts_with("machine."))
+    }
+
+    /// Flat JSON object, `{"<knob>":<value>,...}` in registry order.
+    /// [`ConfigDelta::from_flat_json`] reads it back exactly.
+    pub fn to_json(&self, space: &KnobSpace) -> String {
+        let body: Vec<String> = self
+            .iter(space)
+            .map(|(name, v)| format!("{}:{}", json_string(name), v.to_json()))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Parses the flat form written by [`ConfigDelta::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`KnobError`] on non-object input or any invalid assignment.
+    pub fn from_flat_json(space: &KnobSpace, j: &Json) -> Result<ConfigDelta, KnobError> {
+        let Json::Obj(pairs) = j else {
+            return Err(KnobError::Malformed { message: "config delta must be an object".into() });
+        };
+        let mut delta = ConfigDelta::new();
+        for (key, value) in pairs {
+            delta.set_json(space, key, value)?;
+        }
+        Ok(delta)
+    }
+
+    /// Parses the grouped wire form the serve protocol accepts:
+    /// `{"trace":{...},"cpr":{...},"if_convert":{...}|null,"machine":{...}}`.
+    /// A present (non-null) `if_convert` group — even empty — sets
+    /// `if_convert.enable`; `null` or absence leaves if-conversion off.
+    ///
+    /// # Errors
+    ///
+    /// [`KnobError`] naming the offending knob (`<group>.<field>`) on any
+    /// unknown, ill-typed or out-of-range assignment.
+    pub fn from_grouped_json(space: &KnobSpace, j: &Json) -> Result<ConfigDelta, KnobError> {
+        let Json::Obj(groups) = j else {
+            return Err(KnobError::Malformed { message: "\"config\" must be an object".into() });
+        };
+        let mut delta = ConfigDelta::new();
+        for (group, fields) in groups {
+            if group == "if_convert" && *fields == Json::Null {
+                continue;
+            }
+            let Json::Obj(pairs) = fields else {
+                return Err(KnobError::Malformed {
+                    message: format!("config group \"{group}\" must be an object"),
+                });
+            };
+            if !matches!(group.as_str(), "trace" | "cpr" | "if_convert" | "machine") {
+                return Err(KnobError::Unknown { name: group.clone() });
+            }
+            if group == "if_convert" {
+                delta.set(space, "if_convert.enable", KnobValue::Bool(true))?;
+            }
+            for (key, value) in pairs {
+                delta.set_json(space, &format!("{group}.{key}"), value)?;
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Sets one knob from a JSON value, typed by the knob's kind.
+    fn set_json(&mut self, space: &KnobSpace, name: &str, j: &Json) -> Result<(), KnobError> {
+        let Some((_, spec)) = space.find(name) else {
+            return Err(KnobError::Unknown { name: name.to_string() });
+        };
+        let value = match spec.kind {
+            KnobKind::F64 { .. } => {
+                if let Some(n) = j.as_f64() {
+                    KnobValue::F64(n)
+                } else if j.as_str() == Some("inf") {
+                    KnobValue::F64(INF)
+                } else {
+                    return Err(KnobError::WrongType {
+                        name: spec.name.to_string(),
+                        expected: spec.kind.expected(),
+                    });
+                }
+            }
+            KnobKind::U64 { .. } => match j.as_u64() {
+                Some(n) => KnobValue::U64(n),
+                None => {
+                    return Err(KnobError::WrongType {
+                        name: spec.name.to_string(),
+                        expected: spec.kind.expected(),
+                    })
+                }
+            },
+            KnobKind::Bool => match j.as_bool() {
+                Some(b) => KnobValue::Bool(b),
+                None => {
+                    return Err(KnobError::WrongType {
+                        name: spec.name.to_string(),
+                        expected: spec.kind.expected(),
+                    })
+                }
+            },
+        };
+        self.set(space, name, value)
+    }
+
+    /// Materializes the delta over the paper defaults. An empty delta
+    /// reproduces `PipelineConfig::default()` and `Machine::medium()`
+    /// exactly; any `machine.*` assignment switches to a custom machine
+    /// named `"tuned"`.
+    pub fn apply(&self, space: &KnobSpace) -> TunedConfig {
+        let mut p = PipelineConfig::default();
+        let mut ic = IfConvertConfig::default();
+        let mut ic_enable = false;
+        let medium = Machine::medium();
+        let mut w = medium.widths().expect("medium machine has widths");
+        let mut l = medium.latencies();
+        let mut machine_touched = false;
+        for (name, v) in self.iter(space) {
+            let f = || match v {
+                KnobValue::F64(x) => x,
+                _ => unreachable!("validated as F64"),
+            };
+            let u = || match v {
+                KnobValue::U64(x) => x,
+                _ => unreachable!("validated as U64"),
+            };
+            let b = || match v {
+                KnobValue::Bool(x) => x,
+                _ => unreachable!("validated as Bool"),
+            };
+            match name {
+                "trace.min_prob" => p.trace.min_prob = f(),
+                "trace.max_ops" => p.trace.max_ops = u() as usize,
+                "trace.min_count" => p.trace.min_count = u(),
+                "cpr.exit_weight_threshold" => p.cpr.exit_weight_threshold = f(),
+                "cpr.predict_taken_threshold" => p.cpr.predict_taken_threshold = f(),
+                "cpr.min_entry_count" => p.cpr.min_entry_count = u(),
+                "cpr.max_branches" => p.cpr.max_branches = u() as usize,
+                "cpr.speculate" => p.cpr.speculate = b(),
+                "cpr.enable_taken_variation" => p.cpr.enable_taken_variation = b(),
+                "if_convert.enable" => ic_enable = b(),
+                "if_convert.min_taken" => ic.min_taken = f(),
+                "if_convert.max_taken" => ic.max_taken = f(),
+                "if_convert.max_ops" => ic.max_ops = u() as usize,
+                "machine.int_width" => (w.int, machine_touched) = (u() as u32, true),
+                "machine.float_width" => (w.float, machine_touched) = (u() as u32, true),
+                "machine.mem_width" => (w.mem, machine_touched) = (u() as u32, true),
+                "machine.branch_width" => (w.branch, machine_touched) = (u() as u32, true),
+                "machine.branch_latency" => (l.branch, machine_touched) = (u() as u32, true),
+                "machine.load_latency" => (l.load, machine_touched) = (u() as u32, true),
+                other => unreachable!("unhandled knob `{other}` — registry and apply drifted"),
+            }
+        }
+        p.if_convert = if ic_enable { Some(ic) } else { None };
+        let machine =
+            if machine_touched { Machine::new("tuned", Some(w), l) } else { medium };
+        TunedConfig { pipeline: p, machine }
+    }
+}
+
+/// A concrete configuration a delta materializes to: the pipeline config
+/// (feeding the existing `config_hash` / compile cache) plus the machine
+/// the estimator scores on.
+#[derive(Clone, Debug)]
+pub struct TunedConfig {
+    /// The pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// The evaluation machine.
+    pub machine: Machine,
+}
+
+/// Stable hash of a machine description (shape and latencies; the name is
+/// cosmetic and excluded).
+pub fn machine_hash(m: &Machine) -> u64 {
+    let mut h = Fnv64::new();
+    match m.widths() {
+        None => h.write_u8(0),
+        Some(Widths { int, float, mem, branch }) => {
+            h.write_u8(1);
+            h.write_u64(int as u64);
+            h.write_u64(float as u64);
+            h.write_u64(mem as u64);
+            h.write_u64(branch as u64);
+        }
+    }
+    let Latencies { int, float, mul, div, load, store, pbr, branch } = m.latencies();
+    for lat in [int, float, mul, div, load, store, pbr, branch] {
+        h.write_u64(lat as u64);
+    }
+    h.finish()
+}
+
+impl TunedConfig {
+    /// Stable hash of the whole tuned configuration (pipeline + machine),
+    /// the tuner's dedupe key.
+    pub fn full_hash(&self) -> u64 {
+        combine_hashes(&[self.pipeline.config_hash(), machine_hash(&self.machine)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> &'static KnobSpace {
+        KnobSpace::global()
+    }
+
+    #[test]
+    fn registry_is_internally_consistent() {
+        let s = space();
+        assert_eq!(s.specs().len(), 19);
+        for spec in s.specs() {
+            // Default and every grid choice must pass the knob's own
+            // validation, and the grid must contain the default.
+            s.validate(spec.name, spec.default)
+                .unwrap_or_else(|e| panic!("{}: default rejected: {e}", spec.name));
+            for &c in spec.choices {
+                s.validate(spec.name, c)
+                    .unwrap_or_else(|e| panic!("{}: choice rejected: {e}", spec.name));
+            }
+            assert!(
+                spec.choices.contains(&spec.default),
+                "{}: default {} not in choices",
+                spec.name,
+                spec.default
+            );
+            assert!(!spec.doc.is_empty());
+        }
+        // Names are unique.
+        for (i, a) in s.specs().iter().enumerate() {
+            assert!(
+                s.specs().iter().skip(i + 1).all(|b| b.name != a.name),
+                "duplicate knob {}",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn empty_delta_reproduces_paper_defaults_exactly() {
+        let t = ConfigDelta::new().apply(space());
+        let d = PipelineConfig::default();
+        assert_eq!(t.pipeline.config_hash(), d.config_hash());
+        assert_eq!(t.pipeline.trace.min_prob, d.trace.min_prob);
+        assert_eq!(t.pipeline.trace.max_ops, d.trace.max_ops);
+        assert_eq!(t.pipeline.trace.min_count, d.trace.min_count);
+        assert_eq!(t.pipeline.cpr.exit_weight_threshold, d.cpr.exit_weight_threshold);
+        assert_eq!(t.pipeline.cpr.max_branches, d.cpr.max_branches);
+        assert!(t.pipeline.if_convert.is_none());
+        assert_eq!(t.machine, Machine::medium());
+    }
+
+    #[test]
+    fn set_validates_and_apply_routes_every_knob() {
+        let s = space();
+        let mut delta = ConfigDelta::new();
+        // Assign every knob a non-default grid choice where one exists.
+        for spec in s.specs() {
+            let v = spec
+                .choices
+                .iter()
+                .copied()
+                .find(|c| *c != spec.default)
+                .unwrap_or(spec.default);
+            delta.set(s, spec.name, v).unwrap();
+        }
+        let t = delta.apply(s);
+        // Spot-check the routing end to end.
+        assert_ne!(t.pipeline.config_hash(), PipelineConfig::default().config_hash());
+        assert!(t.pipeline.if_convert.is_some(), "if_convert.enable toggled on");
+        assert_eq!(t.machine.name(), "tuned");
+        assert_ne!(machine_hash(&t.machine), machine_hash(&Machine::medium()));
+    }
+
+    #[test]
+    fn rejects_unknown_ill_typed_and_out_of_range() {
+        let s = space();
+        let mut d = ConfigDelta::new();
+        let e = d.set(s, "cpr.max_height", KnobValue::U64(3)).unwrap_err();
+        assert_eq!(e.kind(), "bad_knob");
+        assert_eq!(e.knob(), Some("cpr.max_height"));
+
+        let e = d.set(s, "trace.min_prob", KnobValue::Bool(true)).unwrap_err();
+        assert_eq!(e.kind(), "bad_knob");
+        assert!(e.to_string().contains("number"));
+
+        let e = d.set(s, "trace.min_prob", KnobValue::F64(1.5)).unwrap_err();
+        assert_eq!(e.kind(), "out_of_range");
+        assert_eq!(e.knob(), Some("trace.min_prob"));
+        assert!(e.to_string().contains("[0.0, 1.0]"), "{e}");
+
+        // Infinity is in range for the unbounded thresholds only.
+        d.set(s, "cpr.exit_weight_threshold", KnobValue::F64(f64::INFINITY)).unwrap();
+        let e = d.set(s, "trace.min_prob", KnobValue::F64(f64::INFINITY)).unwrap_err();
+        assert_eq!(e.kind(), "out_of_range");
+        let e = d.set(s, "trace.min_prob", KnobValue::F64(f64::NAN)).unwrap_err();
+        assert_eq!(e.kind(), "out_of_range");
+    }
+
+    #[test]
+    fn json_round_trips_including_infinity() {
+        let s = space();
+        let mut d = ConfigDelta::new();
+        d.set(s, "cpr.exit_weight_threshold", KnobValue::F64(f64::INFINITY)).unwrap();
+        d.set(s, "cpr.speculate", KnobValue::Bool(false)).unwrap();
+        d.set(s, "trace.min_count", KnobValue::U64(4)).unwrap();
+        d.set(s, "cpr.max_branches", KnobValue::U64(u64::MAX)).unwrap();
+        let json = d.to_json(s);
+        assert!(json.contains("\"cpr.exit_weight_threshold\":\"inf\""), "{json}");
+        let back = ConfigDelta::from_flat_json(s, &Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.apply(s).full_hash(), d.apply(s).full_hash());
+    }
+
+    #[test]
+    fn grouped_form_matches_serve_wire_shape() {
+        let s = space();
+        let j = Json::parse(
+            r#"{"cpr":{"speculate":false},"trace":{"min_count":4},"if_convert":{}}"#,
+        )
+        .unwrap();
+        let d = ConfigDelta::from_grouped_json(s, &j).unwrap();
+        let t = d.apply(s);
+        assert!(!t.pipeline.cpr.speculate);
+        assert_eq!(t.pipeline.trace.min_count, 4);
+        // An empty (but present) if_convert group enables if-conversion
+        // with its defaults, as the old hand-rolled parser did.
+        assert_eq!(t.pipeline.if_convert.map(|c| c.max_ops), Some(24));
+
+        // null turns the group off.
+        let j = Json::parse(r#"{"if_convert":null}"#).unwrap();
+        let d = ConfigDelta::from_grouped_json(s, &j).unwrap();
+        assert!(d.is_empty());
+
+        // Unknown field names are errors that name the knob.
+        let j = Json::parse(r#"{"trace":{"max_blocks":6}}"#).unwrap();
+        let e = ConfigDelta::from_grouped_json(s, &j).unwrap_err();
+        assert_eq!(e.knob(), Some("trace.max_blocks"));
+        assert_eq!(e.kind(), "bad_knob");
+
+        // Unknown groups too.
+        let j = Json::parse(r#"{"sched":{"window":6}}"#).unwrap();
+        let e = ConfigDelta::from_grouped_json(s, &j).unwrap_err();
+        assert_eq!(e.knob(), Some("sched"));
+    }
+
+    #[test]
+    fn machine_hash_sees_shape_not_name() {
+        let m1 = Machine::new("a", Machine::medium().widths(), Latencies::default());
+        assert_eq!(machine_hash(&m1), machine_hash(&Machine::medium()));
+        assert_ne!(machine_hash(&Machine::medium()), machine_hash(&Machine::wide()));
+        assert_ne!(machine_hash(&Machine::sequential()), machine_hash(&Machine::medium()));
+        assert_ne!(
+            machine_hash(&Machine::medium()),
+            machine_hash(&Machine::medium().with_branch_latency(2))
+        );
+    }
+}

@@ -15,6 +15,7 @@ pub mod cache;
 pub mod compile;
 pub mod error;
 pub mod json;
+pub mod knobs;
 pub mod pipeline;
 pub mod schedules;
 pub mod tables;
@@ -24,6 +25,9 @@ pub use cache::{route_fingerprint, CacheKey, CacheStats, CompileCache, StageArti
 pub use compile::{check_equivalence, compile, compile_cached, Compiled, PipelineConfig};
 pub use error::CompileError;
 pub use json::{Json, JsonError};
+pub use knobs::{
+    machine_hash, ConfigDelta, KnobError, KnobKind, KnobSpace, KnobSpec, KnobValue, TunedConfig,
+};
 pub use pipeline::Pipeline;
 pub use schedules::{check_all_schedules, check_pair_schedules, take_check_schedules_flag};
 pub use tables::{

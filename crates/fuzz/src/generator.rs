@@ -25,6 +25,7 @@
 //! even in store-free programs.
 
 use control_cpr::CprConfig;
+use epic_bench::{ConfigDelta, KnobSpace, KnobValue};
 use epic_interp::Input;
 use epic_ir::{BlockId, CmpCond, Dest, Function, FunctionBuilder, Opcode, Operand, PredReg, Reg};
 use epic_regions::TraceConfig;
@@ -356,17 +357,33 @@ pub fn generate(seed: u64) -> GenCase {
         })
         .collect();
 
-    let trace = TraceConfig {
-        min_prob: [0.5, 0.65, 0.8][g.rng.gen_range(0usize..3)],
-        max_ops: 400,
-        min_count: [1, 2, 8][g.rng.gen_range(0usize..3)],
+    // Config sampling goes through the knob registry — the same named,
+    // validated assignment path the tuner and the serve override parser
+    // use — so a fuzz config can never drift outside the documented knob
+    // space. The sampled values and RNG call order are unchanged.
+    let space = KnobSpace::global();
+    let mut delta = ConfigDelta::new();
+    let knob = |d: &mut ConfigDelta, name: &str, v: KnobValue| {
+        d.set(space, name, v).unwrap_or_else(|e| panic!("fuzz config knob: {e}"))
     };
-    let cpr = CprConfig {
-        min_entry_count: 1,
-        exit_weight_threshold: [0.35, 0.7, 1.0][g.rng.gen_range(0usize..3)],
-        enable_taken_variation: g.rng.gen_range(0u32..2) == 0,
-        ..CprConfig::default()
-    };
+    let f = KnobValue::F64;
+    let u = KnobValue::U64;
+    knob(&mut delta, "trace.min_prob", f([0.5, 0.65, 0.8][g.rng.gen_range(0usize..3)]));
+    knob(&mut delta, "trace.max_ops", u(400));
+    knob(&mut delta, "trace.min_count", u([1, 2, 8][g.rng.gen_range(0usize..3)]));
+    knob(&mut delta, "cpr.min_entry_count", u(1));
+    knob(
+        &mut delta,
+        "cpr.exit_weight_threshold",
+        f([0.35, 0.7, 1.0][g.rng.gen_range(0usize..3)]),
+    );
+    knob(
+        &mut delta,
+        "cpr.enable_taken_variation",
+        KnobValue::Bool(g.rng.gen_range(0u32..2) == 0),
+    );
+    let tuned = delta.apply(space);
+    let (trace, cpr) = (tuned.pipeline.trace, tuned.pipeline.cpr);
 
     GenCase {
         seed,

@@ -112,10 +112,11 @@ fn find_candidate(
             }) {
                 continue;
             }
-            // The branch must be the block's *last* branch before the
-            // fall-through edge (so predicating the side preserves order
-            // with respect to later exits in this block).
-            if block.ops[pos + 1..].iter().any(|o| o.is_branch()) {
+            // The branch must be the block's *last operation*. Anything
+            // after it only executes on the fall-through path — i.e. it is
+            // implicitly guarded by ¬p — so removing the branch would make
+            // it (and the appended side body after it) run on both paths.
+            if pos + 1 != block.ops.len() {
                 continue;
             }
             return Some((block.id, pos, side));
@@ -221,6 +222,39 @@ mod tests {
         let mut g = f.clone();
         let cfg = IfConvertConfig { max_ops: 0, ..Default::default() };
         assert_eq!(if_convert(&mut g, &profile, &cfg), 0);
+    }
+
+    #[test]
+    fn branch_with_trailing_ops_is_rejected() {
+        // A triangle whose branch is *not* the last op of its block: the
+        // store after the branch only runs on the fall-through path, so
+        // converting would execute it (and the appended side body) on both
+        // paths. Historical bug: only trailing *branches* were checked.
+        let mut fb = FunctionBuilder::new("midblock");
+        let a = fb.block("a");
+        let join = fb.block("join");
+        let side = fb.block("side");
+        fb.switch_to(a);
+        let x = fb.reg();
+        let v = fb.load(x);
+        let (t, _) = fb.cmpp_un_uc(CmpCond::Gt, v.into(), Operand::Imm(5));
+        fb.branch_if(t, side);
+        let d = fb.movi(8);
+        fb.store(d, Operand::Imm(2)); // fall-through-only side effect
+        fb.switch_to(join);
+        fb.ret();
+        fb.switch_to(side);
+        let big = fb.movi(9);
+        fb.store(big, Operand::Imm(1));
+        fb.jump(join);
+        let f = fb.finish();
+        let input_hi = Input::new().memory_size(16).with_memory(0, &[7]).with_reg(x, 0);
+        let input_lo = Input::new().memory_size(16).with_memory(0, &[3]).with_reg(x, 0);
+        let profile = run(&f, &input_hi).unwrap().profile;
+        let mut g = f.clone();
+        if_convert(&mut g, &profile, &IfConvertConfig::default());
+        diff_test(&f, &g, &input_hi).unwrap();
+        diff_test(&f, &g, &input_lo).unwrap();
     }
 
     #[test]

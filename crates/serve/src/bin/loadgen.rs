@@ -89,8 +89,8 @@ impl Mix {
     fn line(&self, rng: &mut Lcg, id: u64) -> String {
         const CONFIGS: [&str; 3] = [
             "",
-            ",\"config\":{\"trace\":{\"max_blocks\":6}}",
-            ",\"config\":{\"cpr\":{\"max_height\":3}}",
+            ",\"config\":{\"trace\":{\"min_count\":8}}",
+            ",\"config\":{\"cpr\":{\"max_branches\":3}}",
         ];
         match rng.below(100) {
             // 58%: plain hot workloads, weighted toward the cheap tiers.

@@ -291,7 +291,9 @@ pub(crate) fn process(
     let _span = Span::enter("serve.request", "serve");
     let t0 = Instant::now();
     let (id, res) = match Request::parse(line) {
-        Err(e) => (None, Err(e)),
+        // Parse-stage failures (malformed fields, bad knobs) still echo a
+        // plainly-present id, matching the event server's shed/error path.
+        Err(e) => (crate::proto::peek_id(line), Err(e)),
         Ok(req) => {
             let id = req.id;
             let budget = req.timeout_ms.or(default_timeout_ms);

@@ -29,7 +29,7 @@ use std::error::Error;
 use std::fmt;
 
 use epic_bench::timing::json_string;
-use epic_bench::{CompileError, JsonError};
+use epic_bench::{CompileError, JsonError, KnobError};
 
 pub use event::{EventOptions, EventServer, ShutdownHandle};
 pub use proto::{ControlOp, InlineTarget, Request, Target};
@@ -72,6 +72,11 @@ pub enum ServeError {
     /// `epic-schedcheck` validator rejected. The payload names the
     /// function, machine, and first violation.
     Schedule(String),
+    /// The request's `"config"` overrides named an unknown knob, mistyped
+    /// one, or pushed one outside its legal range. The reply's error
+    /// object carries a `"knob"` field naming the offender and the kind is
+    /// `"bad_knob"` or `"out_of_range"` (from [`KnobError::kind`]).
+    Knob(KnobError),
 }
 
 impl ServeError {
@@ -87,6 +92,7 @@ impl ServeError {
             ServeError::Shed { .. } => "overloaded",
             ServeError::Io(_) => "io",
             ServeError::Schedule(_) => "schedule",
+            ServeError::Knob(e) => e.kind(),
         }
     }
 
@@ -95,6 +101,17 @@ impl ServeError {
     pub fn to_json(&self) -> String {
         match self {
             ServeError::Compile(e) => e.to_json(),
+            ServeError::Knob(e) => {
+                // Structured: clients can pick out the offending knob
+                // without parsing the message.
+                let knob = e.knob().unwrap_or("config");
+                format!(
+                    "{{\"kind\":{},\"knob\":{},\"message\":{}}}",
+                    json_string(self.kind()),
+                    json_string(knob),
+                    json_string(&self.to_string())
+                )
+            }
             other => format!(
                 "{{\"kind\":{},\"message\":{}}}",
                 json_string(other.kind()),
@@ -119,6 +136,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Io(m) => write!(f, "unreadable request line: {m}"),
             ServeError::Schedule(m) => write!(f, "schedule validation failed: {m}"),
+            ServeError::Knob(e) => write!(f, "bad config: {e}"),
         }
     }
 }
@@ -134,6 +152,17 @@ impl From<CompileError> for ServeError {
 impl From<JsonError> for ServeError {
     fn from(e: JsonError) -> Self {
         ServeError::Protocol(e.to_string())
+    }
+}
+
+impl From<KnobError> for ServeError {
+    fn from(e: KnobError) -> Self {
+        match e {
+            // A config that is not even knob-shaped is a protocol error
+            // (same wording the pre-registry parser used).
+            KnobError::Malformed { message } => ServeError::Protocol(message),
+            other => ServeError::Knob(other),
+        }
     }
 }
 
@@ -183,5 +212,24 @@ mod tests {
         assert_eq!(e.kind(), "schedule");
         assert!(e.to_json().contains("\"kind\":\"schedule\""), "{}", e.to_json());
         assert!(e.to_json().contains("validation failed"), "{}", e.to_json());
+
+        // Knob rejections surface the registry's classification and name
+        // the offending knob in a dedicated field.
+        let e = ServeError::from(KnobError::Unknown { name: "trace.max_blocks".into() });
+        assert_eq!(e.kind(), "bad_knob");
+        assert!(e.to_json().contains("\"knob\":\"trace.max_blocks\""), "{}", e.to_json());
+        let e = ServeError::from(KnobError::OutOfRange {
+            name: "trace.min_prob".into(),
+            got: "1.5".into(),
+            range: "[0.0, 1.0]".into(),
+        });
+        assert_eq!(e.kind(), "out_of_range");
+        assert!(e.to_json().contains("\"knob\":\"trace.min_prob\""), "{}", e.to_json());
+        // Shapeless configs degrade to plain protocol errors, as before
+        // the registry.
+        let e = ServeError::from(KnobError::Malformed {
+            message: "\"config\" must be an object".into(),
+        });
+        assert_eq!(e.kind(), "protocol");
     }
 }

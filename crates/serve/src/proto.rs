@@ -55,7 +55,7 @@
 //! precisely the totals the server prints at shutdown.
 
 use epic_bench::timing::json_string;
-use epic_bench::{Compiled, Json, PipelineConfig};
+use epic_bench::{Compiled, ConfigDelta, Json, KnobSpace, PipelineConfig};
 use epic_interp::Input;
 use epic_ir::{parse_function, Function, Reg};
 use epic_perf::OpCounts;
@@ -158,16 +158,6 @@ fn want_u64(j: &Json, key: &str) -> Result<Option<u64>, ServeError> {
     }
 }
 
-fn want_f64(j: &Json, key: &str) -> Result<Option<f64>, ServeError> {
-    match j.get(key) {
-        None => Ok(None),
-        Some(v) => v
-            .as_f64()
-            .map(Some)
-            .ok_or_else(|| ServeError::Protocol(format!("\"{key}\" must be a number"))),
-    }
-}
-
 fn want_bool(j: &Json, key: &str) -> Result<Option<bool>, ServeError> {
     match j.get(key) {
         None => Ok(None),
@@ -248,60 +238,23 @@ fn parse_input(j: &Json) -> Result<Input, ServeError> {
     Ok(input)
 }
 
+/// Resolves the request's partial `"config"` overrides through the typed
+/// knob registry ([`KnobSpace`]): the grouped wire shape parses into a
+/// [`ConfigDelta`] (which validates every knob by name, type and range)
+/// and the delta is applied over the paper defaults. Unknown or
+/// out-of-range knobs are rejected with structured `bad_knob` /
+/// `out_of_range` errors naming the knob; `machine.*` knobs — valid in the
+/// registry, meaningless to a compile request — are rejected too.
 fn parse_config(j: Option<&Json>) -> Result<PipelineConfig, ServeError> {
-    let mut cfg = PipelineConfig::default();
-    let Some(j) = j else { return Ok(cfg) };
-    if !matches!(j, Json::Obj(_)) {
-        return Err(ServeError::Protocol("\"config\" must be an object".into()));
+    let Some(j) = j else { return Ok(PipelineConfig::default()) };
+    let space = KnobSpace::global();
+    let delta = ConfigDelta::from_grouped_json(space, j)?;
+    if delta.touches_machine(space) {
+        return Err(ServeError::Protocol(
+            "\"machine\" knobs are not accepted here: compile requests have no machine".into(),
+        ));
     }
-    if let Some(t) = j.get("trace") {
-        if let Some(v) = want_f64(t, "min_prob")? {
-            cfg.trace.min_prob = v;
-        }
-        if let Some(v) = want_u64(t, "max_ops")? {
-            cfg.trace.max_ops = v as usize;
-        }
-        if let Some(v) = want_u64(t, "min_count")? {
-            cfg.trace.min_count = v;
-        }
-    }
-    if let Some(c) = j.get("cpr") {
-        if let Some(v) = want_f64(c, "exit_weight_threshold")? {
-            cfg.cpr.exit_weight_threshold = v;
-        }
-        if let Some(v) = want_f64(c, "predict_taken_threshold")? {
-            cfg.cpr.predict_taken_threshold = v;
-        }
-        if let Some(v) = want_u64(c, "min_entry_count")? {
-            cfg.cpr.min_entry_count = v;
-        }
-        if let Some(v) = want_u64(c, "max_branches")? {
-            cfg.cpr.max_branches = v as usize;
-        }
-        if let Some(v) = want_bool(c, "speculate")? {
-            cfg.cpr.speculate = v;
-        }
-        if let Some(v) = want_bool(c, "enable_taken_variation")? {
-            cfg.cpr.enable_taken_variation = v;
-        }
-    }
-    match j.get("if_convert") {
-        None | Some(Json::Null) => {}
-        Some(ic) => {
-            let mut c = epic_regions::IfConvertConfig::default();
-            if let Some(v) = want_f64(ic, "min_taken")? {
-                c.min_taken = v;
-            }
-            if let Some(v) = want_f64(ic, "max_taken")? {
-                c.max_taken = v;
-            }
-            if let Some(v) = want_u64(ic, "max_ops")? {
-                c.max_ops = v as usize;
-            }
-            cfg.if_convert = Some(c);
-        }
-    }
-    Ok(cfg)
+    Ok(delta.apply(space).pipeline)
 }
 
 impl Request {
@@ -486,6 +439,35 @@ mod tests {
         assert_eq!(r.cfg.cpr.exit_weight_threshold, d.cpr.exit_weight_threshold);
         assert_eq!(r.cfg.trace.max_ops, d.trace.max_ops);
         assert!(r.cfg.if_convert.is_some());
+    }
+
+    #[test]
+    fn config_knob_errors_are_structured_and_name_the_knob() {
+        let e = Request::parse(r#"{"workload":"wc","config":{"trace":{"max_blocks":6}}}"#)
+            .unwrap_err();
+        assert_eq!(e.kind(), "bad_knob");
+        assert!(e.to_json().contains("\"knob\":\"trace.max_blocks\""), "{}", e.to_json());
+
+        let e = Request::parse(r#"{"workload":"wc","config":{"trace":{"min_prob":1.5}}}"#)
+            .unwrap_err();
+        assert_eq!(e.kind(), "out_of_range");
+        assert!(e.to_json().contains("\"knob\":\"trace.min_prob\""), "{}", e.to_json());
+
+        let e = Request::parse(r#"{"workload":"wc","config":{"cpr":{"speculate":3}}}"#)
+            .unwrap_err();
+        assert_eq!(e.kind(), "bad_knob");
+        assert!(e.to_json().contains("\"knob\":\"cpr.speculate\""), "{}", e.to_json());
+
+        // Non-object configs keep the historical protocol error.
+        let e = Request::parse(r#"{"workload":"wc","config":5}"#).unwrap_err();
+        assert_eq!(e.kind(), "protocol");
+        assert!(e.to_string().contains("\"config\" must be an object"), "{e}");
+
+        // Machine knobs exist in the registry but have no meaning on a
+        // compile request.
+        let e = Request::parse(r#"{"workload":"wc","config":{"machine":{"int_width":8}}}"#)
+            .unwrap_err();
+        assert_eq!(e.kind(), "protocol");
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn replies_stream_in_order_and_match_v1() {
         "{\"id\":3,\"workload\":\"no-such-workload\"}\n",
         "this is not json\n",
         "{\"id\":4,\"op\":\"metrics\"}\n",
-        "{\"id\":5,\"workload\":\"strcpy\",\"config\":{\"trace\":{\"max_blocks\":6}}}\n",
+        "{\"id\":5,\"workload\":\"strcpy\",\"config\":{\"trace\":{\"min_count\":8}}}\n",
         "{\"id\":6,\"op\":\"nonsense\"}\n",
     );
     let expect = v1_replies(stream);

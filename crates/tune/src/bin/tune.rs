@@ -1,0 +1,176 @@
+//! `tune` — seeded autotuning over the CPR knob space.
+//!
+//! ```text
+//! tune [--seed N] [--budget N] [--population N] [--threads N]
+//!      [--workloads a,b,c] [--quick] [--check] [--out FILE]
+//! ```
+//!
+//! Prints per-workload Pareto fronts and the tuned-vs-paper-default table
+//! on stdout (a pure function of the seed — byte-identical at any thread
+//! count). `--check` runs the identical search under thread pools of 1, 2
+//! and 8, asserts the reports match byte for byte and that no elite failed
+//! re-verification. `--out` writes the JSON snapshot (wall-clock and cache
+//! counters live only there).
+
+use std::process::ExitCode;
+
+use epic_tune::{render_report, render_snapshot, run_tune, RunOutcome, SearchParams};
+use epic_workloads::Workload;
+use rayon::ThreadPoolBuilder;
+
+/// Thread counts the `--check` sweep must agree across.
+const CHECK_THREADS: [usize; 3] = [1, 2, 8];
+
+struct Options {
+    params: SearchParams,
+    threads: Option<usize>,
+    workloads: Vec<Workload>,
+    check: bool,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tune [--seed N] [--budget N] [--population N] [--threads N]\n\
+         \x20           [--workloads a,b,c] [--quick] [--check] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut params = SearchParams::default();
+    let mut threads = None;
+    let mut names: Option<Vec<String>> = None;
+    let mut check = false;
+    let mut quick = false;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("tune: {what} wants a number");
+                    usage()
+                })
+        };
+        match arg.as_str() {
+            "--seed" => params.seed = num("--seed") as u64,
+            "--budget" => params.budget = num("--budget"),
+            "--population" => params.population = num("--population").max(2),
+            "--threads" => threads = Some(num("--threads").max(1)),
+            "--workloads" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                names = Some(list.split(',').map(str::to_string).collect());
+            }
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            _ => {
+                eprintln!("tune: unknown flag {arg}");
+                usage();
+            }
+        }
+    }
+    if quick {
+        params.budget = params.budget.min(10);
+        if names.is_none() {
+            names = Some(
+                ["strcpy", "wc", "cmp", "grep"].iter().map(|s| s.to_string()).collect(),
+            );
+        }
+    }
+    let workloads = match names {
+        None => epic_workloads::all(),
+        Some(ns) => ns
+            .iter()
+            .map(|n| {
+                epic_workloads::by_name(n).unwrap_or_else(|| {
+                    eprintln!("tune: unknown workload {n}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+    Options { params, threads, workloads, check, out }
+}
+
+/// Runs the search under a pool of `threads` (or the implicit pool).
+fn run(opts: &Options, threads: Option<usize>) -> RunOutcome {
+    match threads {
+        None => run_tune(&opts.workloads, &opts.params),
+        Some(n) => ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool")
+            .install(|| run_tune(&opts.workloads, &opts.params)),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    let (outcome, report, checked) = if opts.check {
+        // The same seed must produce the same bytes at every thread count,
+        // and every reported elite must have survived re-verification.
+        let mut sweep: Vec<(usize, RunOutcome, String)> = CHECK_THREADS
+            .iter()
+            .map(|&t| {
+                let o = run(&opts, Some(t));
+                let r = render_report(&opts.params, &o.results);
+                (t, o, r)
+            })
+            .collect();
+        let (t0, _, base) = (&sweep[0].0, (), sweep[0].2.clone());
+        for (t, _, r) in &sweep {
+            if *r != base {
+                eprintln!("tune: FAIL: {t}-thread report diverged from {t0}-thread report");
+                return ExitCode::FAILURE;
+            }
+        }
+        for (_, o, _) in &sweep {
+            let rejected: usize = o.results.iter().map(|r| r.verify_rejections).sum();
+            let failed: usize = o.results.iter().map(|r| r.compile_failures).sum();
+            if rejected > 0 || failed > 0 {
+                for r in &o.results {
+                    for d in &r.rejection_details {
+                        eprintln!("tune: {}: rejected {d}", r.name);
+                    }
+                }
+                eprintln!(
+                    "tune: FAIL: {rejected} verify rejections, {failed} compile failures"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "tune: check ok: byte-identical reports across {CHECK_THREADS:?} threads, \
+             all elites verified"
+        );
+        let (_, o, r) = sweep.pop().expect("sweep is non-empty");
+        (o, r, true)
+    } else {
+        let o = run(&opts, opts.threads);
+        let r = render_report(&opts.params, &o.results);
+        (o, r, false)
+    };
+
+    print!("{report}");
+
+    if let Some(path) = &opts.out {
+        // In check mode the reported outcome is the sweep's last run.
+        let threads = if checked {
+            CHECK_THREADS[CHECK_THREADS.len() - 1]
+        } else {
+            opts.threads.unwrap_or_else(rayon::current_num_threads)
+        };
+        let check: &[usize] = if checked { &CHECK_THREADS } else { &[] };
+        let snap = render_snapshot(&opts.params, &outcome, threads, check);
+        if let Err(e) = std::fs::write(path, snap + "\n") {
+            eprintln!("tune: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("tune: snapshot written to {path}");
+    }
+    ExitCode::SUCCESS
+}

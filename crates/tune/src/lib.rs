@@ -1,0 +1,35 @@
+//! # epic-tune
+//!
+//! Seeded autotuning over the Control-CPR design space.
+//!
+//! The tuner searches the knob registry's discrete grids
+//! ([`epic_bench::knobs::KnobSpace`]) for per-workload configurations that
+//! beat the paper defaults under the paper's own §7 estimation
+//! methodology, reporting a three-objective Pareto front per workload:
+//! estimated cycles of the height-reduced code, static code growth, and a
+//! deterministic compile-cost proxy.
+//!
+//! The search is a seeded random initialization followed by a simple
+//! evolutionary loop (binary tournament selection by Pareto dominance,
+//! per-knob mutation). Everything is deterministic by construction:
+//! per-workload RNGs derive from the run seed and the workload name,
+//! candidates dedupe on [`epic_bench::knobs::TunedConfig::full_hash`], and
+//! workloads are evaluated with an *ordered* parallel map over one shared
+//! [`epic_bench::CompileCache`] — the cache changes when work happens,
+//! never what is computed — so a fixed seed produces byte-identical
+//! reports at any thread count (the `tune` bin's `--check` flag proves it
+//! by running the sweep at 1, 2 and 8 threads).
+//!
+//! Every elite on a front is re-verified end to end before it is reported:
+//! differential testing of both compiled functions over all inputs plus
+//! independent schedule validation ([`epic_bench::check_pair_schedules`]).
+
+pub mod eval;
+pub mod genome;
+pub mod report;
+pub mod search;
+
+pub use eval::{evaluate, score, verify_elite, Eval, Objectives};
+pub use genome::{Genome, SearchKnob, SearchSpace};
+pub use report::{render_report, render_snapshot};
+pub use search::{run_tune, tune_workload, RunOutcome, SearchParams, WorkloadResult};

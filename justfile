@@ -3,7 +3,7 @@
 # Full pre-merge gate: release build, tests, clippy clean, fuzz corpus,
 # batch-server smoke, event-server load smoke, observability smoke,
 # schedule validation, perf gate.
-bench-check: fuzz-smoke serve-smoke serve-bench obs-smoke sched-check perf-check
+bench-check: fuzz-smoke serve-smoke serve-bench obs-smoke sched-check perf-check tune-smoke
     cargo build --release
     cargo test -q
     cargo clippy --all-targets -- -D warnings
@@ -38,6 +38,17 @@ serve-bench:
 # replay; see EXPERIMENTS.md "Serving").
 serve-snapshot:
     cargo run --release -q -p epic-serve --bin loadgen -- --out BENCH_serve_pr7.json
+
+# Autotuner smoke: a small fixed-seed search over four workloads, run at
+# 1, 2 and 8 threads; the reports must be byte-identical and every elite
+# must survive re-verification (diff test + schedule check).
+tune-smoke:
+    cargo run --release -q -p epic-tune --bin tune -- --quick --check > /dev/null
+
+# Regenerate the committed autotuning snapshot (full suite, default
+# budget, thread-sweep check; see EXPERIMENTS.md "Autotuning").
+tune-snapshot:
+    cargo run --release -q -p epic-tune --bin tune -- --check --out BENCH_tune_pr8.json
 
 # Observability smoke: Chrome-trace export validity (one span per
 # pipeline stage per workload, parsed with the bench Json parser) and the
