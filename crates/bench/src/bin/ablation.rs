@@ -3,7 +3,9 @@
 //! * exit-weight threshold (CPR blocking granularity, §4.1/§5.2),
 //! * the taken variation on/off (§5.3),
 //! * predicate speculation on/off (§5.1),
-//! * uniform whole-superblock CPR vs profile-driven blocking.
+//! * uniform whole-superblock CPR vs profile-driven blocking,
+//! * instruction melding vs control CPR vs both, on the paper's ideal
+//!   front end and on a penalized modern one (the melding matrix).
 //!
 //! The configurations are independent, so they are evaluated in parallel
 //! (each one additionally fans out over its workloads inside `table2`);
@@ -14,7 +16,8 @@
 
 use control_cpr::CprConfig;
 use epic_bench::{
-    check_all_schedules, enable_tracing_if_requested, table2_cached, take_check_schedules_flag,
+    check_all_schedules, enable_tracing_if_requested, meld_matrix, meld_matrix_configs,
+    meld_matrix_machines, render_meld_matrix, table2_cached, take_check_schedules_flag,
     take_trace_flag, write_trace, CompileCache, PipelineConfig,
 };
 use epic_perf::geomean;
@@ -40,8 +43,9 @@ fn main() {
     let trace_path = take_trace_flag(&mut args);
     let check_schedules = take_check_schedules_flag(&mut args);
     enable_tracing_if_requested(&trace_path);
-    // A representative branchy subset keeps the ablation quick.
-    let names = ["strcpy", "cmp", "wc", "grep", "lex", "023.eqntott", "126.gcc"];
+    // A representative branchy subset keeps the ablation quick; sort and
+    // diff contribute the full diamonds the melding matrix needs.
+    let names = ["strcpy", "cmp", "wc", "grep", "lex", "sort", "diff", "023.eqntott", "126.gcc"];
     let medium = 2; // index in Machine::paper_suite()
 
     println!("Ablations (geomean speedup on the medium processor, subset: {names:?})");
@@ -82,17 +86,33 @@ fn main() {
     for (label, g) in results {
         println!("  {label}{g:.3}");
     }
+
+    // Melding vs control CPR, with and without a penalized front end
+    // (§ "Melding & front-end models" in EXPERIMENTS.md): geomean cycles
+    // speedup of each configuration's optimized code over the
+    // no-CPR/no-meld baseline, per machine front end.
+    let workloads: Vec<_> = names
+        .iter()
+        .map(|n| epic_workloads::by_name(n).expect("known workload"))
+        .collect();
+    let fe_machines = meld_matrix_machines();
+    let matrix = meld_matrix(&workloads, &fe_machines, Some(&cache));
+    println!();
+    println!("Melding x front end (geomean cycles speedup over `neither`)");
+    println!();
+    print!("{}", render_meld_matrix(&matrix));
     if check_schedules {
         // Validate every ablation configuration's compiled pairs on the
         // medium processor (the one the ablation reports); the shared
         // cache makes the re-compiles in-process lookups.
-        let workloads: Vec<_> = names
-            .iter()
-            .map(|n| epic_workloads::by_name(n).expect("known workload"))
-            .collect();
         let machines = [epic_machine::Machine::medium()];
         for (_, cfg) in &configs {
             check_all_schedules(&workloads, cfg, &cache, &machines);
+        }
+        // The matrix configurations (melded code included) must pass the
+        // independent checker and the replay oracle on *both* front ends.
+        for (_, cfg) in &meld_matrix_configs() {
+            check_all_schedules(&workloads, cfg, &cache, &fe_machines);
         }
     }
     if let Some(path) = &trace_path {
@@ -103,6 +123,6 @@ fn main() {
         "cache: {} hits, {} misses across {} configurations",
         s.hits,
         s.misses,
-        configs.len()
+        configs.len() + meld_matrix_configs().len()
     );
 }

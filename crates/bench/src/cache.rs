@@ -609,20 +609,29 @@ fn stats_from_json(j: &Json) -> Result<IcbmStats, String> {
     })
 }
 
+/// On-disk artifact format version. Stamped into every serialized entry
+/// and checked on load: an artifact written by a different schema (or one
+/// predating the stamp, which carried silently-incompatible payloads
+/// across releases) is rejected — and, via [`CompileCache::disk_load`]'s
+/// corrupt-entry handling, deleted — instead of being deserialized into
+/// the wrong shape.
+pub const FORMAT_VERSION: u64 = 1;
+
 /// Serializes an artifact as one JSON document.
 pub fn artifact_to_json(a: &StageArtifact) -> String {
+    let v = FORMAT_VERSION;
     match a {
         StageArtifact::Func(f) => {
-            format!("{{\"kind\":\"func\",\"ir\":{}}}", json_string(&f.to_string()))
+            format!("{{\"v\":{v},\"kind\":\"func\",\"ir\":{}}}", json_string(&f.to_string()))
         }
         StageArtifact::Baseline { func, profile, counts } => format!(
-            "{{\"kind\":\"baseline\",\"ir\":{},\"profile\":{},\"counts\":{}}}",
+            "{{\"v\":{v},\"kind\":\"baseline\",\"ir\":{},\"profile\":{},\"counts\":{}}}",
             json_string(&func.to_string()),
             profile_to_json(func, profile),
             counts_to_json(counts)
         ),
         StageArtifact::Optimized { func, stats, profile, counts } => format!(
-            "{{\"kind\":\"optimized\",\"ir\":{},\"stats\":{},\"profile\":{},\"counts\":{}}}",
+            "{{\"v\":{v},\"kind\":\"optimized\",\"ir\":{},\"stats\":{},\"profile\":{},\"counts\":{}}}",
             json_string(&func.to_string()),
             stats_to_json(stats),
             profile_to_json(func, profile),
@@ -636,9 +645,15 @@ pub fn artifact_to_json(a: &StageArtifact) -> String {
 /// # Errors
 ///
 /// Returns a description of the first structural problem (the caller
-/// treats any error as a cache miss).
+/// treats any error as a cache miss), including a format-version mismatch
+/// — entries written by another schema version are never deserialized.
 pub fn artifact_from_json(text: &str) -> Result<StageArtifact, String> {
     let j = Json::parse(text).map_err(|e| e.to_string())?;
+    match j.get("v").and_then(Json::as_u64) {
+        Some(FORMAT_VERSION) => {}
+        Some(v) => return Err(format!("artifact format version {v} != {FORMAT_VERSION}")),
+        None => return Err("artifact predates the format-version stamp".into()),
+    }
     let ir = j.get("ir").and_then(Json::as_str).ok_or("missing ir")?;
     let func = epic_ir::parse_function(ir).map_err(|e| e.to_string())?;
     match j.get("kind").and_then(Json::as_str) {
@@ -948,5 +963,23 @@ mod tests {
         for bad in ["", "{}", "{\"kind\":\"func\"}", "{\"kind\":\"nope\",\"ir\":\"x\"}"] {
             assert!(artifact_from_json(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn foreign_format_versions_are_rejected() {
+        let current = artifact_to_json(&StageArtifact::Func(sample_func()));
+        let stamp = format!("\"v\":{FORMAT_VERSION}");
+        assert!(current.contains(&stamp), "{current:.60}");
+        assert!(artifact_from_json(&current).is_ok());
+
+        // An artifact written by a future (or past) schema version.
+        let future = current.replace(&stamp, "\"v\":999");
+        let err = artifact_from_json(&future).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+
+        // An artifact predating the stamp entirely.
+        let unstamped = current.replace(&format!("{stamp},"), "");
+        let err = artifact_from_json(&unstamped).unwrap_err();
+        assert!(err.contains("version"), "{err}");
     }
 }

@@ -16,7 +16,7 @@ use epic_perf::OpCounts;
 use epic_workloads::Workload;
 
 use control_cpr::{CprConfig, IcbmStats};
-use epic_regions::{IfConvertConfig, TraceConfig};
+use epic_regions::{IfConvertConfig, MeldConfig, TraceConfig};
 
 use crate::cache::CompileCache;
 use crate::error::CompileError;
@@ -35,6 +35,11 @@ pub struct PipelineConfig {
     /// has been applied") and names it as the enhancement for unbiased
     /// branches; enable it to measure that claim.
     pub if_convert: Option<IfConvertConfig>,
+    /// Optional instruction melding of full diamonds before region
+    /// formation — the branch-elimination alternative to control CPR
+    /// measured by the melding ablation. Off by default (the paper's
+    /// setup has no melding pass).
+    pub meld: Option<MeldConfig>,
 }
 
 /// The compiled pair for one workload, with measured profiles and counts.
@@ -70,7 +75,7 @@ pub struct Compiled {
 /// from the profiling runs (a trap indicates a broken workload or a
 /// miscompilation and is always a bug).
 pub fn compile(w: &Workload, cfg: &PipelineConfig) -> Result<Compiled, CompileError> {
-    Pipeline::new(w, cfg).if_convert()?.superblock()?.unroll()?.frp()?.icbm()
+    Pipeline::new(w, cfg).if_convert()?.meld()?.superblock()?.unroll()?.frp()?.icbm()
 }
 
 /// [`compile`] with stage memoization: every stage is first looked up in
@@ -86,7 +91,14 @@ pub fn compile_cached(
     cfg: &PipelineConfig,
     cache: &CompileCache,
 ) -> Result<Compiled, CompileError> {
-    Pipeline::new(w, cfg).with_cache(cache).if_convert()?.superblock()?.unroll()?.frp()?.icbm()
+    Pipeline::new(w, cfg)
+        .with_cache(cache)
+        .if_convert()?
+        .meld()?
+        .superblock()?
+        .unroll()?
+        .frp()?
+        .icbm()
 }
 
 /// Differentially tests both compiled functions against the original

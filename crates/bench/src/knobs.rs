@@ -1,9 +1,11 @@
 //! The typed knob registry: one config surface over the whole pipeline.
 //!
 //! Every tunable the repro exposes — superblock formation
-//! ([`epic_regions::TraceConfig`]), if-conversion ([`IfConvertConfig`]), the ICBM
-//! heuristics ([`control_cpr::CprConfig`]) and the target machine shape
-//! ([`epic_machine::Machine`]) — is described here as a [`KnobSpec`]:
+//! ([`epic_regions::TraceConfig`]), if-conversion ([`IfConvertConfig`]),
+//! instruction melding ([`MeldConfig`]), the ICBM heuristics
+//! ([`control_cpr::CprConfig`]) and the target machine shape and front end
+//! ([`epic_machine::Machine`], [`epic_machine::Frontend`]) — is described
+//! here as a [`KnobSpec`]:
 //! a dotted name (`cpr.exit_weight_threshold`), a typed kind with its
 //! legal range, the paper default, and a small grid of search choices.
 //! [`KnobSpace::new`] reads the defaults from the real config structs
@@ -30,8 +32,8 @@ use std::fmt;
 use std::sync::OnceLock;
 
 use epic_ir::{combine_hashes, Fnv64};
-use epic_machine::{Latencies, Machine, Widths};
-use epic_regions::IfConvertConfig;
+use epic_machine::{Frontend, Latencies, Machine, Widths};
+use epic_regions::{IfConvertConfig, MeldConfig};
 
 use crate::compile::PipelineConfig;
 use crate::json::Json;
@@ -170,6 +172,10 @@ const WIDTHS_INT: &[KnobValue] =
 const WIDTHS_SMALL: &[KnobValue] = &[KnobValue::U64(1), KnobValue::U64(2), KnobValue::U64(4)];
 const LAT_BRANCH: &[KnobValue] = &[KnobValue::U64(1), KnobValue::U64(2), KnobValue::U64(3)];
 const LAT_LOAD: &[KnobValue] = &[KnobValue::U64(1), KnobValue::U64(2), KnobValue::U64(4)];
+// Front-end grids: 0 is the paper's ideal front end (no penalty,
+// unlimited fetch); the non-zero points bracket modern-ish machines.
+const FRONTEND_GRID: &[KnobValue] =
+    &[KnobValue::U64(0), KnobValue::U64(2), KnobValue::U64(4), KnobValue::U64(8)];
 
 /// The registry of every knob, in canonical order. Construct once (or use
 /// [`KnobSpace::global`]); defaults are read from the real config structs
@@ -190,9 +196,11 @@ impl KnobSpace {
     pub fn new() -> KnobSpace {
         let p = PipelineConfig::default();
         let ic = IfConvertConfig::default();
+        let mc = MeldConfig::default();
         let m = Machine::medium();
         let w = m.widths().expect("medium machine has widths");
         let l = m.latencies();
+        let fe = m.frontend();
         let f = KnobValue::F64;
         let u = KnobValue::U64;
         let b = KnobValue::Bool;
@@ -217,6 +225,13 @@ impl KnobSpace {
                 default: u(p.trace.min_count),
                 choices: SMALL_COUNTS,
                 doc: "minimum dynamic entry count to seed or join a trace",
+            },
+            KnobSpec {
+                name: "cpr.enable",
+                kind: KnobKind::Bool,
+                default: b(p.cpr.enable),
+                choices: BOOLS,
+                doc: "run the ICBM control-CPR transformation (off isolates melding)",
             },
             KnobSpec {
                 name: "cpr.exit_weight_threshold",
@@ -289,6 +304,34 @@ impl KnobSpace {
                 doc: "maximum side-block size to if-convert",
             },
             KnobSpec {
+                name: "meld.enable",
+                kind: KnobKind::Bool,
+                default: b(p.meld.is_some()),
+                choices: BOOLS,
+                doc: "meld short full diamonds into predicated straight-line code",
+            },
+            KnobSpec {
+                name: "meld.min_taken",
+                kind: KnobKind::F64 { min: 0.0, max: 1.0 },
+                default: f(mc.min_taken),
+                choices: IC_MIN_TAKEN,
+                doc: "meld only branches at least this likely taken",
+            },
+            KnobSpec {
+                name: "meld.max_taken",
+                kind: KnobKind::F64 { min: 0.0, max: 1.0 },
+                default: f(mc.max_taken),
+                choices: IC_MAX_TAKEN,
+                doc: "meld only branches at most this likely taken",
+            },
+            KnobSpec {
+                name: "meld.max_ops",
+                kind: KnobKind::U64 { min: 0, max: 100_000 },
+                default: u(mc.max_ops as u64),
+                choices: IC_MAX_OPS,
+                doc: "maximum side-block size to meld",
+            },
+            KnobSpec {
                 name: "machine.int_width",
                 kind: KnobKind::U64 { min: 1, max: 128 },
                 default: u(w.int as u64),
@@ -329,6 +372,20 @@ impl KnobSpace {
                 default: u(l.load as u64),
                 choices: LAT_LOAD,
                 doc: "memory load latency",
+            },
+            KnobSpec {
+                name: "machine.frontend.mispredict_penalty",
+                kind: KnobKind::U64 { min: 0, max: 1024 },
+                default: u(fe.mispredict_penalty as u64),
+                choices: FRONTEND_GRID,
+                doc: "extra cycles per taken control transfer (0 = paper's ideal front end)",
+            },
+            KnobSpec {
+                name: "machine.frontend.fetch_width",
+                kind: KnobKind::U64 { min: 0, max: 128 },
+                default: u(fe.fetch_width as u64),
+                choices: FRONTEND_GRID,
+                doc: "operations fetched per cycle (0 = unlimited, the paper's setting)",
             },
         ];
         KnobSpace { specs }
@@ -545,9 +602,13 @@ impl ConfigDelta {
     }
 
     /// Parses the grouped wire form the serve protocol accepts:
-    /// `{"trace":{...},"cpr":{...},"if_convert":{...}|null,"machine":{...}}`.
-    /// A present (non-null) `if_convert` group — even empty — sets
-    /// `if_convert.enable`; `null` or absence leaves if-conversion off.
+    /// `{"trace":{...},"cpr":{...},"if_convert":{...}|null,"meld":{...}|null,"machine":{...}}`.
+    /// A present (non-null) `if_convert` or `meld` group — even empty —
+    /// sets the group's `.enable` knob; `null` or absence leaves the pass
+    /// off. A field whose value is itself an object and whose joined name
+    /// is not a knob is a nested sub-group
+    /// (`{"machine":{"frontend":{"fetch_width":4}}}` sets
+    /// `machine.frontend.fetch_width`).
     ///
     /// # Errors
     ///
@@ -559,7 +620,8 @@ impl ConfigDelta {
         };
         let mut delta = ConfigDelta::new();
         for (group, fields) in groups {
-            if group == "if_convert" && *fields == Json::Null {
+            let optional_pass = matches!(group.as_str(), "if_convert" | "meld");
+            if optional_pass && *fields == Json::Null {
                 continue;
             }
             let Json::Obj(pairs) = fields else {
@@ -567,14 +629,22 @@ impl ConfigDelta {
                     message: format!("config group \"{group}\" must be an object"),
                 });
             };
-            if !matches!(group.as_str(), "trace" | "cpr" | "if_convert" | "machine") {
+            if !matches!(group.as_str(), "trace" | "cpr" | "if_convert" | "meld" | "machine") {
                 return Err(KnobError::Unknown { name: group.clone() });
             }
-            if group == "if_convert" {
-                delta.set(space, "if_convert.enable", KnobValue::Bool(true))?;
+            if optional_pass {
+                delta.set(space, &format!("{group}.enable"), KnobValue::Bool(true))?;
             }
             for (key, value) in pairs {
-                delta.set_json(space, &format!("{group}.{key}"), value)?;
+                let name = format!("{group}.{key}");
+                match value {
+                    Json::Obj(sub) if space.find(&name).is_none() => {
+                        for (subkey, subvalue) in sub {
+                            delta.set_json(space, &format!("{name}.{subkey}"), subvalue)?;
+                        }
+                    }
+                    _ => delta.set_json(space, &name, value)?,
+                }
             }
         }
         Ok(delta)
@@ -628,9 +698,12 @@ impl ConfigDelta {
         let mut p = PipelineConfig::default();
         let mut ic = IfConvertConfig::default();
         let mut ic_enable = false;
+        let mut mc = MeldConfig::default();
+        let mut meld_enable = false;
         let medium = Machine::medium();
         let mut w = medium.widths().expect("medium machine has widths");
         let mut l = medium.latencies();
+        let mut fe = medium.frontend();
         let mut machine_touched = false;
         for (name, v) in self.iter(space) {
             let f = || match v {
@@ -649,6 +722,7 @@ impl ConfigDelta {
                 "trace.min_prob" => p.trace.min_prob = f(),
                 "trace.max_ops" => p.trace.max_ops = u() as usize,
                 "trace.min_count" => p.trace.min_count = u(),
+                "cpr.enable" => p.cpr.enable = b(),
                 "cpr.exit_weight_threshold" => p.cpr.exit_weight_threshold = f(),
                 "cpr.predict_taken_threshold" => p.cpr.predict_taken_threshold = f(),
                 "cpr.min_entry_count" => p.cpr.min_entry_count = u(),
@@ -659,18 +733,32 @@ impl ConfigDelta {
                 "if_convert.min_taken" => ic.min_taken = f(),
                 "if_convert.max_taken" => ic.max_taken = f(),
                 "if_convert.max_ops" => ic.max_ops = u() as usize,
+                "meld.enable" => meld_enable = b(),
+                "meld.min_taken" => mc.min_taken = f(),
+                "meld.max_taken" => mc.max_taken = f(),
+                "meld.max_ops" => mc.max_ops = u() as usize,
                 "machine.int_width" => (w.int, machine_touched) = (u() as u32, true),
                 "machine.float_width" => (w.float, machine_touched) = (u() as u32, true),
                 "machine.mem_width" => (w.mem, machine_touched) = (u() as u32, true),
                 "machine.branch_width" => (w.branch, machine_touched) = (u() as u32, true),
                 "machine.branch_latency" => (l.branch, machine_touched) = (u() as u32, true),
                 "machine.load_latency" => (l.load, machine_touched) = (u() as u32, true),
+                "machine.frontend.mispredict_penalty" => {
+                    (fe.mispredict_penalty, machine_touched) = (u() as u32, true)
+                }
+                "machine.frontend.fetch_width" => {
+                    (fe.fetch_width, machine_touched) = (u() as u32, true)
+                }
                 other => unreachable!("unhandled knob `{other}` — registry and apply drifted"),
             }
         }
         p.if_convert = if ic_enable { Some(ic) } else { None };
-        let machine =
-            if machine_touched { Machine::new("tuned", Some(w), l) } else { medium };
+        p.meld = if meld_enable { Some(mc) } else { None };
+        let machine = if machine_touched {
+            Machine::new("tuned", Some(w), l).with_frontend(fe)
+        } else {
+            medium
+        };
         TunedConfig { pipeline: p, machine }
     }
 }
@@ -704,6 +792,9 @@ pub fn machine_hash(m: &Machine) -> u64 {
     for lat in [int, float, mul, div, load, store, pbr, branch] {
         h.write_u64(lat as u64);
     }
+    let Frontend { mispredict_penalty, fetch_width } = m.frontend();
+    h.write_u64(mispredict_penalty as u64);
+    h.write_u64(fetch_width as u64);
     h.finish()
 }
 
@@ -726,7 +817,7 @@ mod tests {
     #[test]
     fn registry_is_internally_consistent() {
         let s = space();
-        assert_eq!(s.specs().len(), 19);
+        assert_eq!(s.specs().len(), 26);
         for spec in s.specs() {
             // Default and every grid choice must pass the knob's own
             // validation, and the grid must contain the default.
@@ -764,8 +855,11 @@ mod tests {
         assert_eq!(t.pipeline.trace.min_count, d.trace.min_count);
         assert_eq!(t.pipeline.cpr.exit_weight_threshold, d.cpr.exit_weight_threshold);
         assert_eq!(t.pipeline.cpr.max_branches, d.cpr.max_branches);
+        assert!(t.pipeline.cpr.enable, "CPR is on in the paper config");
         assert!(t.pipeline.if_convert.is_none());
+        assert!(t.pipeline.meld.is_none(), "melding is off in the paper config");
         assert_eq!(t.machine, Machine::medium());
+        assert!(t.machine.frontend().is_ideal(), "paper front end is ideal");
     }
 
     #[test]
@@ -786,7 +880,10 @@ mod tests {
         // Spot-check the routing end to end.
         assert_ne!(t.pipeline.config_hash(), PipelineConfig::default().config_hash());
         assert!(t.pipeline.if_convert.is_some(), "if_convert.enable toggled on");
+        assert!(t.pipeline.meld.is_some(), "meld.enable toggled on");
+        assert!(!t.pipeline.cpr.enable, "cpr.enable toggled off");
         assert_eq!(t.machine.name(), "tuned");
+        assert!(!t.machine.frontend().is_ideal(), "frontend knobs routed to the machine");
         assert_ne!(machine_hash(&t.machine), machine_hash(&Machine::medium()));
     }
 
@@ -850,6 +947,35 @@ mod tests {
         let d = ConfigDelta::from_grouped_json(s, &j).unwrap();
         assert!(d.is_empty());
 
+        // The meld group follows the same present/null semantics, and the
+        // machine group reaches the front-end knobs through dotted fields.
+        let j = Json::parse(
+            r#"{"meld":{"max_ops":8},"machine":{"frontend.mispredict_penalty":8}}"#,
+        )
+        .unwrap();
+        let t = ConfigDelta::from_grouped_json(s, &j).unwrap().apply(s);
+        assert_eq!(t.pipeline.meld.map(|c| c.max_ops), Some(8));
+        assert_eq!(t.machine.frontend().mispredict_penalty, 8);
+        let j = Json::parse(r#"{"meld":null}"#).unwrap();
+        assert!(ConfigDelta::from_grouped_json(s, &j).unwrap().is_empty());
+
+        // The natural nested wire shape reaches them too, and range errors
+        // name the full dotted knob.
+        let j = Json::parse(
+            r#"{"machine":{"frontend":{"mispredict_penalty":8,"fetch_width":4}}}"#,
+        )
+        .unwrap();
+        let t = ConfigDelta::from_grouped_json(s, &j).unwrap().apply(s);
+        assert_eq!(t.machine.frontend().mispredict_penalty, 8);
+        assert_eq!(t.machine.frontend().fetch_width, 4);
+        let j = Json::parse(r#"{"machine":{"frontend":{"fetch_width":9999}}}"#).unwrap();
+        let e = ConfigDelta::from_grouped_json(s, &j).unwrap_err();
+        assert_eq!(e.knob(), Some("machine.frontend.fetch_width"));
+        assert_eq!(e.kind(), "out_of_range");
+        let j = Json::parse(r#"{"machine":{"frontend":{"depth":9}}}"#).unwrap();
+        let e = ConfigDelta::from_grouped_json(s, &j).unwrap_err();
+        assert_eq!(e.knob(), Some("machine.frontend.depth"));
+
         // Unknown field names are errors that name the knob.
         let j = Json::parse(r#"{"trace":{"max_blocks":6}}"#).unwrap();
         let e = ConfigDelta::from_grouped_json(s, &j).unwrap_err();
@@ -871,6 +997,14 @@ mod tests {
         assert_ne!(
             machine_hash(&Machine::medium()),
             machine_hash(&Machine::medium().with_branch_latency(2))
+        );
+        // The front end participates in the hash: a penalty-bearing copy
+        // of medium must not collide with (and silently reuse) the ideal
+        // machine's tuner dedupe key.
+        let fe = Frontend { mispredict_penalty: 8, fetch_width: 4 };
+        assert_ne!(
+            machine_hash(&Machine::medium()),
+            machine_hash(&Machine::medium().with_frontend(fe))
         );
     }
 }

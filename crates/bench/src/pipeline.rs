@@ -1,7 +1,7 @@
 //! The staged compilation pipeline.
 //!
 //! [`Pipeline`] exposes the compile flow as typed stages —
-//! `Pipeline::new(&w, &cfg).if_convert()?.superblock()?.unroll()?.frp()?.icbm()?`
+//! `Pipeline::new(&w, &cfg).if_convert()?.meld()?.superblock()?.unroll()?.frp()?.icbm()?`
 //! — where each stage's output type is exactly the compile cache's unit of
 //! memoization. Attach a [`CompileCache`] with [`Pipeline::with_cache`] and
 //! every stage first consults the cache under
@@ -29,7 +29,8 @@ use epic_interp::Input;
 use epic_ir::{combine_hashes, Fnv64, Function, Profile};
 use epic_perf::{profile_and_count, OpCounts};
 use epic_regions::{
-    form_superblocks, frp_convert, if_convert, unroll_hot_loops, IfConvertConfig, TraceConfig,
+    form_superblocks, frp_convert, if_convert, meld, unroll_hot_loops, IfConvertConfig,
+    MeldConfig, TraceConfig,
 };
 use epic_workloads::Workload;
 
@@ -56,9 +57,19 @@ pub fn if_convert_config_hash(c: &IfConvertConfig) -> u64 {
     h.finish()
 }
 
+/// Stable hash of the instruction-melding parameters.
+pub fn meld_config_hash(c: &MeldConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(c.min_taken.to_bits());
+    h.write_u64(c.max_taken.to_bits());
+    h.write_usize(c.max_ops);
+    h.finish()
+}
+
 /// Stable hash of the ICBM parameters.
 pub fn cpr_config_hash(c: &CprConfig) -> u64 {
     let mut h = Fnv64::new();
+    h.write_u8(c.enable as u8);
     h.write_u64(c.exit_weight_threshold.to_bits());
     h.write_u64(c.predict_taken_threshold.to_bits());
     h.write_u64(c.min_entry_count);
@@ -87,6 +98,10 @@ impl PipelineConfig {
             match &self.if_convert {
                 None => 0,
                 Some(ic) => 1 ^ if_convert_config_hash(ic),
+            },
+            match &self.meld {
+                None => 0,
+                Some(m) => 1 ^ meld_config_hash(m),
             },
         ])
     }
@@ -144,6 +159,13 @@ pub struct Pipeline<'a> {
 
 /// Stage output: the (optionally) if-converted source, pre-region-formation.
 pub struct IfConverted<'a> {
+    ctx: Ctx<'a>,
+    source: Function,
+    source_fp: u64,
+}
+
+/// Stage output: the (optionally) melded source, pre-region-formation.
+pub struct Melded<'a> {
     ctx: Ctx<'a>,
     source: Function,
     source_fp: u64,
@@ -253,13 +275,53 @@ impl<'a> Pipeline<'a> {
 }
 
 impl<'a> IfConverted<'a> {
+    /// Runs the optional instruction-melding pass (a no-op unless
+    /// `cfg.meld` is set; the paper's pipeline has no melding stage).
+    /// Melding eliminates the branch of short full diamonds by predicating
+    /// both sides into straight-line code, complementing control CPR which
+    /// keeps branches but moves them off the critical path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling traps.
+    pub fn meld(self) -> Result<Melded<'a>, CompileError> {
+        let IfConverted { mut ctx, source, source_fp } = self;
+        let Some(mc) = &ctx.cfg.meld else {
+            return Ok(Melded { ctx, source, source_fp });
+        };
+        let training = ctx.training;
+        let ops_before = source.static_op_count();
+        let key = CacheKey {
+            input_fp: source_fp,
+            stage: stage::MELD,
+            config: meld_config_hash(mc),
+        };
+        let artifact = run_stage(&mut ctx, Some(key), true, stage::MELD, ops_before, |tm| {
+            let mut melded = source.clone();
+            let n = melded.static_op_count();
+            let t0 = Instant::now();
+            let (p, _) = profile_and_count(&melded, training)
+                .map_err(|t| CompileError::trap_at(stage::PROFILE_MELD, t))?;
+            tm.push(stage::PROFILE_MELD, t0.elapsed(), n, n);
+            let t0 = Instant::now();
+            meld(&mut melded, &p, mc);
+            tm.push(stage::MELD, t0.elapsed(), n, melded.static_op_count());
+            Ok(StageArtifact::Func(melded))
+        })?;
+        let source = artifact.function().clone();
+        let source_fp = combine_hashes(&[source.fingerprint(), ctx.input_hash]);
+        Ok(Melded { ctx, source, source_fp })
+    }
+}
+
+impl<'a> Melded<'a> {
     /// Profiles the source and forms superblocks over its hot traces.
     ///
     /// # Errors
     ///
     /// Propagates profiling traps.
     pub fn superblock(self) -> Result<Superblocked<'a>, CompileError> {
-        let IfConverted { mut ctx, source, source_fp } = self;
+        let Melded { mut ctx, source, source_fp } = self;
         let training = ctx.training;
         let trace = &ctx.cfg.trace;
         let ops_before = source.static_op_count();
@@ -428,6 +490,8 @@ mod tests {
         let staged = Pipeline::new(&w, &cfg)
             .if_convert()
             .unwrap()
+            .meld()
+            .unwrap()
             .superblock()
             .unwrap()
             .unroll()
@@ -496,5 +560,28 @@ mod tests {
             ..PipelineConfig::default()
         };
         assert_ne!(off.config_hash(), on.config_hash());
+    }
+
+    #[test]
+    fn config_hash_distinguishes_meld_presence_and_params() {
+        let off = PipelineConfig::default();
+        let on = PipelineConfig { meld: Some(MeldConfig::default()), ..PipelineConfig::default() };
+        assert_ne!(off.config_hash(), on.config_hash());
+
+        let mut mc = MeldConfig::default();
+        let base = meld_config_hash(&mc);
+        mc.max_ops = 7;
+        assert_ne!(meld_config_hash(&mc), base);
+
+        // A meld-only change leaves the trace hash (and every downstream
+        // stage key derived from it) untouched.
+        assert_eq!(trace_config_hash(&off.trace), trace_config_hash(&on.trace));
+    }
+
+    #[test]
+    fn cpr_config_hash_sees_the_enable_bit() {
+        let on = CprConfig::default();
+        let off = CprConfig { enable: false, ..CprConfig::default() };
+        assert_ne!(cpr_config_hash(&on), cpr_config_hash(&off));
     }
 }

@@ -8,8 +8,9 @@
 //! violation is a compiler bug, so it panics with the full report.
 
 use epic_machine::Machine;
+use epic_perf::weighted_cycles_with;
 use epic_sched::{schedule_function, SchedOptions};
-use epic_schedcheck::check_function;
+use epic_schedcheck::{check_function, replay_cycles_with};
 use epic_workloads::Workload;
 use rayon::prelude::*;
 
@@ -52,6 +53,43 @@ pub fn check_pair_schedules(
     Ok(())
 }
 
+/// [`check_pair_schedules`] plus the replay oracle: a cycle-accurate
+/// replay of the training input through each schedule must reproduce the
+/// perf estimator's profile-weighted total *exactly* — the profile is that
+/// same training run, so any gap means the estimator and the replay
+/// disagree about the machine's cost model (front end included).
+///
+/// # Errors
+///
+/// Returns a description of the first violating or diverging schedule.
+pub fn check_workload_schedules(
+    w: &Workload,
+    c: &Compiled,
+    machines: &[Machine],
+) -> Result<(), String> {
+    check_pair_schedules(w.name, c, machines)?;
+    let opts = SchedOptions::default();
+    let sides =
+        [("baseline", &c.baseline, &c.base_profile), ("optimized", &c.optimized, &c.opt_profile)];
+    for m in machines {
+        let fe = m.frontend();
+        for (what, func, profile) in sides {
+            let sched = schedule_function(func, m, &opts);
+            let replayed = replay_cycles_with(func, &w.training, &sched, &fe)
+                .map_err(|e| format!("{} {what} on {}: replay failed: {e}", w.name, m.name()))?;
+            let estimated = weighted_cycles_with(func, profile, &sched, &fe);
+            if replayed != estimated {
+                return Err(format!(
+                    "{} {what} on {}: estimate {estimated} != replay {replayed}",
+                    w.name,
+                    m.name()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Compiles (through `cache`, so a bin that already ran the same pipeline
 /// pays only cache lookups) and validates every workload under `machines`.
 ///
@@ -74,13 +112,13 @@ pub fn check_all_schedules(
                 Ok(c) => c,
                 Err(e) => return Some(format!("{}: compile failed: {e}", w.name)),
             };
-            check_pair_schedules(w.name, &c, machines).err()
+            check_workload_schedules(w, &c, machines).err()
         })
         .collect();
     let errors: Vec<String> = errors.into_iter().flatten().collect();
     assert!(errors.is_empty(), "schedule validation failed:\n{}", errors.join("\n"));
     eprintln!(
-        "schedule validation: {} workloads x {} machines x 2 functions OK",
+        "schedule validation: {} workloads x {} machines x 2 functions OK (schedcheck + replay)",
         workloads.len(),
         machines.len()
     );

@@ -9,9 +9,10 @@
 
 use std::time::Instant;
 
-use epic_machine::Machine;
-use epic_perf::{geomean, weighted_cycles, CountRatios};
-use epic_sched::{schedule_function_suite, SchedOptions};
+use epic_machine::{Frontend, Machine};
+use epic_perf::{geomean, weighted_cycles_with, CountRatios};
+use epic_regions::MeldConfig;
+use epic_sched::{schedule_function, schedule_function_suite, SchedOptions};
 use epic_workloads::{Group, Workload};
 use rayon::prelude::*;
 
@@ -55,11 +56,19 @@ impl Table2Row {
     /// sweep uses), keeping the ratio finite so geomeans stay well-defined.
     pub fn speedup(&self, i: usize) -> f64 {
         let (_, base, opt) = &self.cycles[i];
-        match (*base, *opt) {
-            (0, 0) => 1.0,
-            (b, 0) => b as f64,
-            (b, o) => b as f64 / o as f64,
-        }
+        cycle_speedup(*base, *opt)
+    }
+}
+
+/// The shared degenerate-cycle speedup convention (see
+/// [`Table2Row::speedup`]): `1.0` when both sides are zero, the optimized
+/// side clamped to one cycle when only it is zero, the plain ratio
+/// otherwise.
+pub fn cycle_speedup(base: u64, opt: u64) -> f64 {
+    match (base, opt) {
+        (0, 0) => 1.0,
+        (b, 0) => b as f64,
+        (b, o) => b as f64 / o as f64,
     }
 }
 
@@ -137,7 +146,9 @@ pub fn table2_row(w: &Workload, c: &Compiled, machines: &[Machine]) -> Table2Row
 }
 
 /// Schedules both sides of a compiled pair on every machine of the suite and
-/// returns the profile-weighted cycle estimates, in `machines` order.
+/// returns the profile-weighted cycle estimates, in `machines` order. Each
+/// machine's own front-end cost model applies; the paper suite is ideal on
+/// every machine, so the published tables are unchanged by the model.
 fn suite_cycles(c: &Compiled, machines: &[Machine]) -> Vec<(String, u64, u64)> {
     let opts = SchedOptions::default();
     let base_scheds = schedule_function_suite(&c.baseline, machines, &opts);
@@ -146,8 +157,9 @@ fn suite_cycles(c: &Compiled, machines: &[Machine]) -> Vec<(String, u64, u64)> {
         .iter()
         .zip(base_scheds.iter().zip(&opt_scheds))
         .map(|(m, (bs, os))| {
-            let base = weighted_cycles(&c.baseline, &c.base_profile, bs);
-            let opt = weighted_cycles(&c.optimized, &c.opt_profile, os);
+            let fe = m.frontend();
+            let base = weighted_cycles_with(&c.baseline, &c.base_profile, bs, &fe);
+            let opt = weighted_cycles_with(&c.optimized, &c.opt_profile, os, &fe);
             (m.name().to_string(), base, opt)
         })
         .collect()
@@ -297,6 +309,141 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
 pub fn table2_row_bench(w: &Workload) -> Table2Row {
     let c = compile(w, &PipelineConfig::default()).expect("compiles");
     table2_row(w, &c, &Machine::paper_suite())
+}
+
+/// The four pipeline configurations of the melding ablation: no height
+/// reduction at all, the paper's control CPR, instruction melding alone,
+/// and both passes composed. All four share the compile cache's upstream
+/// stage artifacts.
+pub fn meld_matrix_configs() -> Vec<(&'static str, PipelineConfig)> {
+    let mut neither = PipelineConfig::default();
+    neither.cpr.enable = false;
+    let cpr = PipelineConfig::default();
+    let mut meld_only = neither.clone();
+    meld_only.meld = Some(MeldConfig::default());
+    let both = PipelineConfig { meld: Some(MeldConfig::default()), ..PipelineConfig::default() };
+    vec![("neither", neither), ("cpr", cpr), ("meld", meld_only), ("both", both)]
+}
+
+/// The two front ends the melding matrix is evaluated on: the paper's
+/// medium processor with its ideal front end, and the same core behind a
+/// [`Frontend::modern`] fetch/redirect model — where eliminated branches
+/// pay off even without issue-width pressure.
+pub fn meld_matrix_machines() -> Vec<Machine> {
+    vec![
+        Machine::medium(),
+        Machine::medium().with_frontend(Frontend::modern()).with_name("medium+fe"),
+    ]
+}
+
+/// One row of the melding × front-end matrix: the fully optimized
+/// program's weighted cycles under one machine, for every configuration of
+/// [`meld_matrix_configs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeldMatrixRow {
+    /// Machine (and front-end) name.
+    pub machine: String,
+    /// `(configuration label, per-workload optimized cycles)` in
+    /// [`meld_matrix_configs`] order; the inner vectors follow the
+    /// workload input order.
+    pub cycles: Vec<(&'static str, Vec<u64>)>,
+}
+
+impl MeldMatrixRow {
+    /// Geomean speedup of configuration `i` over the `neither`
+    /// configuration (column 0), using the shared [`cycle_speedup`]
+    /// convention per workload.
+    pub fn speedup(&self, i: usize) -> f64 {
+        let base = &self.cycles[0].1;
+        let opt = &self.cycles[i].1;
+        geomean(base.iter().zip(opt).map(|(&b, &o)| cycle_speedup(b, o)))
+    }
+}
+
+/// Computes the melding × front-end matrix, fanning out over
+/// configurations and workloads with rayon. Row and column order is fixed
+/// by `machines` and [`meld_matrix_configs`] regardless of thread count.
+pub fn meld_matrix(
+    workloads: &[Workload],
+    machines: &[Machine],
+    cache: Option<&CompileCache>,
+) -> Vec<MeldMatrixRow> {
+    let configs = meld_matrix_configs();
+    // One compile per configuration × workload; the machines only differ
+    // in scheduling and cycle accounting downstream of the compile.
+    let compiled: Vec<Vec<Compiled>> = configs
+        .par_iter()
+        .map(|(_, cfg)| {
+            workloads.par_iter().map(|w| compile_maybe_cached(w, cfg, cache)).collect()
+        })
+        .collect();
+    machines
+        .iter()
+        .map(|m| MeldMatrixRow {
+            machine: m.name().to_string(),
+            cycles: configs
+                .iter()
+                .zip(&compiled)
+                .map(|((label, _), cs)| (*label, optimized_cycles(cs, m)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The serial reference for [`meld_matrix`] (see [`table2_serial`]).
+pub fn meld_matrix_serial(workloads: &[Workload], machines: &[Machine]) -> Vec<MeldMatrixRow> {
+    let configs = meld_matrix_configs();
+    let compiled: Vec<Vec<Compiled>> = configs
+        .iter()
+        .map(|(_, cfg)| workloads.iter().map(|w| compile_maybe_cached(w, cfg, None)).collect())
+        .collect();
+    machines
+        .iter()
+        .map(|m| MeldMatrixRow {
+            machine: m.name().to_string(),
+            cycles: configs
+                .iter()
+                .zip(&compiled)
+                .map(|((label, _), cs)| (*label, optimized_cycles(cs, m)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Weighted cycles of each compiled workload's optimized function on `m`,
+/// under `m`'s own front-end cost model.
+fn optimized_cycles(compiled: &[Compiled], m: &Machine) -> Vec<u64> {
+    let opts = SchedOptions::default();
+    let fe = m.frontend();
+    compiled
+        .iter()
+        .map(|c| {
+            let sched = schedule_function(&c.optimized, m, &opts);
+            weighted_cycles_with(&c.optimized, &c.opt_profile, &sched, &fe)
+        })
+        .collect()
+}
+
+/// Renders the melding × front-end matrix: one row per machine, one
+/// column per configuration, each cell the geomean cycles speedup over
+/// the `neither` configuration on that machine.
+pub fn render_meld_matrix(rows: &[MeldMatrixRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}", "Machine"));
+    if let Some(first) = rows.first() {
+        for (label, _) in &first.cycles {
+            out.push_str(&format!(" {label:>8}"));
+        }
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:<14}", r.machine));
+        for i in 0..r.cycles.len() {
+            out.push_str(&format!(" {:>8.3}", r.speedup(i)));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 /// A predicate selecting rows for one `Gmean` line.

@@ -1,8 +1,9 @@
 //! Per-pass wall-clock and op-count observability.
 //!
 //! Every [`compile`](crate::compile::compile) run records, for each pipeline
-//! stage (if-convert, superblock formation, unrolling, FRP conversion, ICBM,
-//! the profiling runs, and — added by the table drivers — scheduling), how
+//! stage (if-convert, instruction melding, superblock formation, unrolling,
+//! FRP conversion, ICBM, the profiling runs, and — added by the table
+//! drivers — scheduling), how
 //! long the stage took and how the static operation count changed across it.
 //! The result is machine-readable JSON (hand-rolled: the build environment
 //! has no serde), emitted by the bench bins under `--timings out.json` and
@@ -23,6 +24,10 @@ pub mod stage {
     pub const PROFILE_IF_CONVERT: &str = "profile:if-convert";
     /// Traditional if-conversion (optional, pre-region-formation).
     pub const IF_CONVERT: &str = "if-convert";
+    /// Profiling run feeding the optional instruction-melding pass.
+    pub const PROFILE_MELD: &str = "profile:meld";
+    /// Instruction melding of full diamonds (optional, pre-region-formation).
+    pub const MELD: &str = "meld";
     /// Profiling run feeding trace selection.
     pub const PROFILE_TRACE: &str = "profile:trace";
     /// Superblock formation.
@@ -43,9 +48,11 @@ pub mod stage {
     pub const SCHEDULE: &str = "schedule";
 
     /// Every valid stage name, in canonical pipeline order.
-    pub const ALL: [&str; 11] = [
+    pub const ALL: [&str; 13] = [
         PROFILE_IF_CONVERT,
         IF_CONVERT,
+        PROFILE_MELD,
+        MELD,
         PROFILE_TRACE,
         SUPERBLOCK,
         PROFILE_UNROLL,

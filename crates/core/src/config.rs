@@ -8,6 +8,11 @@
 /// superblocks are partitioned rather than transformed uniformly, §4.1).
 #[derive(Clone, Copy, Debug)]
 pub struct CprConfig {
+    /// Master switch: when false, [`apply_icbm`](crate::apply_icbm) is a
+    /// no-op and the "optimized" side is just the FRP-converted baseline.
+    /// Exists so ablations can measure alternative branch-elimination
+    /// passes (instruction melding) in isolation from control CPR.
+    pub enable: bool,
     /// Terminate CPR block growth when the cumulative probability of
     /// exiting through the block's branches exceeds this threshold
     /// (the *exit-weight* test, §5.2).
@@ -33,6 +38,7 @@ pub struct CprConfig {
 impl Default for CprConfig {
     fn default() -> Self {
         CprConfig {
+            enable: true,
             exit_weight_threshold: 0.35,
             predict_taken_threshold: 0.60,
             min_entry_count: 16,
@@ -64,6 +70,7 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let c = CprConfig::default();
+        assert!(c.enable, "control CPR is on by default (the paper's setup)");
         assert!(c.exit_weight_threshold > 0.0 && c.exit_weight_threshold < 1.0);
         assert!(c.predict_taken_threshold > c.exit_weight_threshold);
         assert!(c.speculate);

@@ -43,6 +43,10 @@ pub struct IcbmStats {
 pub fn apply_icbm(func: &mut Function, profile: &Profile, cfg: &CprConfig) -> IcbmStats {
     let mut stats = IcbmStats::default();
 
+    if !cfg.enable {
+        return stats;
+    }
+
     if cfg.speculate {
         // Sub-spans land in the global tracer under the `icbm` category
         // (inert single-atomic-load guards while tracing is disabled), so
@@ -296,5 +300,16 @@ mod tests {
     #[test]
     fn stats_default_is_zeroed() {
         assert_eq!(IcbmStats::default().cpr_blocks, 0);
+    }
+
+    #[test]
+    fn disabled_cpr_leaves_the_function_untouched() {
+        let (f, a, _) = workload();
+        let profile = run(&f, &training_input(a)).unwrap().profile;
+        let mut g = f.clone();
+        let cfg = CprConfig { enable: false, min_entry_count: 1, ..CprConfig::default() };
+        let stats = apply_icbm(&mut g, &profile, &cfg);
+        assert_eq!(stats, IcbmStats::default());
+        assert_eq!(g.to_string(), f.to_string());
     }
 }

@@ -122,6 +122,19 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
             return false;
         }
     }
+    // The bypass reads its guard FRP (and branch-target register) where it
+    // stands; split on-trace copies are re-inserted *after* it in the
+    // fall-through variation. A moved producer feeding the bypass — e.g. a
+    // lookahead accumulator pulled into the closure because its source is
+    // a moved load — would leave the bypass reading stale FRPs, so refuse.
+    for e in graph.edges() {
+        if e.kind == DepKind::Flow && e.to == bypass_pos && set1.contains(&e.from) {
+            if std::env::var("MATCH_DEBUG").is_ok() {
+                eprintln!("MOTION-FAIL: bypass reads moved [{}]", ops[e.from]);
+            }
+            return false;
+        }
+    }
     // Moving the matched branches off-trace makes every *unmoved* op
     // between them execute on-trace even when a branch above it would
     // have been taken — implicit speculation. That is only legal when the
@@ -301,6 +314,35 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
         }
     }
 
+    // Decide each split copy's on-trace guard. Block-internal fall-through
+    // FRPs rewire to the on-trace FRP, and so does the final branch's taken
+    // predicate in the taken variation — it is exactly the on-trace
+    // condition there (restructure's re-guarding of the branch itself rests
+    // on the same fact), provided the guard really names that compare's
+    // definition and not an earlier reuse of the register. Any other guard
+    // is kept as-is, which is only sound when its definition stays visible
+    // on-trace: either the defining op does not move, or it is itself split
+    // (its on-trace copy precedes the consumer's — copies keep index
+    // order). A guard whose definition moves without a copy would dangle
+    // on-trace: refuse.
+    let mut rewired_guards: HashSet<usize> = HashSet::new();
+    for &i in &set2 {
+        let Some(g) = ops[i].guard else { continue };
+        let def = (0..i).rev().find(|&j| ops[j].defines_pred(g));
+        if r.internal_preds.contains(&g)
+            || (r.final_taken == Some(g) && matches!(def, Some(j) if own_compares.contains(&j)))
+        {
+            rewired_guards.insert(i);
+            continue;
+        }
+        if matches!(def, Some(j) if set1.contains(&j) && !set2.contains(&j)) {
+            if std::env::var("MATCH_DEBUG").is_ok() {
+                eprintln!("MOTION-FAIL: split [{}] guard defined by a moved op", ops[i]);
+            }
+            return false;
+        }
+    }
+
     // set 3: unmoved ops whose results are consumed only by moved ops.
     let mut set3: HashSet<usize> = HashSet::new();
     for i in (0..n).rev() {
@@ -349,10 +391,8 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
         comp_ops.push(op.clone());
         if set2.contains(&i) {
             let mut copy = func.clone_op(op);
-            if let Some(g) = copy.guard {
-                if r.internal_preds.contains(&g) {
-                    copy.guard = Some(r.on_frp);
-                }
+            if rewired_guards.contains(&i) {
+                copy.guard = Some(r.on_frp);
             }
             on_trace_copies.push(copy);
         }

@@ -58,6 +58,10 @@ pub struct Restructured {
     /// Fall-through (`UC`) predicates of the block's compares: guards that
     /// may be rewritten to the on-trace FRP when splitting.
     pub internal_preds: HashSet<PredReg>,
+    /// Taken variation only: the original (taken) guard of the final
+    /// branch, which is exactly the on-trace condition there. `None` in
+    /// the fall-through variation.
+    pub final_taken: Option<PredReg>,
     /// The root predicate of the CPR block (`None` = `T`).
     pub root: Option<PredReg>,
     /// Whether the taken variation was applied.
@@ -97,7 +101,22 @@ pub fn restructure(
     let cmpp_pos: Vec<usize> = cpr.compares.iter().map(|&id| pos_of(id)).collect::<Option<_>>()?;
     let last_branch = *branch_pos.last().expect("non-empty");
 
+    // The whole FRP plan — pinit above the first lookahead, one lookahead
+    // directly after each compare, fall-through guards that are prefix
+    // conjunctions — assumes the compares appear in *branch order*.
+    // Predicate reuse can pair a later branch with an earlier compare
+    // (out-of-order positions); both the bottom-up insertion plan and the
+    // split re-guarding rules are wrong there, so skip such blocks. Equal
+    // positions are fine: one two-output compare may feed two branches.
+    if !cmpp_pos.windows(2).all(|w| w[0] <= w[1]) {
+        return None;
+    }
+
     let taken_variation = cpr.taken_variation;
+    // The final branch's original guard (its taken predicate): the taken
+    // variation re-guards the branch itself with the on-trace FRP, so
+    // motion cannot recover this from the ops.
+    let final_taken = if taken_variation { ops[last_branch].guard } else { None };
 
     // Root predicate: the *current* guard of the first compare (a previous
     // CPR block's restructure may have re-wired it to its on-trace FRP).
@@ -345,6 +364,7 @@ pub fn restructure(
         compares: cpr.compares.clone(),
         moved_branches,
         internal_preds,
+        final_taken,
         root,
         taken_variation,
     })

@@ -233,6 +233,169 @@ fn motion_taken_variation_moves_fall_through_store_off_trace() {
     }
 }
 
+/// Fuzz seed 2110 (motion stage, root cause in restructure): predicate
+/// reuse paired the *second* branch with the *first* compare — positions
+/// out of branch order. The FRP `pinit` was inserted at the branch-order
+/// first compare (wiping the earlier lookahead's accumulation) and the
+/// prefix-conjunction guard assumption behind split re-guarding broke, so
+/// the bypass missed taken paths. Restructure must skip such blocks.
+#[test]
+fn restructure_skips_out_of_order_compare_branch_pairs() {
+    let mut b = FunctionBuilder::new("ooo_pairs");
+    let sb = b.block("sb");
+    let t1 = b.block("t1");
+    let t2 = b.block("t2");
+    let x = b.reg();
+    let y = b.reg();
+    b.switch_to(t1);
+    b.ret();
+    b.switch_to(t2);
+    let d = b.movi(0);
+    b.store(d, Operand::Imm(13));
+    b.ret();
+    b.switch_to(sb);
+    let a = b.movi(1);
+    // Compare A feeds the SECOND branch; compare B (defined later, reading
+    // a load guarded by A's output) feeds the FIRST.
+    let (p2, p3) = b.cmpp_un_uc(CmpCond::Gt, Operand::Imm(4), x.into());
+    b.set_guard(Some(p2));
+    let v = b.load(a);
+    b.set_guard(None);
+    let (p4, _) = b.cmpp_un_uc(CmpCond::Lt, v.into(), y.into());
+    b.branch_if(p4, t1);
+    b.branch_if(p3, t2);
+    b.ret();
+    let f = b.finish();
+
+    let mut g = f.clone();
+    let r = restructure_first(&mut g, sb);
+    assert!(r.is_none(), "out-of-order compare/branch pairing must be skipped:\n{g}");
+    assert_eq!(f.to_string(), g.to_string(), "skipped block must be untouched");
+    epic_ir::verify(&g).unwrap();
+    for (xv, yv) in [(3, 9), (9, 9), (9, -9)] {
+        let input =
+            Input::new().memory_size(4).with_memory(1, &[2]).with_reg(x, xv).with_reg(y, yv);
+        diff_test(&f, &g, &input).unwrap();
+    }
+}
+
+/// Fuzz seed 3340 (motion stage): a guarded store between the branches
+/// pulls a later load into the moved set through the store→load memory
+/// dependence, and the second *lookahead accumulator* reads that load — so
+/// the accumulator itself lands in the moved set and its split copy would
+/// be re-inserted after the bypass branch that consumes its FRPs. The
+/// bypass then tests stale predicates and misses taken paths; motion must
+/// refuse (restructure alone is still correct).
+#[test]
+fn motion_bails_when_bypass_reads_a_moved_lookahead() {
+    let mut b = FunctionBuilder::new("bypass_stale_frp");
+    let sb = b.block("sb");
+    let t1 = b.block("t1");
+    let exit = b.block("exit");
+    let x = b.reg();
+    let y = b.reg();
+    b.switch_to(t1);
+    b.ret();
+    b.switch_to(exit);
+    let d = b.movi(0);
+    b.store(d, Operand::Imm(9));
+    b.ret();
+    b.switch_to(sb);
+    let a0 = b.movi(1);
+    let a1 = b.movi(1);
+    let (p8, p16) = b.cmpp_un_uc(CmpCond::Lt, x.into(), x.into());
+    b.branch_if(p8, t1);
+    // Chain off the first compare's fall-through output into memory...
+    b.set_guard(Some(p16));
+    let (p10, _) = b.cmpp_un_uc(CmpCond::Eq, Operand::Imm(-11), y.into());
+    b.set_guard(Some(p10));
+    b.store(a0, Operand::Imm(0));
+    b.set_guard(None);
+    // ...and back out: the load may alias the moved store, and the second
+    // compare (whose lookahead accumulates into the bypass FRPs) reads it.
+    let v = b.load(a1);
+    let (p14, _) = b.cmpp_un_uc(CmpCond::Ne, v.into(), Operand::Imm(5));
+    b.branch_if(p14, exit);
+    b.ret();
+    let f = b.finish();
+
+    let mut g = f.clone();
+    let Some(r) = restructure_first(&mut g, sb) else {
+        panic!("CPR block must restructure");
+    };
+    let live = GlobalLiveness::compute(&g);
+    let moved = off_trace_motion(&mut g, &r, &live);
+    assert!(!moved, "motion must refuse when the bypass reads moved FRPs:\n{g}");
+    epic_ir::verify(&g).unwrap();
+    for yv in [-11, 4] {
+        let input = Input::new()
+            .memory_size(4)
+            .with_memory(1, &[5])
+            .with_reg(x, 0)
+            .with_reg(y, yv);
+        diff_test(&f, &g, &input).unwrap();
+    }
+}
+
+/// Fuzz seed 3891 (motion stage, taken variation): a store guarded by the
+/// final branch's *taken* predicate sits between the compare and the
+/// branch. The compare moves off-trace, and the split on-trace copy kept
+/// its original guard — which is never recomputed on-trace, so the copy
+/// silently stopped firing. The taken predicate of the final branch is
+/// exactly the on-trace condition, so the copy must rewire to the on-trace
+/// FRP.
+#[test]
+fn motion_taken_variation_rewires_final_taken_guard() {
+    let mut b = FunctionBuilder::new("taken_guard_split");
+    let sb = b.block("sb");
+    let t1 = b.block("t1");
+    let hot = b.block("hot");
+    let x = b.reg();
+    let y = b.reg();
+    b.switch_to(t1);
+    b.ret();
+    b.switch_to(hot);
+    b.ret();
+    b.switch_to(sb);
+    let a = b.movi(0);
+    let (p1, q1) = b.cmpp_un_uc(CmpCond::Lt, x.into(), Operand::Imm(1));
+    b.branch_if(p1, t1); // cold
+    b.set_guard(Some(q1));
+    let (p2, _q2) = b.cmpp_un_uc(CmpCond::Ne, Operand::Imm(4), y.into());
+    b.set_guard(Some(p2));
+    b.store(a, Operand::Imm(4)); // guarded by the final branch's taken pred
+    b.set_guard(None);
+    b.branch_if(p2, hot); // hot-taken final branch
+    b.ret();
+    let f = b.finish();
+
+    // Profile one run that takes the final branch: predict-taken fires.
+    let training = Input::new().memory_size(4).with_reg(x, 5).with_reg(y, 3);
+    let profile = run(&f, &training).unwrap().profile;
+    let cfg = CprConfig { min_entry_count: 1, ..CprConfig::default() };
+    let mut g = f.clone();
+    let blocks = match_cpr_blocks(&g.block(sb).ops, &profile, &cfg, g.mem_classes());
+    let cpr = blocks.iter().find(|c| c.is_nontrivial()).expect("CPR block");
+    assert!(cpr.taken_variation, "must exercise the taken variation: {cpr:?}");
+    let live = GlobalLiveness::compute(&g);
+    let r = restructure(&mut g, sb, cpr, &live).expect("restructures");
+    let live = GlobalLiveness::compute(&g);
+    assert!(off_trace_motion(&mut g, &r, &live), "motion must succeed:\n{g}");
+    epic_ir::verify(&g).unwrap();
+    // The split on-trace store is re-guarded by the on-trace FRP.
+    let on_store = g
+        .block(sb)
+        .ops
+        .iter()
+        .find(|o| o.opcode == Opcode::Store)
+        .expect("on-trace store copy");
+    assert_eq!(on_store.guard, Some(r.on_frp), "\n{g}");
+    for (xv, yv) in [(5, 3), (5, 4), (0, 3)] {
+        let input = Input::new().memory_size(4).with_reg(x, xv).with_reg(y, yv);
+        diff_test(&f, &g, &input).unwrap();
+    }
+}
+
 /// Fuzz seed 21014 (restructure stage): an operation after the final
 /// branch guarded by a *taken* predicate — sequentially dead, because its
 /// guard being true means the branch above exited. Rewiring it to the

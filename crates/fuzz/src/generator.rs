@@ -28,7 +28,7 @@ use control_cpr::CprConfig;
 use epic_bench::{ConfigDelta, KnobSpace, KnobValue};
 use epic_interp::Input;
 use epic_ir::{BlockId, CmpCond, Dest, Function, FunctionBuilder, Opcode, Operand, PredReg, Reg};
-use epic_regions::TraceConfig;
+use epic_regions::{MeldConfig, TraceConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,6 +49,8 @@ pub struct GenCase {
     pub inputs: Vec<Input>,
     /// Whether the optional if-conversion stage runs for this case.
     pub use_if_convert: bool,
+    /// Parameters for the optional melding stage; `None` skips it.
+    pub meld: Option<MeldConfig>,
     /// Unroll factor passed to `unroll_hot_loops`.
     pub unroll_factor: u32,
     /// Superblock-formation parameters.
@@ -385,12 +387,27 @@ pub fn generate(seed: u64) -> GenCase {
     let tuned = delta.apply(space);
     let (trace, cpr) = (tuned.pipeline.trace, tuned.pipeline.cpr);
 
+    let use_if_convert = g.rng.gen_range(0u32..10) < 3;
+    let unroll_factor = g.rng.gen_range(2u32..=4);
+    // Melding draws come *after* every pre-existing draw so older seeds
+    // keep generating the exact program and configuration they always did;
+    // the new draws only extend the stream.
+    let meld = if g.rng.gen_range(0u32..10) < 3 {
+        let mut d = ConfigDelta::new();
+        knob(&mut d, "meld.enable", KnobValue::Bool(true));
+        knob(&mut d, "meld.max_ops", u([8, 24, 48][g.rng.gen_range(0usize..3)]));
+        d.apply(space).pipeline.meld
+    } else {
+        None
+    };
+
     GenCase {
         seed,
         func,
         inputs,
-        use_if_convert: g.rng.gen_range(0u32..10) < 3,
-        unroll_factor: g.rng.gen_range(2u32..=4),
+        use_if_convert,
+        meld,
+        unroll_factor,
         trace,
         cpr,
     }
@@ -407,7 +424,18 @@ mod tests {
         let b = generate(42);
         assert_eq!(a.func.to_string(), b.func.to_string());
         assert_eq!(a.use_if_convert, b.use_if_convert);
+        assert_eq!(a.meld.is_some(), b.meld.is_some());
+        assert_eq!(a.meld.map(|m| m.max_ops), b.meld.map(|m| m.max_ops));
         assert_eq!(a.unroll_factor, b.unroll_factor);
+    }
+
+    #[test]
+    fn meld_cases_are_sampled() {
+        // Roughly 30% of cases should carry a meld config; with 64 seeds
+        // both outcomes must occur.
+        let on = (0..64).filter(|&s| generate(s).meld.is_some()).count();
+        assert!(on > 0, "no melding case in 64 seeds");
+        assert!(on < 64, "every case melds");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use epic_interp::{diff_test, run, Input};
 use epic_ir::{verify, BlockId, Function, Opcode, Profile};
 use epic_machine::Machine;
 use epic_perf::profile_and_count;
-use epic_regions::{form_superblocks, frp_convert, if_convert, unroll_hot_loops, IfConvertConfig};
+use epic_regions::{form_superblocks, frp_convert, if_convert, meld, unroll_hot_loops, IfConvertConfig};
 use epic_sched::{schedule_function, SchedOptions};
 use epic_schedcheck::{check_function, replay_cycles};
 
@@ -160,6 +160,13 @@ pub fn check_from(src: &Function, case: &GenCase) -> Result<(), Failure> {
         let mut next = cur.clone();
         if_convert(&mut next, &profile, &IfConvertConfig::default());
         cur = checked("if-convert", &cur, next, &case.inputs)?;
+    }
+
+    if let Some(mc) = &case.meld {
+        let profile = profiled(&cur, training, "meld")?;
+        let mut next = cur.clone();
+        meld(&mut next, &profile, mc);
+        cur = checked("meld", &cur, next, &case.inputs)?;
     }
 
     let profile = profiled(&cur, training, "superblock")?;

@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use epic_ir::{BlockId, Dest, Function, Opcode, Operand, PredAction, Profile};
 
-use crate::exec::{Input, Outcome};
+use crate::exec::{Input, Outcome, TraceEvent};
 use crate::trap::Trap;
 use crate::{obs_decode_ns, obs_steps};
 
@@ -203,7 +203,7 @@ impl DecodedProgram {
         &self,
         input: &Input,
         state: &mut ExecState,
-        mut on_block: impl FnMut(BlockId),
+        mut on_event: impl FnMut(TraceEvent),
     ) -> Result<Outcome, Trap> {
         assert!(!self.blocks.is_empty(), "function has no blocks");
         state.reset(self, input);
@@ -220,7 +220,7 @@ impl DecodedProgram {
             'blocks: loop {
                 let block = self.blocks[bi];
                 blk_counts[bi] += 1;
-                on_block(BlockId(block.id));
+                on_event(TraceEvent::Enter(BlockId(block.id)));
                 let mut i = block.start as usize;
                 let end = block.end as usize;
                 while i < end {
@@ -377,6 +377,7 @@ impl DecodedProgram {
                         Opcode::Branch => {
                             if guard {
                                 taken_counts[op.op_id as usize] += 1;
+                                on_event(TraceEvent::Taken(epic_ir::OpId(op.op_id)));
                                 assert!(op.target_id != NONE, "verified branch has target");
                                 let btr_value = op.a.read(regs, preds);
                                 if btr_value != op.target_id as i64 {
@@ -398,6 +399,7 @@ impl DecodedProgram {
                         Opcode::Ret => {
                             if guard {
                                 taken_counts[op.op_id as usize] += 1;
+                                on_event(TraceEvent::Taken(epic_ir::OpId(op.op_id)));
                                 break 'run Ok(());
                             }
                         }
@@ -498,13 +500,15 @@ mod tests {
     use epic_ir::{CmpCond, FunctionBuilder, Operand};
 
     /// Decode + pooled execution must agree with the direct reference
-    /// interpreter on every observable: outcome fields and profile.
+    /// interpreter on every observable: outcome fields, profile, and the
+    /// full trace-event stream.
     fn assert_matches_reference(func: &Function, input: &Input) {
-        let expect = reference::run_traced(func, input, |_| {});
+        let mut ref_events = Vec::new();
+        let expect = reference::run_events(func, input, |e| ref_events.push(e));
         let prog = DecodedProgram::decode(func);
         let mut state = ExecState::new();
-        let mut blocks = Vec::new();
-        let got = prog.run(input, &mut state, |b| blocks.push(b));
+        let mut events = Vec::new();
+        let got = prog.run(input, &mut state, |e| events.push(e));
         match (expect, got) {
             (Ok(e), Ok(g)) => {
                 assert_eq!(e.memory, g.memory);
@@ -512,6 +516,7 @@ mod tests {
                 assert_eq!(e.profile, g.profile);
                 assert_eq!(e.dynamic_ops, g.dynamic_ops);
                 assert_eq!(e.dynamic_branches, g.dynamic_branches);
+                assert_eq!(ref_events, events);
             }
             (Err(e), Err(g)) => assert_eq!(e, g),
             (e, g) => panic!("reference {e:?} but decoded {g:?}"),
@@ -568,7 +573,12 @@ mod tests {
         let f = b.finish();
         let prog = DecodedProgram::decode(&f);
         let mut order = Vec::new();
-        prog.run(&Input::new(), &mut ExecState::new(), |blk| order.push(blk)).unwrap();
+        prog.run(&Input::new(), &mut ExecState::new(), |e| {
+            if let TraceEvent::Enter(blk) = e {
+                order.push(blk);
+            }
+        })
+        .unwrap();
         let mut ref_order = Vec::new();
         reference::run_traced(&f, &Input::new(), |blk| ref_order.push(blk)).unwrap();
         assert_eq!(order, ref_order);

@@ -109,6 +109,23 @@ pub struct Outcome {
     pub dynamic_branches: u64,
 }
 
+/// One observable control event of an execution, in execution order.
+///
+/// `Enter` fires once per dynamic block entry — the same events
+/// [`Profile::record_block_entry`] counts. `Taken` fires once per taken
+/// control transfer (a taken guarded `branch`, or an executed `ret`) — the
+/// same events [`Profile::record_taken`] counts. The schedule replay
+/// oracle (`epic-schedcheck`) re-derives cycle counts from this stream:
+/// `Enter` charges a block's schedule/fetch cost, `Taken` charges the
+/// front-end redirect penalty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Control entered a block.
+    Enter(epic_ir::BlockId),
+    /// A control transfer took (taken `branch` or executed `ret`).
+    Taken(epic_ir::OpId),
+}
+
 /// Runs `func` to completion on `input`.
 ///
 /// Internally the function is pre-decoded into a [`DecodedProgram`] and
@@ -123,13 +140,11 @@ pub struct Outcome {
 /// disagrees with its syntactic label (which would indicate a miscompiled
 /// transformation).
 pub fn run(func: &Function, input: &Input) -> Result<Outcome, Trap> {
-    run_traced(func, input, |_| {})
+    run_events(func, input, |_| {})
 }
 
 /// Like [`run`], but invokes `on_block` once per dynamic block entry, in
-/// execution order — the same events [`Profile::record_block_entry`]
-/// counts. Schedule replay (`epic-schedcheck`) uses the trace to re-derive
-/// cycle counts one entered block at a time.
+/// execution order — the [`TraceEvent::Enter`] subset of [`run_events`].
 ///
 /// # Errors
 ///
@@ -137,13 +152,31 @@ pub fn run(func: &Function, input: &Input) -> Result<Outcome, Trap> {
 pub fn run_traced(
     func: &Function,
     input: &Input,
-    on_block: impl FnMut(epic_ir::BlockId),
+    mut on_block: impl FnMut(epic_ir::BlockId),
+) -> Result<Outcome, Trap> {
+    run_events(func, input, |e| {
+        if let TraceEvent::Enter(b) = e {
+            on_block(b);
+        }
+    })
+}
+
+/// Like [`run`], but invokes `on_event` for every [`TraceEvent`], in
+/// execution order.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_events(
+    func: &Function,
+    input: &Input,
+    on_event: impl FnMut(TraceEvent),
 ) -> Result<Outcome, Trap> {
     thread_local! {
         static STATE: std::cell::RefCell<ExecState> = std::cell::RefCell::new(ExecState::new());
     }
     let prog = DecodedProgram::decode(func);
-    STATE.with(|state| prog.run(input, &mut state.borrow_mut(), on_block))
+    STATE.with(|state| prog.run(input, &mut state.borrow_mut(), on_event))
 }
 
 #[cfg(test)]

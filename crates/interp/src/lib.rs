@@ -46,7 +46,7 @@ mod trap;
 
 pub use decode::{DecodedProgram, ExecState};
 pub use diff::{diff_test, DiffError};
-pub use exec::{run, run_traced, Input, Outcome};
+pub use exec::{run, run_events, run_traced, Input, Outcome, TraceEvent};
 pub use trap::Trap;
 
 use std::sync::{Arc, OnceLock};

@@ -13,7 +13,7 @@
 
 use epic_ir::{Dest, Function, Opcode, Operand, Profile};
 
-use crate::exec::{Input, Outcome};
+use crate::exec::{Input, Outcome, TraceEvent};
 use crate::trap::Trap;
 
 /// Reference semantics of [`crate::run`].
@@ -22,7 +22,7 @@ use crate::trap::Trap;
 ///
 /// Same trap conditions as [`crate::run`].
 pub fn run(func: &Function, input: &Input) -> Result<Outcome, Trap> {
-    run_traced(func, input, |_| {})
+    run_events(func, input, |_| {})
 }
 
 /// Reference semantics of [`crate::run_traced`].
@@ -34,6 +34,23 @@ pub fn run_traced(
     func: &Function,
     input: &Input,
     mut on_block: impl FnMut(epic_ir::BlockId),
+) -> Result<Outcome, Trap> {
+    run_events(func, input, |e| {
+        if let TraceEvent::Enter(b) = e {
+            on_block(b);
+        }
+    })
+}
+
+/// Reference semantics of [`crate::run_events`].
+///
+/// # Errors
+///
+/// Same trap conditions as [`crate::run`].
+pub fn run_events(
+    func: &Function,
+    input: &Input,
+    mut on_event: impl FnMut(TraceEvent),
 ) -> Result<Outcome, Trap> {
     let mut regs = vec![0i64; func.reg_count()];
     let mut preds = vec![false; func.pred_count()];
@@ -53,7 +70,7 @@ pub fn run_traced(
     let mut block = func.entry();
     'outer: loop {
         profile.record_block_entry(block);
-        on_block(block);
+        on_event(TraceEvent::Enter(block));
         let ops = &func.block(block).ops;
         let mut i = 0;
         while i < ops.len() {
@@ -176,6 +193,7 @@ pub fn run_traced(
                 }
                 Opcode::Branch => {
                     profile.record_taken(op.id);
+                    on_event(TraceEvent::Taken(op.id));
                     let target = op.branch_target().expect("verified branch has target");
                     let btr_value = val(op.srcs[0], &regs, &preds);
                     if btr_value != target.0 as i64 {
@@ -190,6 +208,7 @@ pub fn run_traced(
                 }
                 Opcode::Ret => {
                     profile.record_taken(op.id);
+                    on_event(TraceEvent::Taken(op.id));
                     return Ok(Outcome { memory, regs, profile, dynamic_ops, dynamic_branches });
                 }
                 Opcode::Cmpp(_) | Opcode::PredInit => unreachable!("handled above"),

@@ -78,6 +78,61 @@ impl Default for Latencies {
     }
 }
 
+/// Front-end cost model: branch misprediction penalty and instruction
+/// fetch rate.
+///
+/// The paper's estimation methodology (§7) assumes an ideal front end —
+/// no misprediction penalty, unlimited fetch — which is exactly the
+/// [`Frontend::default`]. Non-zero settings model a modern-ish front end:
+/// every *taken* control transfer (taken branch or return) redirects the
+/// fetch unit and is charged `mispredict_penalty` extra cycles, and a
+/// block whose operation count exceeds what `fetch_width` operations per
+/// cycle can supply is stretched to its fetch-limited length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Frontend {
+    /// Extra cycles charged per taken control transfer (0 = ideal,
+    /// perfectly predicted front end).
+    pub mispredict_penalty: u32,
+    /// Operations fetched per cycle; 0 models unlimited fetch bandwidth
+    /// (the paper's implicit setting).
+    pub fetch_width: u32,
+}
+
+impl Default for Frontend {
+    /// The ideal front end of the paper's methodology: zero penalty,
+    /// unlimited fetch.
+    fn default() -> Self {
+        Frontend { mispredict_penalty: 0, fetch_width: 0 }
+    }
+}
+
+impl Frontend {
+    /// The paper's implicit front end: zero penalty, unlimited fetch.
+    pub fn ideal() -> Frontend {
+        Frontend::default()
+    }
+
+    /// A modern-ish front end for sensitivity studies: an 8-cycle redirect
+    /// per taken control transfer and a 4-operation-per-cycle fetch unit.
+    pub fn modern() -> Frontend {
+        Frontend { mispredict_penalty: 8, fetch_width: 4 }
+    }
+
+    /// True when this front end adds no cost over the paper's model.
+    pub fn is_ideal(&self) -> bool {
+        self.mispredict_penalty == 0 && self.fetch_width == 0
+    }
+
+    /// Cycles needed to fetch `ops` operations: `ceil(ops / fetch_width)`,
+    /// or 0 under unlimited fetch bandwidth.
+    pub fn fetch_cycles(&self, ops: usize) -> u64 {
+        if self.fetch_width == 0 {
+            return 0;
+        }
+        (ops as u64).div_ceil(self.fetch_width as u64)
+    }
+}
+
 /// A target processor description.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Machine {
@@ -86,12 +141,13 @@ pub struct Machine {
     /// operation of any type per cycle.
     widths: Option<Widths>,
     latencies: Latencies,
+    frontend: Frontend,
 }
 
 impl Machine {
-    /// Creates a custom machine.
+    /// Creates a custom machine with the ideal (paper) front end.
     pub fn new(name: impl Into<String>, widths: Option<Widths>, latencies: Latencies) -> Machine {
-        Machine { name: name.into(), widths, latencies }
+        Machine { name: name.into(), widths, latencies, frontend: Frontend::ideal() }
     }
 
     /// The *sequential* processor: one operation of any type per cycle.
@@ -153,6 +209,24 @@ impl Machine {
     pub fn with_branch_latency(mut self, branch: u32) -> Machine {
         self.latencies.branch = branch;
         self
+    }
+
+    /// Returns a copy with a different front-end cost model.
+    pub fn with_frontend(mut self, frontend: Frontend) -> Machine {
+        self.frontend = frontend;
+        self
+    }
+
+    /// Returns a copy under a different display name, so front-end variants
+    /// of the same core stay distinguishable in reports.
+    pub fn with_name(mut self, name: impl Into<String>) -> Machine {
+        self.name = name.into();
+        self
+    }
+
+    /// The front-end cost model.
+    pub fn frontend(&self) -> Frontend {
+        self.frontend
     }
 
     /// The producer latency of an operation on this machine.
@@ -233,6 +307,33 @@ mod tests {
         assert_eq!(m.branch_latency(), 3);
         assert_eq!(m.latency_of(&op(Opcode::Branch)), 3);
         assert_eq!(m.latency_of(&op(Opcode::Add)), 1);
+    }
+
+    #[test]
+    fn presets_have_the_paper_frontend() {
+        for m in Machine::paper_suite() {
+            assert!(m.frontend().is_ideal(), "{} must default to the ideal front end", m.name());
+        }
+        assert!(Machine::new("x", None, Latencies::default()).frontend().is_ideal());
+    }
+
+    #[test]
+    fn frontend_override() {
+        let fe = Frontend { mispredict_penalty: 8, fetch_width: 4 };
+        let m = Machine::medium().with_frontend(fe);
+        assert_eq!(m.frontend(), fe);
+        assert!(!m.frontend().is_ideal());
+        assert_ne!(m, Machine::medium(), "front end participates in machine identity");
+    }
+
+    #[test]
+    fn fetch_cycles_rounds_up() {
+        let fe = Frontend { mispredict_penalty: 0, fetch_width: 4 };
+        assert_eq!(fe.fetch_cycles(0), 0);
+        assert_eq!(fe.fetch_cycles(1), 1);
+        assert_eq!(fe.fetch_cycles(4), 1);
+        assert_eq!(fe.fetch_cycles(5), 2);
+        assert_eq!(Frontend::ideal().fetch_cycles(1000), 0);
     }
 
     #[test]

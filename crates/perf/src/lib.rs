@@ -10,41 +10,125 @@
 //! > across all blocks in the program of each block's schedule length
 //! > weighted by its dynamic execution frequency."
 //!
-//! [`estimate_cycles`] implements exactly that. [`OpCounts`] captures the
-//! static/dynamic total and branch operation counts whose before/after
-//! ratios Table 3 reports, and [`Speedup`]/[`CountRatios`] package the
-//! comparisons.
+//! [`estimate_cycles`] implements exactly that, generalized by the
+//! machine's [`Frontend`] cost model: a block's cost is its schedule
+//! length or its fetch-limited length, whichever is larger, and every
+//! taken control transfer is charged the misprediction penalty. The
+//! paper's ideal front end (zero penalty, unlimited fetch) reduces to the
+//! quote above exactly. [`OpCounts`] captures the static/dynamic total and
+//! branch operation counts whose before/after ratios Table 3 reports, and
+//! [`Speedup`]/[`CountRatios`] package the comparisons.
+//!
+//! All cycle arithmetic is overflow-safe: [`try_weighted_cycles`] reports
+//! a structured [`CycleOverflow`] instead of wrapping around, and the
+//! plain entry points saturate at `u64::MAX` — the same value the replay
+//! oracle's saturating event accumulation converges to, so estimate ==
+//! replay holds even at the boundary.
 
 use epic_interp::{run, Input, Outcome, Trap};
-use epic_ir::{Function, Profile};
-use epic_machine::Machine;
+use epic_ir::{BlockId, Function, Profile};
+use epic_machine::{Frontend, Machine};
 use epic_sched::{schedule_function, SchedOptions, ScheduledFunction};
 
+/// The estimated cycle count does not fit in `u64`.
+///
+/// Profile counts and schedule lengths are individually modest, but their
+/// weighted sum over a corpus-scale function can exceed 64 bits; wrapping
+/// would silently report a tiny cycle count for the largest programs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleOverflow;
+
+impl std::fmt::Display for CycleOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "estimated cycle count overflows u64")
+    }
+}
+
+impl std::error::Error for CycleOverflow {}
+
+/// Cost in cycles of one entered block under `frontend`: the schedule
+/// length, stretched to the fetch-limited length when the front end
+/// cannot supply the block's operations fast enough.
+///
+/// Both the estimator and the replay oracle compute block cost through
+/// this one function, from the same static data, so the two sides cannot
+/// disagree per block. A layout block without a schedule contributes zero
+/// cycles rather than panicking; `epic-schedcheck` reports the gap as a
+/// `MissingBlock` violation.
+pub fn block_cycles(
+    func: &Function,
+    sched: &ScheduledFunction,
+    block: BlockId,
+    frontend: &Frontend,
+) -> u64 {
+    let Some(s) = sched.try_block(block) else { return 0 };
+    let ops = func.try_block(block).map_or(0, |b| b.ops.len());
+    (s.length.max(0) as u64).max(frontend.fetch_cycles(ops))
+}
+
 /// Estimated execution time of `func` on `machine`: Σ over blocks of
-/// schedule length × entry frequency.
+/// block cost × entry frequency, plus the machine front end's
+/// misprediction penalty per taken control transfer. Saturates at
+/// `u64::MAX` (see [`try_weighted_cycles`]).
 ///
 /// `profile` must have been collected on this same function (block ids must
 /// match).
 pub fn estimate_cycles(func: &Function, profile: &Profile, machine: &Machine) -> u64 {
     let sched = schedule_function(func, machine, &SchedOptions::default());
-    weighted_cycles(func, profile, &sched)
+    weighted_cycles_with(func, profile, &sched, &machine.frontend())
 }
 
-/// Like [`estimate_cycles`] with an externally produced schedule.
-///
-/// A layout block without a schedule (a schedule produced for a stale
-/// layout, or a hand-assembled partial schedule) contributes zero cycles
-/// rather than panicking; `epic-schedcheck` reports the gap as a
-/// `MissingBlock` violation.
+/// Like [`estimate_cycles`] with an externally produced schedule and the
+/// paper's ideal front end.
 pub fn weighted_cycles(func: &Function, profile: &Profile, sched: &ScheduledFunction) -> u64 {
-    func.layout
-        .iter()
-        .map(|&b| {
-            sched
-                .try_block(b)
-                .map_or(0, |s| profile.entry_count(b) * s.length.max(0) as u64)
-        })
-        .sum()
+    weighted_cycles_with(func, profile, sched, &Frontend::ideal())
+}
+
+/// Like [`try_weighted_cycles`], but saturating at `u64::MAX` instead of
+/// reporting overflow. Every term is non-negative, so the saturated value
+/// is exactly `min(true total, u64::MAX)` — the same quantity an
+/// event-by-event saturating accumulation (the replay oracle) produces.
+pub fn weighted_cycles_with(
+    func: &Function,
+    profile: &Profile,
+    sched: &ScheduledFunction,
+    frontend: &Frontend,
+) -> u64 {
+    try_weighted_cycles(func, profile, sched, frontend).unwrap_or(u64::MAX)
+}
+
+/// The front-end-aware weighted cycle estimate, with checked arithmetic.
+///
+/// # Errors
+///
+/// Returns [`CycleOverflow`] when the true total exceeds `u64::MAX`
+/// (wraparound would otherwise report a tiny count for the largest
+/// profiles).
+pub fn try_weighted_cycles(
+    func: &Function,
+    profile: &Profile,
+    sched: &ScheduledFunction,
+    frontend: &Frontend,
+) -> Result<u64, CycleOverflow> {
+    let mut total = 0u64;
+    for &b in &func.layout {
+        let term = profile
+            .entry_count(b)
+            .checked_mul(block_cycles(func, sched, b, frontend))
+            .ok_or(CycleOverflow)?;
+        total = total.checked_add(term).ok_or(CycleOverflow)?;
+    }
+    if frontend.mispredict_penalty > 0 {
+        let mut taken = 0u64;
+        for &n in profile.branch_taken.values() {
+            taken = taken.checked_add(n).ok_or(CycleOverflow)?;
+        }
+        let penalty = taken
+            .checked_mul(frontend.mispredict_penalty as u64)
+            .ok_or(CycleOverflow)?;
+        total = total.checked_add(penalty).ok_or(CycleOverflow)?;
+    }
+    Ok(total)
 }
 
 /// Static and dynamic operation counts of one compiled function on one
@@ -224,6 +308,92 @@ mod tests {
         let mut partial = full.clone();
         partial.remove_block(e);
         assert_eq!(weighted_cycles(&f, &profile, &partial), 0);
+    }
+
+    #[test]
+    fn ideal_frontend_reproduces_the_paper_estimate() {
+        let (f, e) = simple();
+        let mut profile = Profile::new();
+        for _ in 0..10 {
+            profile.record_block_entry(e);
+        }
+        let m = Machine::medium();
+        assert!(m.frontend().is_ideal());
+        let sched = epic_sched::schedule_function(&f, &m, &SchedOptions::default());
+        assert_eq!(
+            weighted_cycles_with(&f, &profile, &sched, &Frontend::ideal()),
+            weighted_cycles(&f, &profile, &sched)
+        );
+        assert_eq!(estimate_cycles(&f, &profile, &m), weighted_cycles(&f, &profile, &sched));
+    }
+
+    #[test]
+    fn mispredict_penalty_charges_taken_transfers() {
+        let (f, e) = simple();
+        let (profile, _) = profile_and_count(&f, &Input::new().memory_size(4)).unwrap();
+        assert_eq!(profile.entry_count(e), 1);
+        let m = Machine::medium();
+        let base = estimate_cycles(&f, &profile, &m);
+        let fe = Frontend { mispredict_penalty: 8, fetch_width: 0 };
+        let with = estimate_cycles(&f, &profile, &m.clone().with_frontend(fe));
+        // One taken transfer (the ret) → exactly one penalty charged.
+        assert_eq!(with, base + 8);
+    }
+
+    #[test]
+    fn fetch_width_stretches_fetch_limited_blocks() {
+        let (f, e) = simple(); // 5 ops in one block
+        let mut profile = Profile::new();
+        profile.record_block_entry(e);
+        let wide = Machine::wide();
+        let base = estimate_cycles(&f, &profile, &wide);
+        // One op per cycle to fetch: a 5-op block needs ≥ 5 cycles.
+        let fe = Frontend { mispredict_penalty: 0, fetch_width: 1 };
+        let with = estimate_cycles(&f, &profile, &wide.clone().with_frontend(fe));
+        assert!(with >= 5, "fetch-limited length must dominate: {with}");
+        assert!(with >= base);
+        // A schedule already longer than the fetch time is not stretched.
+        let seq = estimate_cycles(&f, &profile, &Machine::sequential());
+        let seq_fe = estimate_cycles(
+            &f,
+            &profile,
+            &Machine::sequential().with_frontend(fe),
+        );
+        assert_eq!(seq, seq_fe, "sequential schedule is never fetch-limited at width 1");
+    }
+
+    #[test]
+    fn overflow_reports_structured_error_instead_of_wrapping() {
+        // Regression: entry_count × schedule length used to be unchecked
+        // `u64` arithmetic; near the boundary it wrapped to a tiny count.
+        let (f, e) = simple();
+        let sched = epic_sched::schedule_function(&f, &Machine::sequential(), &SchedOptions::default());
+        let len = sched.try_block(e).unwrap().length.max(0) as u64;
+        assert!(len >= 2);
+        let mut profile = Profile::new();
+        profile.block_entries.insert(e, u64::MAX / 2 + 1); // len * count > u64::MAX
+        let fe = Frontend::ideal();
+        assert_eq!(try_weighted_cycles(&f, &profile, &sched, &fe), Err(CycleOverflow));
+        assert_eq!(weighted_cycles(&f, &profile, &sched), u64::MAX, "saturates, never wraps");
+        // Just below the boundary the checked and saturating paths agree.
+        let mut profile = Profile::new();
+        profile.block_entries.insert(e, u64::MAX / len);
+        let want = (u64::MAX / len) * len;
+        assert_eq!(try_weighted_cycles(&f, &profile, &sched, &fe), Ok(want));
+        assert_eq!(weighted_cycles(&f, &profile, &sched), want);
+        assert!(!CycleOverflow.to_string().is_empty());
+    }
+
+    #[test]
+    fn penalty_overflow_is_caught_too() {
+        let (f, e) = simple();
+        let sched = epic_sched::schedule_function(&f, &Machine::sequential(), &SchedOptions::default());
+        let ret_id = f.block(e).ops.last().unwrap().id;
+        let mut profile = Profile::new();
+        profile.branch_taken.insert(ret_id, u64::MAX / 2);
+        let fe = Frontend { mispredict_penalty: 3, fetch_width: 0 };
+        assert_eq!(try_weighted_cycles(&f, &profile, &sched, &fe), Err(CycleOverflow));
+        assert_eq!(weighted_cycles_with(&f, &profile, &sched, &fe), u64::MAX);
     }
 
     #[test]

@@ -23,16 +23,21 @@
 //! * [`if_convert`] — traditional if-conversion of triangle hammocks, the
 //!   enhancement the paper's §7 names as the way to extend control CPR past
 //!   unbiased branches.
+//! * [`meld`] — instruction melding of full diamonds: both sides of a short
+//!   branch/rejoin region are collapsed into straight-line code under
+//!   complementary predicates, the branch-elimination alternative to ICBM.
 //! * [`remove_unreachable`] — removes blocks made unreachable by the above.
 
 mod frp;
 mod ifconv;
 mod induction;
+mod meld;
 mod superblock;
 mod unroll;
 
 pub use frp::frp_convert;
 pub use ifconv::{if_convert, IfConvertConfig};
+pub use meld::{meld, MeldConfig};
 pub use induction::flatten_induction;
 pub use superblock::{form_superblocks, TraceConfig};
 pub use unroll::{unroll_hot_loops, unroll_loop};

@@ -47,5 +47,5 @@ mod violation;
 
 pub use check::{check_function, exit_liveness_of};
 pub use mutate::{mutate, mutation_kill_rate, Mutant, MutationKind, MutationReport};
-pub use replay::{check_replay, replay_cycles, ReplayError};
+pub use replay::{check_replay, replay_cycles, replay_cycles_with, ReplayError};
 pub use violation::{ScheduleViolation, ViolationKind};

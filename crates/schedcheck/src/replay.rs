@@ -1,18 +1,21 @@
 //! Cycle-accurate scheduled replay: the oracle for `epic-perf`.
 //!
 //! The performance methodology estimates execution time as
-//! Σ over layout blocks of `schedule length × profile entry count`. The
-//! replay oracle recomputes the same quantity a completely different way:
-//! it walks the interpreter's dynamic block trace and charges each entered
-//! block its schedule length *as it is entered*. The two must agree
-//! exactly; a mismatch means the estimator and the execution model have
-//! diverged (e.g. profile counts recorded against stale block ids).
+//! Σ over layout blocks of `block cost × profile entry count`, plus the
+//! front end's misprediction penalty × taken-transfer count. The replay
+//! oracle recomputes the same quantity a completely different way: it
+//! walks the interpreter's dynamic trace-event stream and charges each
+//! entered block its cost *as it is entered* and each taken transfer its
+//! penalty *as it takes*. The two must agree exactly; a mismatch means
+//! the estimator and the execution model have diverged (e.g. profile
+//! counts recorded against stale block ids). Both sides saturate at
+//! `u64::MAX`, so the agreement survives overflow-scale profiles too.
 
 use std::sync::{Arc, OnceLock};
 
-use epic_interp::{run_traced, Input, Trap};
+use epic_interp::{run_events, Input, Trap, TraceEvent};
 use epic_ir::Function;
-use epic_machine::Machine;
+use epic_machine::{Frontend, Machine};
 use epic_obs::{Counter, MetricsRegistry, Span};
 use epic_sched::{schedule_function, SchedOptions, ScheduledFunction};
 
@@ -46,7 +49,8 @@ impl std::fmt::Display for ReplayError {
     }
 }
 
-/// Replays `input` through `sched`, returning the agreed cycle count.
+/// Replays `input` through `sched` under the paper's ideal front end,
+/// returning the agreed cycle count.
 ///
 /// # Errors
 ///
@@ -58,14 +62,35 @@ pub fn replay_cycles(
     input: &Input,
     sched: &ScheduledFunction,
 ) -> Result<u64, ReplayError> {
+    replay_cycles_with(func, input, sched, &Frontend::ideal())
+}
+
+/// Like [`replay_cycles`] under an explicit front-end cost model: each
+/// `Enter` event charges the block's (possibly fetch-limited) cost, each
+/// `Taken` event charges the misprediction penalty. Accumulation
+/// saturates, matching the estimator's saturating total exactly.
+///
+/// # Errors
+///
+/// Same as [`replay_cycles`].
+pub fn replay_cycles_with(
+    func: &Function,
+    input: &Input,
+    sched: &ScheduledFunction,
+    frontend: &Frontend,
+) -> Result<u64, ReplayError> {
     let _span = Span::enter("schedcheck.replay", "schedcheck");
     replays_counter().inc();
+    let penalty = frontend.mispredict_penalty as u64;
     let mut replayed = 0u64;
-    let outcome = run_traced(func, input, |b| {
-        replayed += sched.try_block(b).map_or(0, |s| s.length.max(0) as u64);
+    let outcome = run_events(func, input, |e| {
+        replayed = replayed.saturating_add(match e {
+            TraceEvent::Enter(b) => epic_perf::block_cycles(func, sched, b, frontend),
+            TraceEvent::Taken(_) => penalty,
+        });
     })
     .map_err(ReplayError::Trap)?;
-    let estimated = epic_perf::weighted_cycles(func, &outcome.profile, sched);
+    let estimated = epic_perf::weighted_cycles_with(func, &outcome.profile, sched, frontend);
     if estimated != replayed {
         return Err(ReplayError::Mismatch { estimated, replayed });
     }
@@ -73,7 +98,8 @@ pub fn replay_cycles(
 }
 
 /// Schedules `func` for `machine` and cross-checks the perf estimate
-/// against a cycle-accurate replay of `input`.
+/// against a cycle-accurate replay of `input`, under the machine's own
+/// front-end cost model.
 ///
 /// # Errors
 ///
@@ -85,5 +111,5 @@ pub fn check_replay(
     opts: &SchedOptions,
 ) -> Result<u64, ReplayError> {
     let sched = schedule_function(func, machine, opts);
-    replay_cycles(func, input, &sched)
+    replay_cycles_with(func, input, &sched, &machine.frontend())
 }

@@ -154,6 +154,7 @@ fn execute(req: &Request, cache: &CompileCache) -> Result<Summary, ServeError> {
             let c = Pipeline::for_function(&t.name, &t.func, &t.input, t.unroll, &req.cfg)
                 .with_cache(cache)
                 .if_convert()?
+                .meld()?
                 .superblock()?
                 .unroll()?
                 .frp()?

@@ -17,7 +17,11 @@
 //!
 //! Optional keys on either form: `"config"` (partial overrides of the
 //! default [`PipelineConfig`], grouped `{"trace":{..},"cpr":{..},
-//! "if_convert":{..}|null}`), `"timeout_ms"`, `"check"` (differentially
+//! "if_convert":{..}|null,"meld":{..}|null,"machine":{..}}` — a present
+//! `meld` group enables the instruction-melding pass, and the `machine`
+//! group reaches the front-end cost model through
+//! `"frontend.mispredict_penalty"` / `"frontend.fetch_width"`),
+//! `"timeout_ms"`, `"check"` (differentially
 //! test the compiled pair before answering), `"emit_ir"` (include the
 //! compiled IR text in the result).
 //!
@@ -439,6 +443,11 @@ mod tests {
         assert_eq!(r.cfg.cpr.exit_weight_threshold, d.cpr.exit_weight_threshold);
         assert_eq!(r.cfg.trace.max_ops, d.trace.max_ops);
         assert!(r.cfg.if_convert.is_some());
+        assert!(r.cfg.meld.is_none(), "absent meld group leaves melding off");
+
+        // A present meld group enables the pass with partial overrides.
+        let r = Request::parse(r#"{"workload":"wc","config":{"meld":{"max_ops":8}}}"#).unwrap();
+        assert_eq!(r.cfg.meld.map(|m| m.max_ops), Some(8));
     }
 
     #[test]

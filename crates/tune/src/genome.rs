@@ -4,9 +4,10 @@
 //! The searchable subspace is the registry's *pipeline* knobs: the
 //! `machine.*` knobs are excluded so every candidate is scored on the same
 //! evaluation machine and cycle counts stay comparable. Genomes are
-//! canonicalized before use — while `if_convert.enable` is off, the gated
-//! `if_convert.*` genes are pinned to their defaults, so configurations
-//! that compile identically also hash (and dedupe) identically.
+//! canonicalized before use — while `if_convert.enable` (or `meld.enable`)
+//! is off, the gated `if_convert.*` (`meld.*`) genes are pinned to their
+//! defaults, so configurations that compile identically also hash (and
+//! dedupe) identically.
 
 use epic_bench::knobs::{ConfigDelta, KnobSpace, KnobSpec, TunedConfig};
 use epic_bench::KnobValue;
@@ -32,10 +33,9 @@ pub struct SearchKnob {
 pub struct SearchSpace {
     space: &'static KnobSpace,
     knobs: Vec<SearchKnob>,
-    /// Genome position of `if_convert.enable`.
-    ic_enable: usize,
-    /// Genome positions of the knobs gated behind `if_convert.enable`.
-    ic_gated: Vec<usize>,
+    /// `(enable position, gated positions)` per optional pass: genes gated
+    /// behind an `.enable` knob are dead while it is off.
+    gates: Vec<(usize, Vec<usize>)>,
 }
 
 impl SearchSpace {
@@ -59,14 +59,19 @@ impl SearchSpace {
             knobs
                 .iter()
                 .position(|k| k.spec.name == name)
-                .expect("if_convert knobs are in the pipeline space")
+                .expect("gated knobs are in the pipeline space")
         };
-        let ic_enable = pos("if_convert.enable");
-        let ic_gated = ["if_convert.min_taken", "if_convert.max_taken", "if_convert.max_ops"]
+        let gates = ["if_convert", "meld"]
             .iter()
-            .map(|n| pos(n))
+            .map(|group| {
+                let gated = [".min_taken", ".max_taken", ".max_ops"]
+                    .iter()
+                    .map(|f| pos(&format!("{group}{f}")))
+                    .collect();
+                (pos(&format!("{group}.enable")), gated)
+            })
             .collect();
-        SearchSpace { space, knobs, ic_enable, ic_gated }
+        SearchSpace { space, knobs, gates }
     }
 
     /// The underlying registry.
@@ -93,14 +98,16 @@ impl SearchSpace {
     }
 
     /// Pins genes that cannot affect the configuration to their defaults:
-    /// with `if_convert.enable` off, the other `if_convert.*` genes are
-    /// dead, and leaving them free would make one configuration hash as
-    /// many distinct genomes.
+    /// with `if_convert.enable` (or `meld.enable`) off, the pass's other
+    /// genes are dead, and leaving them free would make one configuration
+    /// hash as many distinct genomes.
     pub fn canonicalize(&self, g: &mut Genome) {
-        let enable = self.knobs[self.ic_enable].spec.choices[g[self.ic_enable]];
-        if enable == KnobValue::Bool(false) {
-            for &i in &self.ic_gated {
-                g[i] = self.knobs[i].default_choice;
+        for (enable_pos, gated) in &self.gates {
+            let enable = self.knobs[*enable_pos].spec.choices[g[*enable_pos]];
+            if enable == KnobValue::Bool(false) {
+                for &i in gated {
+                    g[i] = self.knobs[i].default_choice;
+                }
             }
         }
     }
@@ -157,8 +164,11 @@ mod tests {
     #[test]
     fn pipeline_space_excludes_machine_knobs() {
         let s = SearchSpace::pipeline();
-        assert_eq!(s.knobs().len(), 13);
+        assert_eq!(s.knobs().len(), 18);
         assert!(s.knobs().iter().all(|k| !k.spec.name.starts_with("machine.")));
+        // The meld and cpr.enable knobs are searchable.
+        assert!(s.knobs().iter().any(|k| k.spec.name == "meld.enable"));
+        assert!(s.knobs().iter().any(|k| k.spec.name == "cpr.enable"));
     }
 
     #[test]
@@ -171,15 +181,25 @@ mod tests {
     }
 
     #[test]
-    fn canonical_genomes_pin_dead_if_convert_genes() {
+    fn canonical_genomes_pin_dead_gated_genes() {
         let s = SearchSpace::pipeline();
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..200 {
             let g = s.random_genome(&mut rng);
             let cfg = s.config(&g);
-            if cfg.pipeline.if_convert.is_none() {
-                for &i in &s.ic_gated {
-                    assert_eq!(g[i], s.knobs[i].default_choice, "dead gene left free");
+            for (gate, (enable_pos, gated)) in ["if_convert", "meld"].iter().zip(&s.gates) {
+                let off = match *gate {
+                    "if_convert" => cfg.pipeline.if_convert.is_none(),
+                    _ => cfg.pipeline.meld.is_none(),
+                };
+                assert_eq!(
+                    s.knobs[*enable_pos].spec.choices[g[*enable_pos]],
+                    KnobValue::Bool(!off)
+                );
+                if off {
+                    for &i in gated {
+                        assert_eq!(g[i], s.knobs[i].default_choice, "dead {gate} gene left free");
+                    }
                 }
             }
         }

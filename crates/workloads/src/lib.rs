@@ -12,13 +12,14 @@
 //! programs are executed by `epic-interp` on their training inputs, so every
 //! profile and dynamic count in the experiments is measured, not assumed.
 //!
-//! Nine program **shapes** cover the behavioural space (see [`shapes`]);
-//! the 24 named workloads instantiate them with per-benchmark parameters
+//! Ten program **shapes** cover the behavioural space (see [`shapes`]);
+//! the 26 named workloads instantiate them with per-benchmark parameters
 //! and data distributions:
 //!
 //! | shape | benchmarks modeled |
 //! |---|---|
 //! | sentinel scan/copy | `strcpy`, `cmp` |
+//! | full-diamond partition walk | `sort`, `diff` |
 //! | character-class chain | `wc`, `cccp`, `eqn`, `tbl` |
 //! | substring search | `grep` |
 //! | DFA/scanner loop | `lex` |
@@ -30,7 +31,7 @@
 //!
 //! ```
 //! let suite = epic_workloads::all();
-//! assert_eq!(suite.len(), 24);
+//! assert_eq!(suite.len(), 26);
 //! let strcpy = epic_workloads::by_name("strcpy").unwrap();
 //! let out = epic_interp::run(&strcpy.func, &strcpy.training).unwrap();
 //! assert!(out.dynamic_ops > 0);
@@ -92,9 +93,11 @@ pub fn all() -> Vec<Workload> {
         shapes::vortex(),
         shapes::cccp(),
         shapes::cmp(),
+        shapes::diff(),
         shapes::eqn(),
         shapes::grep(),
         shapes::lex(),
+        shapes::sort(),
         shapes::strcpy(),
         shapes::tbl(),
         shapes::wc(),
@@ -112,18 +115,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_has_23_benchmarks_plus_strcpy() {
-        // 7 SPEC-92 + 8 SPEC-95 + 9 utilities (the paper lists strcpy among
-        // the utilities; we count 24 entries because both compress versions
-        // are separate, exactly as in Table 2 which has 24 rows).
+    fn suite_has_the_paper_benchmarks_plus_diamond_workloads() {
+        // 7 SPEC-92 + 8 SPEC-95 + 11 utilities: the paper's 24 rows (both
+        // compress versions are separate, exactly as in Table 2, and the
+        // paper lists strcpy among the utilities) plus sort and diff, the
+        // diamond-shaped workloads the melding ablation measures.
         let suite = all();
-        assert_eq!(suite.len(), 24);
+        assert_eq!(suite.len(), 26);
         let spec92 = suite.iter().filter(|w| w.group == Group::Spec92).count();
         let spec95 = suite.iter().filter(|w| w.group == Group::Spec95).count();
         let unix = suite.iter().filter(|w| w.group == Group::Unix).count();
         assert_eq!(spec92, 7);
         assert_eq!(spec95, 8);
-        assert_eq!(unix, 9);
+        assert_eq!(unix, 11);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The nine program shapes and the 24 benchmark instantiations.
+//! The ten program shapes and the 26 benchmark instantiations.
 //!
 //! Every shape follows the code idioms the paper's input superblocks have
 //! (Figure 6(b)): branch-condition operands are computed into fresh
@@ -440,6 +440,124 @@ pub fn lex() -> Workload {
         evaluation: vec![eval],
         unroll: 4,
     }
+}
+
+/// Parameters for the partition shape (sort, diff): a loop whose body is
+/// a full if-then-else *diamond* — two straight-line sides that rejoin.
+/// Triangles are if-conversion's domain and biased chains are control
+/// CPR's; the diamond is the shape only instruction melding eliminates,
+/// so these two workloads carry the melding ablation.
+struct Partition {
+    name: &'static str,
+    group: Group,
+    seed: u64,
+    len: usize,
+    /// Values strictly above the pivot take the branch (the `hi` run).
+    pivot: i64,
+    unroll: u32,
+}
+
+/// Partition walk: route each input word into the low or high output run
+/// and count both sides (quicksort's inner loop, diff's add/delete split).
+fn partition(p: Partition) -> Workload {
+    let mut fb = FunctionBuilder::new(p.name);
+    let loop_ = fb.block("loop");
+    let lo = fb.block("lo");
+    let hi = fb.block("hi");
+    let join = fb.block("join");
+    let exit = fb.block("exit");
+
+    fb.switch_to(loop_);
+    let src = fb.reg();
+    let lo_dst = fb.reg();
+    let hi_dst = fb.reg();
+    let nlo = fb.reg();
+    let nhi = fb.reg();
+    fb.set_alias_class(Some(CLASS_IN));
+    let v = fb.load(src);
+    fb.set_alias_class(None);
+    let (end, _) = fb.cmpp_un_uc(CmpCond::Eq, v.into(), Operand::Imm(0));
+    fb.branch_if(end, exit);
+    let (big, _) = fb.cmpp_un_uc(CmpCond::Gt, v.into(), Operand::Imm(p.pivot));
+    fb.branch_if(big, hi);
+
+    // Fall-through side of the diamond: append to the low run.
+    fb.switch_to(lo);
+    fb.set_alias_class(Some(CLASS_OUT));
+    fb.store(lo_dst, v.into());
+    fb.set_alias_class(None);
+    let d = fb.add(lo_dst.into(), Operand::Imm(1));
+    fb.mov_to(lo_dst, d.into());
+    let n = fb.add(nlo.into(), Operand::Imm(1));
+    fb.mov_to(nlo, n.into());
+    fb.jump(join);
+
+    // Taken side: append to the high run.
+    fb.switch_to(hi);
+    fb.set_alias_class(Some(CLASS_OUT));
+    fb.store(hi_dst, v.into());
+    fb.set_alias_class(None);
+    let d = fb.add(hi_dst.into(), Operand::Imm(1));
+    fb.mov_to(hi_dst, d.into());
+    let n = fb.add(nhi.into(), Operand::Imm(1));
+    fb.mov_to(nhi, n.into());
+    fb.jump(join);
+
+    fb.switch_to(join);
+    let s = fb.add(src.into(), Operand::Imm(1));
+    fb.mov_to(src, s.into());
+    fb.jump(loop_);
+
+    fb.switch_to(exit);
+    let c0 = fb.movi(OUT_BASE + 4094);
+    let c1 = fb.movi(OUT_BASE + 4095);
+    fb.set_alias_class(Some(CLASS_OUT));
+    fb.store(c0, nlo.into());
+    fb.store(c1, nhi.into());
+    fb.set_alias_class(None);
+    fb.ret();
+
+    let mut func = fb.finish();
+    init_regs(
+        &mut func,
+        &[(src, 0), (lo_dst, OUT_BASE), (hi_dst, OUT_BASE + 2048), (nlo, 0), (nhi, 0)],
+    );
+
+    let mut rng = data::rng(p.seed);
+    let text: Vec<i64> =
+        data::uniform(&mut rng, p.len, 1, 256).into_iter().chain([0]).collect();
+    Workload {
+        name: p.name,
+        group: p.group,
+        func,
+        training: base_input(&text),
+        evaluation: vec![base_input(&[250, 250, 3, 0]), base_input(&[0])],
+        unroll: p.unroll,
+    }
+}
+
+/// sort: quicksort partition walk — an unbiased full diamond per element.
+pub fn sort() -> Workload {
+    partition(Partition {
+        name: "sort",
+        group: Group::Unix,
+        seed: 111,
+        len: 2400,
+        pivot: 128,
+        unroll: 2,
+    })
+}
+
+/// diff: add/delete split — the same diamond, biased toward the low run.
+pub fn diff() -> Workload {
+    partition(Partition {
+        name: "diff",
+        group: Group::Unix,
+        seed: 112,
+        len: 2200,
+        pivot: 192,
+        unroll: 2,
+    })
 }
 
 /// yacc: shift/reduce walk over a token stream with a skewed action
@@ -972,6 +1090,34 @@ mod tests {
         // Output region mirrors the input up to and including the 0.
         assert_eq!(out.memory[OUT_BASE as usize], out.memory[0]);
         assert_eq!(out.memory[OUT_BASE as usize + 10], out.memory[10]);
+    }
+
+    #[test]
+    fn sort_partitions_around_the_pivot() {
+        let w = sort();
+        let out = run(&w.func, &w.training).unwrap();
+        let nlo = out.memory[OUT_BASE as usize + 4094];
+        let nhi = out.memory[OUT_BASE as usize + 4095];
+        assert_eq!(nlo + nhi, 2400, "every element routed to one run");
+        // Low run ≤ pivot < high run, element by element.
+        for i in 0..nlo as usize {
+            assert!(out.memory[OUT_BASE as usize + i] <= 128);
+        }
+        for i in 0..nhi as usize {
+            assert!(out.memory[OUT_BASE as usize + 2048 + i] > 128);
+        }
+        // The diamond is roughly unbiased — the shape melding targets.
+        assert!((nlo - nhi).abs() < 400, "{nlo} vs {nhi}");
+    }
+
+    #[test]
+    fn diff_is_biased_toward_the_low_run() {
+        let w = diff();
+        let out = run(&w.func, &w.training).unwrap();
+        let nlo = out.memory[OUT_BASE as usize + 4094];
+        let nhi = out.memory[OUT_BASE as usize + 4095];
+        assert_eq!(nlo + nhi, 2200);
+        assert!(nlo > 2 * nhi, "{nlo} vs {nhi}");
     }
 
     #[test]

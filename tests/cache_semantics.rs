@@ -104,6 +104,8 @@ fn function_and_input_changes_invalidate_everything() {
         .with_cache(&cache)
         .if_convert()
         .unwrap()
+        .meld()
+        .unwrap()
         .superblock()
         .unwrap()
         .unroll()
@@ -121,6 +123,8 @@ fn function_and_input_changes_invalidate_everything() {
     let c = Pipeline::for_function(w.name, &w.func, other, w.unroll, &cfg)
         .with_cache(&cache)
         .if_convert()
+        .unwrap()
+        .meld()
         .unwrap()
         .superblock()
         .unwrap()
@@ -184,6 +188,51 @@ fn disk_layer_round_trips_semantically() {
     assert_eq!(c1.opt_counts, c2.opt_counts);
     assert_eq!(c1.stats, c2.stats);
     check_equivalence(&w, &c2).unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_format_disk_entries_are_rejected_and_replaced() {
+    // Regression: on-disk artifacts used to carry no schema version, so a
+    // cache directory written by an older build could be deserialized into
+    // the wrong shape (or shadow recomputes with stale payloads) forever.
+    // Now every entry is stamped with `epic_bench::cache::FORMAT_VERSION`
+    // and anything else — including version-less pre-stamp entries — is
+    // treated as corrupt: rejected, deleted, and recomputed.
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("cache_semantics_stale");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let w = epic_workloads::by_name("cmp").unwrap();
+    let cfg = PipelineConfig::default();
+    let warm = CompileCache::new().with_disk_dir(&dir);
+    let c1 = compile_cached(&w, &cfg, &warm).unwrap();
+
+    // Rewrite every entry as the pre-stamp format (no "v" field).
+    let stamp = format!("\"v\":{},", epic_bench::cache::FORMAT_VERSION);
+    let mut rewritten = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(&stamp), "{path:?} must be stamped");
+        std::fs::write(&path, text.replace(&stamp, "")).unwrap();
+        rewritten += 1;
+    }
+    assert!(rewritten >= CACHED_STAGES as usize);
+
+    // A fresh process-equivalent must not serve any of the stale entries.
+    let cold = CompileCache::new().with_disk_dir(&dir);
+    let c2 = compile_cached(&w, &cfg, &cold).unwrap();
+    assert_eq!(cold.stats().disk_hits, 0, "stale-format entries must never hit");
+    assert_eq!(c2.cache_misses, CACHED_STAGES, "every stage recomputes");
+    assert_eq!(c1.optimized.to_string(), c2.optimized.to_string());
+
+    // The recompute re-stamped the directory with the current version.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(&stamp), "{path:?} must be re-stamped after recompute");
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }

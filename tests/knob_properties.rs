@@ -89,7 +89,13 @@ fn registry_defaults_reproduce_the_paper_configuration() {
     let d = PipelineConfig::default();
     assert_eq!(t.pipeline.config_hash(), d.config_hash());
     assert!(t.pipeline.if_convert.is_none());
+    assert!(t.pipeline.meld.is_none(), "paper config has no melding pass");
+    assert!(t.pipeline.cpr.enable, "paper config runs ICBM");
     assert_eq!(t.machine, Machine::medium());
+    // The paper's machine has an ideal front end: no misprediction penalty,
+    // unbounded fetch.
+    let fe = t.machine.frontend();
+    assert_eq!((fe.mispredict_penalty, fe.fetch_width), (0, 0));
 
     // Per-knob: every registry default equals the live struct's value, so
     // setting a knob *to its default* is a no-op on the produced config.

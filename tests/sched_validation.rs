@@ -11,11 +11,11 @@
 use control_cpr::{apply_icbm, dce};
 use epic_bench::{compile, PipelineConfig};
 use epic_ir::Function;
-use epic_machine::Machine;
-use epic_perf::profile_and_count;
-use epic_regions::{form_superblocks, frp_convert, unroll_hot_loops};
+use epic_machine::{Frontend, Machine};
+use epic_perf::{profile_and_count, weighted_cycles_with};
+use epic_regions::{form_superblocks, frp_convert, unroll_hot_loops, MeldConfig};
 use epic_sched::{schedule_function, SchedOptions};
-use epic_schedcheck::{check_function, mutation_kill_rate, replay_cycles};
+use epic_schedcheck::{check_function, mutation_kill_rate, replay_cycles, replay_cycles_with};
 
 /// Schedules `func` on the wide and sequential extremes and runs the
 /// independent checker over the result.
@@ -90,6 +90,61 @@ fn perf_estimate_equals_scheduled_replay() {
             }
         }
     }
+}
+
+/// Melded programs — branch-eliminated full diamonds — must schedule
+/// validly under the independent checker, their perf estimate must equal
+/// the replay oracle *under the penalized modern front end* (misprediction
+/// penalty and fetch-width charges included), and every seeded schedule
+/// mutation must be killed on that machine.
+#[test]
+fn melded_outputs_validate_replay_and_kill_mutants() {
+    let cfg = PipelineConfig { meld: Some(MeldConfig::default()), ..PipelineConfig::default() };
+    let opts = SchedOptions::default();
+    let modern = Machine::medium().with_frontend(Frontend::modern()).with_name("medium+fe");
+    let fe = modern.frontend();
+    for name in ["sort", "diff", "wc"] {
+        let w = epic_workloads::by_name(name).unwrap();
+        let c = compile(&w, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let sides = [
+            ("baseline", &c.baseline, &c.base_profile),
+            ("optimized", &c.optimized, &c.opt_profile),
+        ];
+        for (what, func, profile) in sides {
+            let sched = schedule_function(func, &modern, &opts);
+            let violations = check_function(func, &modern, &sched, &opts);
+            assert!(
+                violations.is_empty(),
+                "{name} {what}: {} violations, first: {}",
+                violations.len(),
+                violations[0]
+            );
+            let estimated = weighted_cycles_with(func, profile, &sched, &fe);
+            let replayed = replay_cycles_with(func, &w.training, &sched, &fe)
+                .unwrap_or_else(|e| panic!("{name} {what}: {e}"));
+            assert_eq!(estimated, replayed, "{name} {what}: estimate != replay");
+            // The front-end model must actually charge: the same schedule
+            // under the ideal front end costs strictly less (every program
+            // here retires at least one taken control transfer).
+            let ideal = weighted_cycles_with(func, profile, &sched, &Frontend::ideal());
+            assert!(estimated > ideal, "{name} {what}: {estimated} !> {ideal}");
+            let report = mutation_kill_rate(func, &modern, &opts, 8, 0xC0DE);
+            assert!(report.base_valid, "{name} {what}: base schedule invalid");
+            assert!(report.applied > 0, "{name} {what}: no mutants applied");
+            assert!(report.perfect(), "{name} {what}: survivors: {:?}", report.survivors);
+        }
+    }
+    // The pass must have fired on the diamond workloads, or the assertions
+    // above validated nothing new.
+    let w = epic_workloads::by_name("sort").unwrap();
+    let plain = compile(&w, &PipelineConfig::default()).unwrap();
+    let melded = compile(&w, &cfg).unwrap();
+    assert!(
+        melded.opt_counts.dynamic_branches < plain.opt_counts.dynamic_branches,
+        "melding must eliminate dynamic branches on sort: {} vs {}",
+        melded.opt_counts.dynamic_branches,
+        plain.opt_counts.dynamic_branches
+    );
 }
 
 /// The checker is sensitive on real compiled code, not just hand-written

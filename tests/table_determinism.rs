@@ -3,7 +3,8 @@
 //! thread count or scheduling interleavings.
 
 use epic_bench::{
-    render_table2, render_table3, table2, table2_serial, table3, table3_serial, PipelineConfig,
+    meld_matrix, meld_matrix_machines, meld_matrix_serial, render_meld_matrix, render_table2,
+    render_table3, table2, table2_serial, table3, table3_serial, CompileCache, PipelineConfig,
 };
 use epic_workloads::Workload;
 
@@ -47,4 +48,45 @@ fn parallel_table3_matches_serial_reference() {
         assert_eq!(s.ratios, p.ratios, "{}: ratios must match", s.name);
     }
     assert_eq!(render_table3(&serial), render_table3(&parallel));
+}
+
+#[test]
+fn meld_matrix_is_deterministic_across_threads_and_cache() {
+    // The melding × front-end matrix must be byte-identical whether it is
+    // computed serially, in parallel, or in parallel through a compile
+    // cache (cold and warm).
+    let workloads: Vec<Workload> = ["strcpy", "wc", "sort", "diff"]
+        .iter()
+        .map(|n| epic_workloads::by_name(n).expect("known workload"))
+        .collect();
+    let machines = meld_matrix_machines();
+    assert!(machines.len() >= 2, "matrix covers at least two front ends");
+
+    let serial = meld_matrix_serial(&workloads, &machines);
+    let parallel = meld_matrix(&workloads, &machines, None);
+    let cache = CompileCache::new();
+    let cached_cold = meld_matrix(&workloads, &machines, Some(&cache));
+    let cached_warm = meld_matrix(&workloads, &machines, Some(&cache));
+
+    assert_eq!(serial, parallel, "parallel must match the serial reference");
+    assert_eq!(serial, cached_cold, "cache on/off must not change the rows");
+    assert_eq!(serial, cached_warm, "warm cache must not change the rows");
+    assert!(cache.stats().hits > 0, "warm pass must be served from cache");
+    let rendered = render_meld_matrix(&serial);
+    assert_eq!(rendered, render_meld_matrix(&parallel));
+    assert_eq!(rendered, render_meld_matrix(&cached_warm));
+
+    // The matrix must actually differentiate the configurations: melding
+    // changes cycles on the diamond workloads (columns `meld`/`both` vs
+    // `neither`), and the penalized front end changes the second row.
+    for row in &serial {
+        assert_eq!(row.cycles[0].0, "neither");
+        assert!((row.speedup(0) - 1.0).abs() < 1e-12);
+        assert!(row.speedup(2) > 1.0, "{}: melding must pay off", row.machine);
+        assert!(row.speedup(3) > 1.0, "{}: composition must pay off", row.machine);
+    }
+    assert_ne!(
+        serial[0].cycles, serial[1].cycles,
+        "the modern front end must change the cycle counts"
+    );
 }
