@@ -44,8 +44,13 @@ fn main() {
     let check_schedules = take_check_schedules_flag(&mut args);
     enable_tracing_if_requested(&trace_path);
     // A representative branchy subset keeps the ablation quick; sort and
-    // diff contribute the full diamonds the melding matrix needs.
-    let names = ["strcpy", "cmp", "wc", "grep", "lex", "sort", "diff", "023.eqntott", "126.gcc"];
+    // diff contribute the full diamonds the melding matrix needs. `--large`
+    // swaps in the two mid-size corpus programs as well, so the design
+    // choices are also measured at 1k+ op function sizes.
+    let mut names = vec!["strcpy", "cmp", "wc", "grep", "lex", "sort", "diff", "023.eqntott", "126.gcc"];
+    if args.iter().any(|a| a == "--large") {
+        names.extend(["corpus.chain.1k", "corpus.diamond.1k"]);
+    }
     let medium = 2; // index in Machine::paper_suite()
 
     println!("Ablations (geomean speedup on the medium processor, subset: {names:?})");

@@ -31,7 +31,7 @@
 //!
 //! ```text
 //! cargo run --release -p epic-bench --bin bench_snapshot [out.json]
-//!     [--quick] [--check [committed.json]]
+//!     [--quick] [--large] [--check [committed.json]]
 //! ```
 //!
 //! `--quick` skips the thread sweep and per-workload timing collection
@@ -39,6 +39,16 @@
 //! clock against a committed snapshot and exits non-zero on a >25%
 //! regression; with `--check` no snapshot is written unless an output
 //! path is given explicitly.
+//!
+//! `--large` additionally times the six RISC-lite corpus workloads
+//! (1k–10k ops, `epic_workloads::corpus()`) with the same serial
+//! min-of-`TIMING_PASSES` collection, runs the roaming-spike detector
+//! over their per-stage numbers — so an ICBM or scheduling blowup at 10k
+//! ops aborts the snapshot instead of being silently recorded — and adds
+//! a `large_tier` section to the JSON. The default sections are
+//! unaffected: `table2_serial_ms` still measures exactly the 26-workload
+//! paper suite, so `--check` comparisons against pre-large snapshots
+//! remain valid.
 
 use std::time::{Duration, Instant};
 
@@ -253,11 +263,13 @@ fn heavy_json(list: &[HeavyStage]) -> String {
 fn main() {
     let mut out: Option<String> = None;
     let mut quick = false;
+    let mut large = false;
     let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--large" => large = true,
             "--check" => {
                 let path = match args.peek() {
                     Some(p) if !p.starts_with("--") => args.next().unwrap(),
@@ -288,7 +300,8 @@ fn main() {
             return;
         }
     }
-    let out = out.unwrap_or_else(|| "BENCH_pr6.json".to_string());
+    let out =
+        out.unwrap_or_else(|| if large { "BENCH_pr10.json" } else { "BENCH_pr6.json" }.to_string());
 
     let serial_rows = table2_serial(&workloads, &cfg);
     let mut sweep: Vec<(usize, f64)> = Vec::new();
@@ -345,6 +358,68 @@ fn main() {
         }
     }
 
+    // The large tier: the six RISC-lite corpus workloads, timed with the
+    // same serial min-of-N discipline and guarded by the same roaming-spike
+    // detector. Collected separately so the paper-suite numbers above stay
+    // comparable against pre-large snapshots.
+    let mut large_json = String::new();
+    if large {
+        let corpus = epic_workloads::corpus();
+        eprintln!(
+            "large tier: {} corpus workloads ({TIMING_PASSES} serial passes, recording minima)...",
+            corpus.len()
+        );
+        std::hint::black_box(serial_timing_pass(&corpus, &cfg));
+        let passes: Vec<Vec<PassTimings>> =
+            (0..TIMING_PASSES).map(|_| serial_timing_pass(&corpus, &cfg)).collect();
+        let (mins, maxs) = min_max_timings(&passes);
+        // The detector's reproducibility assertion is the acceptance gate:
+        // an ICBM or scheduling blowup at 10k ops that varies across passes
+        // aborts the snapshot here.
+        let (lheavy, ltransient) = scan_spikes(&mins, &maxs);
+        assert_profile_siblings_sane(&mins);
+
+        let per_workload: Vec<String> = corpus
+            .iter()
+            .zip(&mins)
+            .map(|(w, t)| {
+                assert_eq!(w.name, t.workload);
+                let static_ops: usize =
+                    w.func.layout.iter().map(|&b| w.func.block(b).ops.len()).sum();
+                let compile_ms: f64 = t.stages.iter().map(|s| ms(s.wall)).sum();
+                format!(
+                    "{{\"name\":\"{}\",\"static_ops\":{static_ops},\"compile_ms\":{compile_ms:.1}}}",
+                    w.name
+                )
+            })
+            .collect();
+        let lgeo: Vec<String> = stage_geomeans(&mins)
+            .iter()
+            .map(|(stage, ms)| format!("\"{stage}\":{ms:.3}"))
+            .collect();
+        large_json = format!(
+            ",\n  \"large_tier\": {{\n    \"workloads\": {},\n    \
+             \"timing_collection\": \"serial min of {TIMING_PASSES} passes\",\n    \
+             \"roaming_spikes\": 0,\n    \
+             \"per_workload\": [{}],\n    \
+             \"stage_geomean_ms\": {{{}}},\n    \
+             \"reproducible_heavy_stages\": {},\n    \
+             \"transient_stage_spikes\": {},\n    \
+             \"per_workload_timings\": {}\n  }}",
+            corpus.len(),
+            per_workload.join(","),
+            lgeo.join(","),
+            heavy_json(&lheavy),
+            heavy_json(&ltransient),
+            timings_to_json(&mins)
+        );
+        eprintln!(
+            "large tier: {} reproducible heavy stage(s), {} transient spike(s), 0 roaming",
+            lheavy.len(),
+            ltransient.len()
+        );
+    }
+
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|(threads, wall)| {
@@ -360,8 +435,9 @@ fn main() {
         .collect();
     let runs_json: Vec<String> = serial_runs.iter().map(|ms| format!("{ms:.1}")).collect();
 
+    let snapshot = if large { "pr10" } else { "pr6" };
     let json = format!(
-        "{{\n  \"snapshot\": \"pr6\",\n  \"generator\": \"bench_snapshot\",\n  \
+        "{{\n  \"snapshot\": \"{snapshot}\",\n  \"generator\": \"bench_snapshot\",\n  \
          \"workloads\": {},\n  \"host_cores\": {host_cores},\n  \
          \"table2_serial_ms\": {serial_best:.1},\n  \
          \"table2_serial_runs_ms\": [{}],\n  \
@@ -371,14 +447,15 @@ fn main() {
          \"roaming_spikes\": 0,\n  \
          \"reproducible_heavy_stages\": {},\n  \
          \"transient_stage_spikes\": {},\n  \
-         \"stage_geomean_ms\": {{{}}},\n  \"per_workload_timings\": {}\n}}\n",
+         \"stage_geomean_ms\": {{{}}},\n  \"per_workload_timings\": {}{}\n}}\n",
         workloads.len(),
         runs_json.join(","),
         sweep_json.join(","),
         heavy_json(&heavy),
         heavy_json(&transient),
         geo_json.join(","),
-        timings_to_json(&timings)
+        timings_to_json(&timings),
+        large_json
     );
     std::fs::write(&out, json).expect("write snapshot");
     let sweep_desc: Vec<String> =

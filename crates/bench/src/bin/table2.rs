@@ -22,8 +22,12 @@ fn main() {
     enable_tracing_if_requested(&trace_path);
     let serial = args.iter().any(|a| a == "--serial");
     let cache_stats = args.iter().any(|a| a == "--cache-stats");
+    let large = args.iter().any(|a| a == "--large");
 
-    let workloads = epic_workloads::all();
+    // `--large` appends the RISC-lite corpus tier (1k–10k-op translated
+    // functions) to the paper suite.
+    let workloads =
+        if large { epic_workloads::all_with_corpus() } else { epic_workloads::all() };
     let cfg = PipelineConfig::default();
     let cache = CompileCache::from_env();
     let rows = if serial {

@@ -327,7 +327,21 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
     // on-trace: refuse.
     let mut rewired_guards: HashSet<usize> = HashSet::new();
     for &i in &set2 {
-        let Some(g) = ops[i].guard else { continue };
+        let Some(g) = ops[i].guard else {
+            // An unguarded split op. In the fall-through variation the
+            // copies sit *after* the bypass, which has already peeled off
+            // the off-trace path, so the copy may stay unguarded. In the
+            // taken variation the copies precede the bypass and execute on
+            // both paths; an unguarded copy would fire even when control
+            // falls through to the compensation block and a moved branch
+            // then exits early — a path on which the original op never ran.
+            // Re-guard the copy by the on-trace FRP, which is true exactly
+            // when the bypass takes.
+            if r.taken_variation {
+                rewired_guards.insert(i);
+            }
+            continue;
+        };
         let def = (0..i).rev().find(|&j| ops[j].defines_pred(g));
         if r.internal_preds.contains(&g)
             || (r.final_taken == Some(g) && matches!(def, Some(j) if own_compares.contains(&j)))
@@ -338,6 +352,16 @@ pub fn off_trace_motion(func: &mut Function, r: &Restructured, global: &GlobalLi
         if matches!(def, Some(j) if set1.contains(&j) && !set2.contains(&j)) {
             if std::env::var("MATCH_DEBUG").is_ok() {
                 eprintln!("MOTION-FAIL: split [{}] guard defined by a moved op", ops[i]);
+            }
+            return false;
+        }
+        // Same taken-variation exposure for a kept external guard: the
+        // copy fires whenever `g` is true, including on the fall-through
+        // to the compensation block. That is only sound when `g` cannot be
+        // true off-trace, i.e. when it implies the bypass condition.
+        if r.taken_variation && !facts.guard_implies(i, bypass_pos) {
+            if std::env::var("MATCH_DEBUG").is_ok() {
+                eprintln!("MOTION-FAIL: split [{}] guard may fire off-trace", ops[i]);
             }
             return false;
         }

@@ -396,6 +396,75 @@ fn motion_taken_variation_rewires_final_taken_guard() {
     }
 }
 
+/// Fuzz seed 1900 (motion stage, taken variation; found by the RISC-lite
+/// differential sweep, whose unguarded ALU ops the native generator rarely
+/// produces mid-chain): an *unguarded* definition of a live-out register
+/// joins the moved set through a flow dependence on a guarded mid-chain
+/// def. In the taken variation the split on-trace copies sit *before* the
+/// bypass, so the unguarded copy fired even when control fell through to
+/// the compensation block and an earlier moved branch then exited —
+/// clobbering the live-out on a path where the original op never ran. The
+/// copy must be re-guarded by the on-trace FRP, which is true exactly when
+/// the bypass takes.
+#[test]
+fn motion_taken_variation_guards_unguarded_split_copy() {
+    let mut b = FunctionBuilder::new("unguarded_split");
+    let sb = b.block("sb");
+    let t1 = b.block("t1");
+    let hot = b.block("hot");
+    let x = b.reg();
+    let y = b.reg();
+    let z = b.reg();
+    let tmp = b.reg();
+    let out = b.reg();
+    b.switch_to(t1);
+    b.ret();
+    b.switch_to(hot);
+    b.ret();
+    b.switch_to(sb);
+    let (p1, q1) = b.cmpp_un_uc(CmpCond::Lt, x.into(), Operand::Imm(0));
+    b.branch_if(p1, t1); // cold early exit
+    b.set_guard(Some(q1));
+    b.mov_to(tmp, Operand::Imm(-148)); // moved: guarded by an internal pred
+    let (p2, _q2) = b.cmpp_un_uc(CmpCond::Ne, Operand::Imm(4), y.into());
+    b.set_guard(None);
+    // Unguarded, reads `tmp` (so it rides the moved closure), live-out.
+    b.emit(Opcode::Sub, vec![epic_ir::Dest::Reg(out)], vec![tmp.into(), z.into()]);
+    b.branch_if(p2, hot); // hot-taken final branch
+    b.ret();
+    b.mark_live_out(out);
+    let f = b.finish();
+
+    // Profile one run that takes the final branch: predict-taken fires.
+    let training = Input::new().memory_size(4).with_reg(x, 5).with_reg(y, 3);
+    let profile = run(&f, &training).unwrap().profile;
+    let cfg = CprConfig { min_entry_count: 1, ..CprConfig::default() };
+    let mut g = f.clone();
+    let blocks = match_cpr_blocks(&g.block(sb).ops, &profile, &cfg, g.mem_classes());
+    let cpr = blocks.iter().find(|c| c.is_nontrivial()).expect("CPR block");
+    assert!(cpr.taken_variation, "must exercise the taken variation: {cpr:?}");
+    let live = GlobalLiveness::compute(&g);
+    let r = restructure(&mut g, sb, cpr, &live).expect("restructures");
+    let live = GlobalLiveness::compute(&g);
+    assert!(off_trace_motion(&mut g, &r, &live), "motion must succeed:\n{g}");
+    epic_ir::verify(&g).unwrap();
+    // The only def of `out` left on-trace is the split copy; it must be
+    // guarded by the on-trace FRP, not run unconditionally.
+    let copy = g
+        .block(sb)
+        .ops
+        .iter()
+        .find(|o| o.defs_regs().any(|d| d == out))
+        .expect("on-trace copy of the live-out def");
+    assert_eq!(copy.guard, Some(r.on_frp), "\n{g}");
+    // (x = -1, *) is the miscompiled path: the early branch exits, `out`
+    // must keep its entry value.
+    for (xv, yv) in [(5, 3), (5, 4), (-1, 3), (-1, 4)] {
+        let input = Input::new().memory_size(4).with_reg(x, xv).with_reg(y, yv);
+        diff_test(&f, &g, &input).unwrap();
+    }
+}
+
 /// Fuzz seed 21014 (restructure stage): an operation after the final
 /// branch guarded by a *taken* predicate — sequentially dead, because its
 /// guard being true means the branch above exited. Rewiring it to the

@@ -28,10 +28,12 @@
 
 mod generator;
 mod harness;
+mod riscfe_stage;
 mod shrink;
 
 pub use generator::{generate, GenCase, MEM_WORDS};
 pub use harness::{check_case, check_from, Failure};
+pub use riscfe_stage::{fuzz_riscfe_one, riscfe_case, run_riscfe_fuzz};
 pub use shrink::shrink_case;
 
 /// One fully processed fuzz failure: stage, detail, and the minimized

@@ -1,6 +1,8 @@
 //! The deterministic fuzz smoke corpus: `FUZZ_CASES` (default 256) fixed
 //! seeds starting at `FUZZ_SEED` (default 20990), each pushed through the
-//! full per-stage differential pipeline. Runs in seconds and is wired into
+//! full per-stage differential pipeline, plus `RISCFE_CASES` (default 48)
+//! RISC-lite frontend cases pushed through the translation-conformance
+//! check and the same staged pipeline. Runs in seconds and is wired into
 //! the tier-1 flow via `just fuzz-smoke`.
 //!
 //! On failure the panic message contains, per failing seed, the guilty
@@ -8,7 +10,7 @@
 //! ("Fuzzing the pipeline") for how to turn one into a checked-in
 //! regression test.
 
-use epic_fuzz::{env_u64, run_fuzz};
+use epic_fuzz::{env_u64, run_fuzz, run_riscfe_fuzz};
 
 #[test]
 fn fixed_seed_corpus_has_no_divergences() {
@@ -21,6 +23,26 @@ fn fixed_seed_corpus_has_no_divergences() {
     let mut msg = format!(
         "{} of {cases} cases diverged (base seed {seed}). Re-run one with \
          FUZZ_SEED=<seed> FUZZ_CASES=1 cargo test -p epic-fuzz --test fuzz_smoke\n\n",
+        failures.len()
+    );
+    for f in &failures {
+        msg.push_str(&f.to_string());
+        msg.push('\n');
+    }
+    panic!("{msg}");
+}
+
+#[test]
+fn riscfe_differential_stage_has_no_divergences() {
+    let seed = env_u64("RISCFE_SEED", 31337);
+    let cases = env_u64("RISCFE_CASES", 48);
+    let failures = run_riscfe_fuzz(seed, cases);
+    if failures.is_empty() {
+        return;
+    }
+    let mut msg = format!(
+        "{} of {cases} RISC-lite cases diverged (base seed {seed}). Re-run one with \
+         RISCFE_SEED=<seed> RISCFE_CASES=1 cargo test -p epic-fuzz --test fuzz_smoke\n\n",
         failures.len()
     );
     for f in &failures {

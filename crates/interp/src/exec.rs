@@ -64,12 +64,16 @@ impl Input {
     }
 
     /// The initial memory image.
-    pub(crate) fn initial_memory(&self) -> &[i64] {
+    ///
+    /// Public so alternative executors (e.g. the RISC-lite reference
+    /// interpreter in `epic-riscfe`) can consume the same `Input` type and
+    /// be differentially compared against [`run`].
+    pub fn initial_memory(&self) -> &[i64] {
         &self.memory
     }
 
-    /// The initial register assignments.
-    pub(crate) fn initial_regs(&self) -> &[(Reg, i64)] {
+    /// The initial register assignments (see [`Input::initial_memory`]).
+    pub fn initial_regs(&self) -> &[(Reg, i64)] {
         &self.regs
     }
 

@@ -1,0 +1,399 @@
+//! The RISC-lite text assembler.
+//!
+//! Two passes over the source: the first collects label definitions (and
+//! rejects duplicates), the second parses instructions and resolves branch
+//! targets. Every malformed input is reported as a structured
+//! [`AsmError`] carrying the 1-based source line — the assembler never
+//! panics on untrusted text (mirroring the IR verifier's negative-test
+//! contract).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use epic_ir::CmpCond;
+
+use crate::isa::{AluOp, Inst, Label, LabelId, RReg, RVal, RiscProgram, NUM_REGS};
+
+/// What went wrong, independent of where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// The mnemonic is not part of the ISA.
+    UnknownMnemonic(String),
+    /// A register operand is not `r0..r31`.
+    BadRegister(String),
+    /// An immediate operand did not parse as a signed 64-bit integer.
+    BadImmediate(String),
+    /// A memory operand is not of the form `offset(base)`.
+    BadMemOperand(String),
+    /// An alias-class suffix is not `.c<N>`.
+    BadAliasClass(String),
+    /// The instruction has the wrong number of operands.
+    WrongOperandCount {
+        /// The mnemonic being assembled.
+        mnemonic: String,
+        /// Operands required by the mnemonic.
+        expected: usize,
+        /// Operands found on the line.
+        found: usize,
+    },
+    /// A label is defined more than once.
+    DuplicateLabel(String),
+    /// A branch or jump targets a label that is never defined.
+    UndefinedLabel(String),
+    /// A label is defined after the last instruction, so it has no
+    /// instruction to name.
+    LabelPastEnd(String),
+    /// A label name is empty or contains characters outside
+    /// `[A-Za-z0-9_.]`.
+    BadLabel(String),
+    /// The program contains no instructions.
+    EmptyProgram,
+    /// The final instruction is neither `halt` nor `j`, so execution could
+    /// fall off the end of the program.
+    FallsThroughEnd,
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadRegister(r) => {
+                write!(f, "bad register `{r}` (expected r0..r{})", NUM_REGS - 1)
+            }
+            AsmErrorKind::BadImmediate(s) => write!(f, "bad immediate `{s}`"),
+            AsmErrorKind::BadMemOperand(s) => {
+                write!(f, "bad memory operand `{s}` (expected `offset(base)`)")
+            }
+            AsmErrorKind::BadAliasClass(s) => {
+                write!(f, "bad alias-class suffix `{s}` (expected `.c<N>`)")
+            }
+            AsmErrorKind::WrongOperandCount { mnemonic, expected, found } => {
+                write!(f, "`{mnemonic}` takes {expected} operands, found {found}")
+            }
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmErrorKind::LabelPastEnd(l) => {
+                write!(f, "label `{l}` names no instruction (defined past the end)")
+            }
+            AsmErrorKind::BadLabel(l) => write!(f, "bad label name `{l}`"),
+            AsmErrorKind::EmptyProgram => write!(f, "program has no instructions"),
+            AsmErrorKind::FallsThroughEnd => {
+                write!(f, "last instruction must be `halt` or `j` (control falls off the end)")
+            }
+        }
+    }
+}
+
+/// A structured assembly error: the kind plus the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line of the offending text (0 for whole-program
+    /// errors such as [`AsmErrorKind::EmptyProgram`]).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.kind)
+        } else {
+            write!(f, "line {}: {}", self.line, self.kind)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, kind: AsmErrorKind) -> AsmError {
+    AsmError { line, kind }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<RReg, AsmError> {
+    let bad = || err(line, AsmErrorKind::BadRegister(tok.to_string()));
+    let digits = tok.strip_prefix('r').ok_or_else(bad)?;
+    // Reject `r007`-style forms so printing round-trips byte-exactly.
+    if digits.is_empty() || (digits.len() > 1 && digits.starts_with('0')) {
+        return Err(bad());
+    }
+    let n: usize = digits.parse().map_err(|_| bad())?;
+    if n >= NUM_REGS {
+        return Err(bad());
+    }
+    Ok(RReg(u8::try_from(n).expect("NUM_REGS fits in u8")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    tok.parse::<i64>().map_err(|_| err(line, AsmErrorKind::BadImmediate(tok.to_string())))
+}
+
+fn parse_reg_or_imm(tok: &str, line: usize) -> Result<RVal, AsmError> {
+    if tok.starts_with('r') && tok.len() > 1 && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(RVal::Reg(parse_reg(tok, line)?))
+    } else {
+        Ok(RVal::Imm(parse_imm(tok, line)?))
+    }
+}
+
+/// Parses `offset(base)`.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i64, RReg), AsmError> {
+    let bad = || err(line, AsmErrorKind::BadMemOperand(tok.to_string()));
+    let open = tok.find('(').ok_or_else(bad)?;
+    let close = tok.rfind(')').ok_or_else(bad)?;
+    if close != tok.len() - 1 || close <= open {
+        return Err(bad());
+    }
+    let offset = parse_imm(&tok[..open], line)?;
+    let base = parse_reg(&tok[open + 1..close], line)?;
+    Ok((offset, base))
+}
+
+/// Splits `lw.c3` into `("lw", Some(3))`; plain `lw` is `("lw", None)`.
+fn split_class(mnemonic: &str, line: usize) -> Result<(&str, Option<u32>), AsmError> {
+    match mnemonic.split_once('.') {
+        None => Ok((mnemonic, None)),
+        Some((base, suffix)) => {
+            let digits = suffix.strip_prefix('c').ok_or_else(|| {
+                err(line, AsmErrorKind::BadAliasClass(format!(".{suffix}")))
+            })?;
+            if digits.is_empty() || (digits.len() > 1 && digits.starts_with('0')) {
+                return Err(err(line, AsmErrorKind::BadAliasClass(format!(".{suffix}"))));
+            }
+            let class: u32 = digits
+                .parse()
+                .map_err(|_| err(line, AsmErrorKind::BadAliasClass(format!(".{suffix}"))))?;
+            Ok((base, Some(class)))
+        }
+    }
+}
+
+fn label_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn branch_cond(mnemonic: &str) -> Option<CmpCond> {
+    Some(match mnemonic {
+        "beq" => CmpCond::Eq,
+        "bne" => CmpCond::Ne,
+        "blt" => CmpCond::Lt,
+        "ble" => CmpCond::Le,
+        "bgt" => CmpCond::Gt,
+        "bge" => CmpCond::Ge,
+        _ => return None,
+    })
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    AluOp::ALL.into_iter().find(|op| op.mnemonic() == mnemonic)
+}
+
+/// Strips a `#` comment and surrounding whitespace.
+fn logical_line(raw: &str) -> &str {
+    let code = raw.split('#').next().unwrap_or("");
+    code.trim()
+}
+
+/// One source line after label/comment stripping: the mnemonic plus its
+/// comma-separated operand list.
+fn split_operands(rest: &str) -> Vec<String> {
+    if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim().to_string()).collect()
+    }
+}
+
+/// Assembles RISC-lite source text into a [`RiscProgram`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: lexical/shape errors in
+/// source order, then `UndefinedLabel` for targets that never resolve,
+/// then the whole-program checks (`EmptyProgram`, `FallsThroughEnd`).
+pub fn assemble(name: impl Into<String>, text: &str) -> Result<RiscProgram, AsmError> {
+    let name = name.into();
+
+    // Pass 1: count instructions per line and collect label definitions so
+    // forward branches resolve in pass 2.
+    let mut label_ids: HashMap<String, LabelId> = HashMap::new();
+    let mut labels: Vec<Label> = Vec::new();
+    let mut inst_count: u32 = 0;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut line = logical_line(raw);
+        while let Some(colon) = line.find(':') {
+            let label = line[..colon].trim();
+            if !label_name_ok(label) {
+                return Err(err(lineno, AsmErrorKind::BadLabel(label.to_string())));
+            }
+            if label_ids.contains_key(label) {
+                return Err(err(lineno, AsmErrorKind::DuplicateLabel(label.to_string())));
+            }
+            label_ids.insert(label.to_string(), LabelId(u32::try_from(labels.len()).expect("label count fits u32")));
+            labels.push(Label { name: label.to_string(), pos: inst_count });
+            line = line[colon + 1..].trim();
+        }
+        if !line.is_empty() {
+            inst_count += 1;
+        }
+    }
+
+    if inst_count == 0 {
+        return Err(err(0, AsmErrorKind::EmptyProgram));
+    }
+    for l in &labels {
+        if l.pos >= inst_count {
+            return Err(err(0, AsmErrorKind::LabelPastEnd(l.name.clone())));
+        }
+    }
+
+    // Pass 2: parse instructions, resolving targets through the table.
+    let mut insts: Vec<Inst> = Vec::with_capacity(inst_count as usize);
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut line = logical_line(raw);
+        while let Some(colon) = line.find(':') {
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (mnemonic_tok, rest) = match line.split_once(char::is_whitespace) {
+            Some((m, rest)) => (m, rest),
+            None => (line, ""),
+        };
+        let ops = split_operands(rest);
+        let expect = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    lineno,
+                    AsmErrorKind::WrongOperandCount {
+                        mnemonic: mnemonic_tok.to_string(),
+                        expected: n,
+                        found: ops.len(),
+                    },
+                ))
+            }
+        };
+        let resolve = |label: &str| -> Result<LabelId, AsmError> {
+            label_ids
+                .get(label)
+                .copied()
+                .ok_or_else(|| err(lineno, AsmErrorKind::UndefinedLabel(label.to_string())))
+        };
+
+        let (base_mnemonic, class) = split_class(mnemonic_tok, lineno)?;
+        if class.is_some() && !matches!(base_mnemonic, "lw" | "sw") {
+            return Err(err(lineno, AsmErrorKind::UnknownMnemonic(mnemonic_tok.to_string())));
+        }
+
+        let inst = if let Some(op) = alu_op(base_mnemonic) {
+            expect(3)?;
+            Inst::Alu {
+                op,
+                rd: parse_reg(&ops[0], lineno)?,
+                rs1: parse_reg(&ops[1], lineno)?,
+                rhs: parse_reg_or_imm(&ops[2], lineno)?,
+            }
+        } else if let Some(cond) = branch_cond(base_mnemonic) {
+            expect(3)?;
+            Inst::B {
+                cond,
+                rs1: parse_reg(&ops[0], lineno)?,
+                rhs: parse_reg_or_imm(&ops[1], lineno)?,
+                target: resolve(&ops[2])?,
+            }
+        } else {
+            match base_mnemonic {
+                "li" => {
+                    expect(2)?;
+                    Inst::Li { rd: parse_reg(&ops[0], lineno)?, imm: parse_imm(&ops[1], lineno)? }
+                }
+                "mv" => {
+                    expect(2)?;
+                    Inst::Mv { rd: parse_reg(&ops[0], lineno)?, rs: parse_reg(&ops[1], lineno)? }
+                }
+                "lw" => {
+                    expect(2)?;
+                    let rd = parse_reg(&ops[0], lineno)?;
+                    let (offset, base) = parse_mem_operand(&ops[1], lineno)?;
+                    Inst::Lw { rd, base, offset, class }
+                }
+                "sw" => {
+                    expect(2)?;
+                    let src = parse_reg(&ops[0], lineno)?;
+                    let (offset, base) = parse_mem_operand(&ops[1], lineno)?;
+                    Inst::Sw { src, base, offset, class }
+                }
+                "j" => {
+                    expect(1)?;
+                    Inst::J { target: resolve(&ops[0])? }
+                }
+                "halt" => {
+                    expect(0)?;
+                    Inst::Halt
+                }
+                other => {
+                    return Err(err(lineno, AsmErrorKind::UnknownMnemonic(other.to_string())));
+                }
+            }
+        };
+        insts.push(inst);
+    }
+
+    if !insts.last().expect("non-empty checked above").ends_stream() {
+        return Err(err(0, AsmErrorKind::FallsThroughEnd));
+    }
+
+    Ok(RiscProgram { name, insts, labels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_and_prints_a_small_program() {
+        let src = "\
+# sum r1 words from r0
+    li r2, 0
+loop:
+    lw.c1 r3, 0(r0)
+    add r2, r2, r3
+    add r0, r0, 1
+    sub r1, r1, 1
+    bgt r1, 0, loop
+    sw r2, 0(r4)
+    halt
+";
+        let p = assemble("sum", src).expect("assembles");
+        assert_eq!(p.insts.len(), 8);
+        assert_eq!(p.labels.len(), 1);
+        assert_eq!(p.labels[0].pos, 1);
+        let printed = p.to_string();
+        let p2 = assemble("sum", &printed).expect("round-trips");
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let p = assemble("t", "top: li r1, 5\n    j top\n").expect("assembles");
+        assert_eq!(p.insts.len(), 2);
+        assert_eq!(p.labels[0].pos, 0);
+    }
+
+    #[test]
+    fn negative_immediates_and_register_rhs() {
+        let p = assemble("t", "    li r1, -9\n    add r2, r1, r1\n    halt\n").unwrap();
+        assert_eq!(p.insts[0], Inst::Li { rd: RReg(1), imm: -9 });
+        assert_eq!(
+            p.insts[1],
+            Inst::Alu { op: AluOp::Add, rd: RReg(2), rs1: RReg(1), rhs: RVal::Reg(RReg(1)) }
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The RISC-lite ↔ IR differential conformance oracle.
+//!
+//! [`conformance_check`] runs a program through the RISC-lite reference
+//! interpreter and its (possibly transformed) IR translation through
+//! `epic_interp::run` on the same input, then compares every observable:
+//! the final memory image word-for-word, and the final value of every
+//! live-out architectural register. Passing the *translated* function
+//! proves the translator; passing a *pipeline-optimized* function proves —
+//! by transitivity through `diff_test` — that the whole compilation stack
+//! preserves the ISA's semantics.
+
+use std::fmt;
+
+use epic_interp::{run, Input};
+use epic_ir::Function;
+
+use crate::interp::{run_risc, RiscTrap};
+use crate::isa::{RiscProgram, NUM_REGS};
+
+/// A divergence between the RISC-lite interpreter and an IR execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConformanceError {
+    /// The RISC-lite reference interpreter trapped (corpus programs are
+    /// trap-free by construction, so this is a generator/source bug).
+    RiscTrapped(RiscTrap),
+    /// The IR execution trapped while the reference completed.
+    IrTrapped(String),
+    /// Final memory images differ.
+    MemoryMismatch {
+        /// First differing word address.
+        addr: usize,
+        /// The RISC-lite interpreter's value.
+        risc: i64,
+        /// The IR interpreter's value.
+        ir: i64,
+    },
+    /// Final memory images have different sizes.
+    MemorySize {
+        /// The RISC-lite interpreter's image size.
+        risc: usize,
+        /// The IR interpreter's image size.
+        ir: usize,
+    },
+    /// A live-out architectural register differs.
+    RegMismatch {
+        /// The architectural register index.
+        reg: u32,
+        /// The RISC-lite interpreter's value.
+        risc: i64,
+        /// The IR interpreter's value.
+        ir: i64,
+    },
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceError::RiscTrapped(t) => write!(f, "RISC-lite interpreter trapped: {t}"),
+            ConformanceError::IrTrapped(t) => write!(f, "IR execution trapped: {t}"),
+            ConformanceError::MemoryMismatch { addr, risc, ir } => {
+                write!(f, "memory[{addr}]: RISC-lite has {risc}, IR has {ir}")
+            }
+            ConformanceError::MemorySize { risc, ir } => {
+                write!(f, "memory image size: RISC-lite has {risc}, IR has {ir}")
+            }
+            ConformanceError::RegMismatch { reg, risc, ir } => {
+                write!(f, "r{reg}: RISC-lite has {risc}, IR has {ir}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+/// Checks that `func` (the translation of `prog`, possibly after any
+/// number of semantics-preserving transformations) agrees with the
+/// RISC-lite reference interpreter on `input`.
+///
+/// # Errors
+///
+/// Returns the first observed [`ConformanceError`].
+pub fn conformance_check(
+    prog: &RiscProgram,
+    func: &Function,
+    input: &Input,
+) -> Result<(), ConformanceError> {
+    let risc = run_risc(prog, input).map_err(ConformanceError::RiscTrapped)?;
+    let ir = run(func, input).map_err(|t| ConformanceError::IrTrapped(t.to_string()))?;
+
+    if risc.memory.len() != ir.memory.len() {
+        return Err(ConformanceError::MemorySize { risc: risc.memory.len(), ir: ir.memory.len() });
+    }
+    for (addr, (&a, &b)) in risc.memory.iter().zip(ir.memory.iter()).enumerate() {
+        if a != b {
+            return Err(ConformanceError::MemoryMismatch { addr, risc: a, ir: b });
+        }
+    }
+    for &r in func.live_outs() {
+        if (r.0 as usize) >= NUM_REGS {
+            continue; // translator temporaries are not architectural state
+        }
+        let rv = risc.regs[r.0 as usize];
+        let iv = ir.regs.get(r.0 as usize).copied().unwrap_or(0);
+        if rv != iv {
+            return Err(ConformanceError::RegMismatch { reg: r.0, risc: rv, ir: iv });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::translate::translate;
+    use epic_ir::Reg;
+
+    #[test]
+    fn translated_program_conforms() {
+        let src = "\
+    li r2, 1
+loop:
+    mul r2, r2, r1
+    sub r1, r1, 1
+    bgt r1, 1, loop
+    sw r2, 0(r3)
+    halt
+";
+        let p = assemble("fact", src).unwrap();
+        let f = translate(&p);
+        for n in 2..9 {
+            let input = Input::new().memory_size(4).with_reg(Reg(1), n);
+            conformance_check(&p, &f, &input).expect("conforms");
+        }
+    }
+
+    #[test]
+    fn a_wrong_translation_is_caught() {
+        let p = assemble("t", "    li r1, 5\n    sw r1, 0(r0)\n    halt\n").unwrap();
+        let q = assemble("t", "    li r1, 6\n    sw r1, 0(r0)\n    halt\n").unwrap();
+        let wrong = translate(&q);
+        let e = conformance_check(&p, &wrong, &Input::new().memory_size(1)).unwrap_err();
+        assert!(matches!(
+            e,
+            ConformanceError::MemoryMismatch { addr: 0, risc: 5, ir: 6 }
+                | ConformanceError::RegMismatch { reg: 1, risc: 5, ir: 6 }
+        ));
+    }
+}

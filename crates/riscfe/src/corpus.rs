@@ -1,0 +1,456 @@
+//! The seeded RISC-lite corpus generator.
+//!
+//! The hand-built workloads top out around 60 IR ops; ICBM, scheduling and
+//! incremental liveness only show their asymptotics well past that. This
+//! module scales the fuzz-generator idea up to a *corpus* mode: seeded,
+//! structured RISC-lite programs of 1k–10k+ static instructions mixing the
+//! control shapes the paper cares about — deep consecutive-branch chains
+//! (CPR's raw material), counted loop nests, and diamond/triangle
+//! conditionals — plus an ALU/memory operation mix.
+//!
+//! Generated programs are **trap-free and terminating by construction**,
+//! using the same techniques as `epic-fuzz`:
+//!
+//! * every loop is counted on a reserved counter register (`r24..r31`, one
+//!   per nesting depth) and bounded by a small constant, and every other
+//!   branch is strictly forward;
+//! * every memory address is `and`-masked into the 256-word image before
+//!   use, with offsets sized so `mask + offset` stays in bounds;
+//! * divides and remainders take a non-zero immediate divisor; shifts take
+//!   a small immediate count.
+//!
+//! Memory alias classes are assigned *soundly*: class-1 accesses are
+//! masked into words `0..128`, class-2 accesses into words `128..255`, and
+//! unclassed accesses may roam the whole image — so the IR-level promise
+//! that distinct classes never alias holds on every execution.
+//!
+//! The generator tracks an estimated dynamic instruction count (static
+//! cost × the product of enclosing loop bounds) and stops opening loops
+//! once it passes a budget, so even 10k-op programs execute in well under
+//! a million dynamic instructions — fast enough for profile-driven
+//! compilation to re-run them freely.
+
+use epic_interp::Input;
+use epic_ir::Reg;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::asm::assemble;
+use crate::isa::RiscProgram;
+
+/// Words in a corpus program's memory image.
+pub const CORPUS_MEM_WORDS: usize = 256;
+
+/// Input argument registers (`r0..r5`): the generator never writes them.
+const INPUT_REGS: std::ops::Range<u8> = 0..6;
+/// Mutable register pool (`r6..r21`).
+const POOL_REGS: std::ops::Range<u8> = 6..22;
+/// Address-scratch register, reserved for masking.
+const ADDR_REG: u8 = 22;
+/// First loop-counter register; depth `d` uses `r{24+d}`.
+const COUNTER_BASE: u8 = 24;
+/// Maximum loop-nest depth.
+const MAX_LOOP_DEPTH: u32 = 3;
+/// Product of enclosing loop bounds above which no further loop opens.
+const MAX_MULT: u64 = 512;
+/// Estimated-dynamic-instruction budget; loops stop opening past it.
+const DYN_BUDGET: u64 = 300_000;
+
+/// The control-shape mix a corpus program is built from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorpusStyle {
+    /// Deep consecutive-branch chains dominate (CPR's raw material).
+    Chains,
+    /// Diamond/triangle conditionals dominate (melding material).
+    Diamonds,
+    /// Counted loop nests dominate (unrolling/superblock material).
+    Loops,
+    /// An even mix of all shapes.
+    Mixed,
+}
+
+impl CorpusStyle {
+    /// Percentage weights for (straight, chain, diamond, triangle, loop).
+    fn weights(self) -> [u32; 5] {
+        match self {
+            CorpusStyle::Chains => [15, 55, 10, 10, 10],
+            CorpusStyle::Diamonds => [15, 10, 35, 30, 10],
+            CorpusStyle::Loops => [20, 15, 15, 15, 35],
+            CorpusStyle::Mixed => [20, 25, 20, 15, 20],
+        }
+    }
+}
+
+/// A generated corpus program: canonical text, the assembled form, and its
+/// seeded inputs (the first is the training input).
+#[derive(Clone, Debug)]
+pub struct CorpusProgram {
+    /// The program name.
+    pub name: String,
+    /// The RISC-lite source text.
+    pub text: String,
+    /// The assembled program.
+    pub prog: RiscProgram,
+    /// Seeded execution inputs; `inputs[0]` is the training input.
+    pub inputs: Vec<Input>,
+}
+
+struct Gen {
+    rng: StdRng,
+    out: String,
+    insts: usize,
+    labels: u32,
+    /// Product of enclosing loop bounds.
+    mult: u64,
+    /// Estimated dynamic instructions emitted so far.
+    dyn_est: u64,
+}
+
+impl Gen {
+    fn fresh_label(&mut self) -> String {
+        let l = self.labels;
+        self.labels += 1;
+        format!("L{l}")
+    }
+
+    fn emit(&mut self, line: &str) {
+        self.out.push_str("    ");
+        self.out.push_str(line);
+        self.out.push('\n');
+        self.insts += 1;
+        self.dyn_est = self.dyn_est.saturating_add(self.mult);
+    }
+
+    fn place(&mut self, label: &str) {
+        self.out.push_str(label);
+        self.out.push_str(":\n");
+    }
+
+    fn pool_reg(&mut self) -> u8 {
+        self.rng.gen_range(POOL_REGS)
+    }
+
+    fn src_reg(&mut self) -> u8 {
+        // Mostly pool values (which evolve), sometimes a raw input.
+        if self.rng.gen_range(0u32..100) < 25 {
+            self.rng.gen_range(INPUT_REGS)
+        } else {
+            self.pool_reg()
+        }
+    }
+
+    /// One trap-free ALU instruction.
+    fn alu(&mut self) {
+        let rd = self.pool_reg();
+        let rs = self.src_reg();
+        match self.rng.gen_range(0u32..100) {
+            0..=44 => {
+                let op = ["add", "sub", "xor", "or", "and"][self.rng.gen_range(0usize..5)];
+                if self.rng.gen_range(0u32..2) == 0 {
+                    let rt = self.src_reg();
+                    self.emit(&format!("{op} r{rd}, r{rs}, r{rt}"));
+                } else {
+                    let imm = self.rng.gen_range(-64i64..=64);
+                    self.emit(&format!("{op} r{rd}, r{rs}, {imm}"));
+                }
+            }
+            45..=59 => {
+                let rt = self.src_reg();
+                self.emit(&format!("mul r{rd}, r{rs}, r{rt}"));
+            }
+            60..=69 => {
+                // Non-zero immediate divisor keeps divides trap-free.
+                let mut imm = self.rng.gen_range(-9i64..=9);
+                if imm == 0 {
+                    imm = 3;
+                }
+                let op = if self.rng.gen_range(0u32..2) == 0 { "div" } else { "rem" };
+                self.emit(&format!("{op} r{rd}, r{rs}, {imm}"));
+            }
+            70..=79 => {
+                let op = if self.rng.gen_range(0u32..2) == 0 { "shl" } else { "shr" };
+                let imm = self.rng.gen_range(0i64..8);
+                self.emit(&format!("{op} r{rd}, r{rs}, {imm}"));
+            }
+            80..=89 => {
+                let imm = self.rng.gen_range(-1000i64..=1000);
+                self.emit(&format!("li r{rd}, {imm}"));
+            }
+            _ => {
+                self.emit(&format!("mv r{rd}, r{rs}"));
+            }
+        }
+    }
+
+    /// One trap-free memory access: mask an evolving value into the image,
+    /// then load or store through it, with a sound alias class.
+    fn mem(&mut self) {
+        let rs = self.src_reg();
+        let a = ADDR_REG;
+        // (mask, region base, max offset, class suffix)
+        let (mask, base, off_range, class) = match self.rng.gen_range(0u32..3) {
+            0 => (63, 0, 64, ".c1"),    // words 0..127
+            1 => (63, 128, 64, ".c2"),  // words 128..254
+            _ => (127, 0, 128, ""),     // whole image (may alias anything)
+        };
+        self.emit(&format!("and r{a}, r{rs}, {mask}"));
+        if base != 0 {
+            self.emit(&format!("add r{a}, r{a}, {base}"));
+        }
+        let off = self.rng.gen_range(0i64..off_range);
+        if self.rng.gen_range(0u32..100) < 55 {
+            let rd = self.pool_reg();
+            self.emit(&format!("lw{class} r{rd}, {off}(r{a})"));
+        } else {
+            let rv = self.src_reg();
+            self.emit(&format!("sw{class} r{rv}, {off}(r{a})"));
+        }
+    }
+
+    /// `k` straight-line ALU/memory instructions.
+    fn straight(&mut self, k: u32) {
+        for _ in 0..k {
+            if self.rng.gen_range(0u32..100) < 30 {
+                self.mem();
+            } else {
+                self.alu();
+            }
+        }
+    }
+
+    /// A consecutive-branch chain: `k` compare-and-branch side exits to a
+    /// common forward join, each preceded by a little separable compute.
+    fn chain(&mut self, k: u32) {
+        let join = self.fresh_label();
+        for _ in 0..k {
+            let n = self.rng.gen_range(1u32..=2);
+            self.straight(n);
+            let rs = self.pool_reg();
+            // Bias toward rarely-taken equality exits so profiles form long
+            // hot traces — the shape CPR is built to compress.
+            let (mn, imm) = if self.rng.gen_range(0u32..100) < 70 {
+                ("beq", self.rng.gen_range(-3i64..=3))
+            } else {
+                let mn = ["bne", "blt", "bgt", "ble", "bge"][self.rng.gen_range(0usize..5)];
+                (mn, self.rng.gen_range(-50i64..=50))
+            };
+            self.emit(&format!("{mn} r{rs}, {imm}, {join}"));
+        }
+        self.straight(1);
+        self.place(&join);
+    }
+
+    /// An if/then/else diamond.
+    fn diamond(&mut self) {
+        let els = self.fresh_label();
+        let end = self.fresh_label();
+        let rs = self.pool_reg();
+        let mn = ["beq", "bne", "blt", "bgt"][self.rng.gen_range(0usize..4)];
+        let imm = self.rng.gen_range(-20i64..=20);
+        self.emit(&format!("{mn} r{rs}, {imm}, {els}"));
+        let then_n = self.rng.gen_range(1u32..=4);
+        self.straight(then_n);
+        self.emit(&format!("j {end}"));
+        self.place(&els);
+        let else_n = self.rng.gen_range(1u32..=4);
+        self.straight(else_n);
+        self.place(&end);
+    }
+
+    /// A branch-over triangle.
+    fn triangle(&mut self) {
+        let skip = self.fresh_label();
+        let rs = self.pool_reg();
+        let mn = ["beq", "bne", "bge", "ble"][self.rng.gen_range(0usize..4)];
+        let imm = self.rng.gen_range(-20i64..=20);
+        self.emit(&format!("{mn} r{rs}, {imm}, {skip}"));
+        let n = self.rng.gen_range(1u32..=4);
+        self.straight(n);
+        self.place(&skip);
+    }
+
+    /// A counted loop on the depth-reserved counter register.
+    fn counted_loop(&mut self, style: CorpusStyle, depth: u32) {
+        let iters = i64::from(self.rng.gen_range(2u32..=6));
+        let counter = COUNTER_BASE + u8::try_from(depth).expect("depth < 8");
+        let head = self.fresh_label();
+        self.emit(&format!("li r{counter}, 0"));
+        self.place(&head);
+        self.mult *= iters.unsigned_abs();
+        let body = self.rng.gen_range(2u32..=3);
+        for _ in 0..body {
+            self.segment(style, depth + 1);
+        }
+        self.emit(&format!("add r{counter}, r{counter}, 1"));
+        self.emit(&format!("blt r{counter}, {iters}, {head}"));
+        self.mult /= iters.unsigned_abs();
+    }
+
+    /// One structured segment chosen by the style's weights.
+    fn segment(&mut self, style: CorpusStyle, depth: u32) {
+        let w = style.weights();
+        let loop_ok = depth < MAX_LOOP_DEPTH
+            && self.mult * 6 <= MAX_MULT
+            && self.dyn_est < DYN_BUDGET;
+        let total: u32 = w.iter().sum();
+        let mut pick = self.rng.gen_range(0u32..total);
+        let mut idx = 0;
+        for (i, &wi) in w.iter().enumerate() {
+            if pick < wi {
+                idx = i;
+                break;
+            }
+            pick -= wi;
+        }
+        match idx {
+            0 => {
+                let n = self.rng.gen_range(3u32..=8);
+                self.straight(n);
+            }
+            1 => {
+                let k = self.rng.gen_range(3u32..=9);
+                self.chain(k);
+            }
+            2 => self.diamond(),
+            3 => self.triangle(),
+            _ => {
+                if loop_ok {
+                    self.counted_loop(style, depth);
+                } else {
+                    let n = self.rng.gen_range(3u32..=8);
+                    self.straight(n);
+                }
+            }
+        }
+    }
+}
+
+/// Generates the RISC-lite source text for one corpus program.
+///
+/// Deterministic per `(seed, target_ops, style)`; the emitted program has
+/// at least `target_ops` instructions (generation stops at the first
+/// segment boundary past the target).
+pub fn generate_text(seed: u64, target_ops: usize, style: CorpusStyle) -> String {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed ^ 0x5EED_C0DE),
+        out: String::new(),
+        insts: 0,
+        labels: 0,
+        mult: 1,
+        dyn_est: 0,
+    };
+    // Seed the pool from the input registers so early branches see varied,
+    // input-dependent values.
+    for (k, r) in POOL_REGS.enumerate() {
+        let src = u8::try_from(k % INPUT_REGS.len()).expect("input regs fit u8");
+        let imm = g.rng.gen_range(-40i64..=40);
+        g.emit(&format!("add r{r}, r{src}, {imm}"));
+    }
+    while g.insts < target_ops {
+        g.segment(style, 0);
+    }
+    // Make a summary observable through memory as well as the register
+    // file: fold a few pool registers into fixed output words.
+    for (k, r) in POOL_REGS.take(4).enumerate() {
+        g.emit(&format!("li r{ADDR_REG}, {}", 250 + k));
+        g.emit(&format!("sw r{r}, 0(r{ADDR_REG})"));
+    }
+    g.emit("halt");
+    g.out
+}
+
+/// Seeded inputs for a corpus program: a randomized 256-word image and
+/// randomized argument registers `r0..r5`, three variants per seed.
+pub fn corpus_inputs(seed: u64) -> Vec<Input> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1217_0BED);
+    (0..3)
+        .map(|_| {
+            let words: Vec<i64> = (0..CORPUS_MEM_WORDS).map(|_| rng.gen_range(-16i64..=16)).collect();
+            let mut input = Input::new().memory_size(CORPUS_MEM_WORDS).with_memory(0, &words);
+            for r in INPUT_REGS {
+                input = input.with_reg(Reg(u32::from(r)), rng.gen_range(-100i64..=100));
+            }
+            input
+        })
+        .collect()
+}
+
+/// Generates a complete corpus program (text, assembled form, inputs).
+///
+/// # Panics
+///
+/// Panics if the generated text does not assemble — that is a generator
+/// bug, and the property tests keep it honest.
+pub fn generate_corpus(name: &str, seed: u64, target_ops: usize, style: CorpusStyle) -> CorpusProgram {
+    let text = generate_text(seed, target_ops, style);
+    let prog = assemble(name, &text)
+        .unwrap_or_else(|e| panic!("corpus generator emitted unassemblable text for seed {seed}: {e}"));
+    CorpusProgram { name: name.to_string(), text, prog, inputs: corpus_inputs(seed) }
+}
+
+/// The fixed-seed corpus: the six "large tier" programs registered as
+/// first-class workloads. Names, seeds and sizes are frozen — tables and
+/// benchmarks key on them.
+pub fn fixed_corpus() -> Vec<CorpusProgram> {
+    vec![
+        generate_corpus("corpus.chain.1k", 101, 1000, CorpusStyle::Chains),
+        generate_corpus("corpus.diamond.1k", 202, 1000, CorpusStyle::Diamonds),
+        generate_corpus("corpus.loops.2k", 303, 2000, CorpusStyle::Loops),
+        generate_corpus("corpus.mixed.4k", 404, 4000, CorpusStyle::Mixed),
+        generate_corpus("corpus.chain.6k", 505, 6000, CorpusStyle::Chains),
+        generate_corpus("corpus.mixed.10k", 606, 10_000, CorpusStyle::Mixed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_risc;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_text(42, 500, CorpusStyle::Mixed);
+        let b = generate_text(42, 500, CorpusStyle::Mixed);
+        assert_eq!(a, b);
+        let c = generate_text(43, 500, CorpusStyle::Mixed);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_programs_assemble_run_and_terminate() {
+        for seed in 0..12 {
+            let cp = generate_corpus("t", seed, 300, CorpusStyle::Mixed);
+            assert!(cp.prog.insts.len() >= 300);
+            for (k, input) in cp.inputs.iter().enumerate() {
+                let out = run_risc(&cp.prog, input)
+                    .unwrap_or_else(|e| panic!("seed {seed} input {k}: {e}"));
+                assert!(out.dynamic_insts > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_translate_and_conform() {
+        for seed in 100..106 {
+            let cp = generate_corpus("t", seed, 200, CorpusStyle::Mixed);
+            let f = crate::translate::translate(&cp.prog);
+            epic_ir::verify(&f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            for (k, input) in cp.inputs.iter().enumerate() {
+                crate::conform::conformance_check(&cp.prog, &f, input)
+                    .unwrap_or_else(|e| panic!("seed {seed} input {k}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_corpus_has_the_size_tiers() {
+        let corpus = fixed_corpus();
+        assert_eq!(corpus.len(), 6);
+        let sizes: Vec<usize> = corpus.iter().map(|c| c.prog.insts.len()).collect();
+        assert!(sizes[0] >= 1000 && sizes[5] >= 10_000, "{sizes:?}");
+        assert!(corpus.iter().any(|c| c.prog.insts.len() >= 5000), "{sizes:?}");
+        for c in &corpus {
+            assert_eq!(c.inputs.len(), 3);
+        }
+    }
+}

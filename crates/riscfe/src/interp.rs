@@ -1,0 +1,249 @@
+//! The RISC-lite reference interpreter.
+//!
+//! This is the *semantic anchor* of the frontend: it executes the ISA
+//! directly, with no IR in sight, and its arithmetic/trap behaviour
+//! mirrors `epic-interp`'s decode loop exactly (wrapping two's-complement
+//! arithmetic, divide-by-zero traps on an executed divide, wrapping
+//! shifts by the low bits of the count, word-addressed memory with
+//! out-of-bounds traps, and a fuel budget). The differential conformance
+//! suite then checks: RISC-lite interpreter == translated IR under
+//! `epic_interp::run` == optimized IR, on every input.
+//!
+//! It consumes the same [`epic_interp::Input`] type as the IR interpreter
+//! — architectural register `rN` reads `Input` register `Reg(N)` — so one
+//! input value drives both sides of the comparison.
+
+use std::fmt;
+
+use epic_interp::Input;
+
+use crate::isa::{AluOp, Inst, RReg, RVal, RiscProgram, NUM_REGS};
+
+/// An abnormal termination of RISC-lite interpretation.
+///
+/// The variants deliberately parallel `epic_interp::Trap`; the indices
+/// refer to instruction positions rather than IR op ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RiscTrap {
+    /// The fuel budget was exhausted.
+    OutOfFuel,
+    /// A load or store addressed memory outside the image.
+    MemoryOutOfBounds {
+        /// Index of the faulting instruction.
+        pc: usize,
+        /// The out-of-range word address.
+        addr: i64,
+        /// The size of the memory image in words.
+        size: usize,
+    },
+    /// An executed `div`/`rem` had a zero divisor.
+    DivideByZero {
+        /// Index of the faulting instruction.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for RiscTrap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RiscTrap::OutOfFuel => write!(f, "out of fuel (probable infinite loop)"),
+            RiscTrap::MemoryOutOfBounds { pc, addr, size } => {
+                write!(f, "inst {pc}: memory access at {addr} outside image of {size} words")
+            }
+            RiscTrap::DivideByZero { pc } => write!(f, "inst {pc}: divide by zero"),
+        }
+    }
+}
+
+impl std::error::Error for RiscTrap {}
+
+/// The observable result of a completed RISC-lite execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RiscOutcome {
+    /// Final memory image.
+    pub memory: Vec<i64>,
+    /// Final architectural register file (`r0..r31`).
+    pub regs: [i64; NUM_REGS],
+    /// Instructions executed.
+    pub dynamic_insts: u64,
+    /// Branch instructions executed (conditional or not, plus `halt`).
+    pub dynamic_branches: u64,
+}
+
+fn alu(op: AluOp, a: i64, b: i64, pc: usize) -> Result<i64, RiscTrap> {
+    Ok(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                return Err(RiscTrap::DivideByZero { pc });
+            }
+            a.wrapping_div(b)
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                return Err(RiscTrap::DivideByZero { pc });
+            }
+            a.wrapping_rem(b)
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        AluOp::Shr => a.wrapping_shr(b as u32),
+    })
+}
+
+/// Runs `prog` to completion on `input`.
+///
+/// Architectural registers start at zero except where `input` assigns a
+/// value to `Reg(N)` with `N < 32`; assignments to higher IR registers are
+/// ignored (they name translator temporaries, not architectural state).
+///
+/// # Errors
+///
+/// Returns a [`RiscTrap`] on out-of-bounds memory access, an executed
+/// divide by zero, or fuel exhaustion.
+pub fn run_risc(prog: &RiscProgram, input: &Input) -> Result<RiscOutcome, RiscTrap> {
+    let mut regs = [0i64; NUM_REGS];
+    for &(r, v) in input.initial_regs() {
+        if (r.0 as usize) < NUM_REGS {
+            regs[r.0 as usize] = v;
+        }
+    }
+    let mut memory: Vec<i64> = input.initial_memory().to_vec();
+    let mut fuel = input.fuel_budget();
+    let mut dynamic_insts: u64 = 0;
+    let mut dynamic_branches: u64 = 0;
+
+    let rd = |regs: &[i64; NUM_REGS], r: RReg| regs[r.0 as usize];
+    let val = |regs: &[i64; NUM_REGS], v: RVal| match v {
+        RVal::Reg(r) => regs[r.0 as usize],
+        RVal::Imm(i) => i,
+    };
+
+    let mut pc: usize = 0;
+    loop {
+        if fuel == 0 {
+            return Err(RiscTrap::OutOfFuel);
+        }
+        fuel -= 1;
+        dynamic_insts += 1;
+        let inst = &prog.insts[pc];
+        match inst {
+            Inst::Alu { op, rd: d, rs1, rhs } => {
+                let r = alu(*op, rd(&regs, *rs1), val(&regs, *rhs), pc)?;
+                regs[d.0 as usize] = r;
+            }
+            Inst::Li { rd: d, imm } => regs[d.0 as usize] = *imm,
+            Inst::Mv { rd: d, rs } => regs[d.0 as usize] = rd(&regs, *rs),
+            Inst::Lw { rd: d, base, offset, .. } => {
+                let addr = rd(&regs, *base).wrapping_add(*offset);
+                let Ok(idx) = usize::try_from(addr) else {
+                    return Err(RiscTrap::MemoryOutOfBounds { pc, addr, size: memory.len() });
+                };
+                let Some(&v) = memory.get(idx) else {
+                    return Err(RiscTrap::MemoryOutOfBounds { pc, addr, size: memory.len() });
+                };
+                regs[d.0 as usize] = v;
+            }
+            Inst::Sw { src, base, offset, .. } => {
+                let addr = rd(&regs, *base).wrapping_add(*offset);
+                let v = rd(&regs, *src);
+                let Ok(idx) = usize::try_from(addr) else {
+                    return Err(RiscTrap::MemoryOutOfBounds { pc, addr, size: memory.len() });
+                };
+                let Some(slot) = memory.get_mut(idx) else {
+                    return Err(RiscTrap::MemoryOutOfBounds { pc, addr, size: memory.len() });
+                };
+                *slot = v;
+            }
+            Inst::B { cond, rs1, rhs, target } => {
+                dynamic_branches += 1;
+                if cond.eval(rd(&regs, *rs1), val(&regs, *rhs)) {
+                    pc = prog.label_pos(*target) as usize;
+                    continue;
+                }
+            }
+            Inst::J { target } => {
+                dynamic_branches += 1;
+                pc = prog.label_pos(*target) as usize;
+                continue;
+            }
+            Inst::Halt => {
+                dynamic_branches += 1;
+                return Ok(RiscOutcome { memory, regs, dynamic_insts, dynamic_branches });
+            }
+        }
+        pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_src(src: &str, input: &Input) -> RiscOutcome {
+        run_risc(&assemble("t", src).expect("assembles"), input).expect("runs")
+    }
+
+    #[test]
+    fn sums_a_buffer() {
+        let src = "\
+    li r2, 0
+loop:
+    lw r3, 0(r0)
+    add r2, r2, r3
+    add r0, r0, 1
+    sub r1, r1, 1
+    bgt r1, 0, loop
+    sw r2, 7(r4)
+    halt
+";
+        let input = Input::new()
+            .memory_size(16)
+            .with_memory(0, &[1, 2, 3, 4])
+            .with_reg(epic_ir::Reg(1), 4);
+        let out = run_src(src, &input);
+        assert_eq!(out.regs[2], 10);
+        assert_eq!(out.memory[7], 10);
+        assert!(out.dynamic_branches >= 5);
+    }
+
+    #[test]
+    fn wrapping_matches_two_complement() {
+        let src = format!("    li r1, {}\n    add r2, r1, 1\n    halt\n", i64::MAX);
+        let out = run_src(&src, &Input::new());
+        assert_eq!(out.regs[2], i64::MIN);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let p = assemble("t", "    li r1, 3\n    div r2, r1, r0\n    halt\n").unwrap();
+        assert_eq!(run_risc(&p, &Input::new()), Err(RiscTrap::DivideByZero { pc: 1 }));
+    }
+
+    #[test]
+    fn oob_load_traps_and_negative_address_traps() {
+        let p = assemble("t", "    lw r1, 9(r0)\n    halt\n").unwrap();
+        assert!(matches!(
+            run_risc(&p, &Input::new().memory_size(4)),
+            Err(RiscTrap::MemoryOutOfBounds { addr: 9, .. })
+        ));
+        let p = assemble("t", "    lw r1, -1(r0)\n    halt\n").unwrap();
+        assert!(matches!(
+            run_risc(&p, &Input::new().memory_size(4)),
+            Err(RiscTrap::MemoryOutOfBounds { addr: -1, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let p = assemble("t", "top:\n    j top\n").unwrap();
+        assert_eq!(run_risc(&p, &Input::new().fuel(10)), Err(RiscTrap::OutOfFuel));
+    }
+}

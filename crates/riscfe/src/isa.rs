@@ -1,0 +1,297 @@
+//! The RISC-lite instruction set: types and the canonical printer.
+//!
+//! The ISA is deliberately tiny — the point is not architectural realism
+//! but a *source language* whose programs are an order of magnitude larger
+//! than the hand-built workload shapes, so the translated IR exercises the
+//! pipeline at realistic sizes. It has:
+//!
+//! * 32 general registers `r0..r31`, each 64-bit signed;
+//! * the ten integer ALU operations of the PlayDoh IR core, with a
+//!   register or immediate second operand;
+//! * `li`/`mv` moves;
+//! * word-addressed loads and stores (`lw rd, off(rs)` / `sw rs, off(rb)`),
+//!   optionally tagged with one of the IR's memory alias classes via a
+//!   mnemonic suffix (`lw.c2`);
+//! * six compare-and-branch forms (`beq`/`bne`/`blt`/`ble`/`bgt`/`bge`)
+//!   against a register or immediate, an unconditional `j`, and `halt`.
+//!
+//! A [`RiscProgram`] owns its instruction sequence and a label table;
+//! branch targets refer to label-table indices, so printing and
+//! re-assembling a program round-trips exactly (see the property tests).
+
+use std::fmt;
+
+use epic_ir::CmpCond;
+
+/// Number of architectural registers (`r0..r31`).
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register `r0..r31`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RReg(pub u8);
+
+impl fmt::Display for RReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A register-or-immediate operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RVal {
+    /// A register operand.
+    Reg(RReg),
+    /// A signed immediate operand.
+    Imm(i64),
+}
+
+impl fmt::Display for RVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RVal::Reg(r) => write!(f, "{r}"),
+            RVal::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// The integer ALU operations (the IR's integer core, minus moves).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl AluOp {
+    /// All ALU operations, in mnemonic order.
+    pub const ALL: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+    ];
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        }
+    }
+}
+
+/// A branch-condition mnemonic maps 1:1 onto an IR [`CmpCond`].
+pub fn branch_mnemonic(cond: CmpCond) -> &'static str {
+    match cond {
+        CmpCond::Eq => "beq",
+        CmpCond::Ne => "bne",
+        CmpCond::Lt => "blt",
+        CmpCond::Le => "ble",
+        CmpCond::Gt => "bgt",
+        CmpCond::Ge => "bge",
+    }
+}
+
+/// Index into a program's label table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LabelId(pub u32);
+
+/// A named position in the instruction stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Label {
+    /// The label name as written in the source.
+    pub name: String,
+    /// The index of the instruction the label precedes.
+    pub pos: u32,
+}
+
+/// One RISC-lite instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Inst {
+    /// `op rd, rs1, rhs` — integer ALU operation.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        rd: RReg,
+        /// First source register.
+        rs1: RReg,
+        /// Second source (register or immediate).
+        rhs: RVal,
+    },
+    /// `li rd, imm` — load immediate.
+    Li {
+        /// Destination register.
+        rd: RReg,
+        /// The immediate.
+        imm: i64,
+    },
+    /// `mv rd, rs` — register move.
+    Mv {
+        /// Destination register.
+        rd: RReg,
+        /// Source register.
+        rs: RReg,
+    },
+    /// `lw rd, offset(base)` — word load, optionally alias-classed.
+    Lw {
+        /// Destination register.
+        rd: RReg,
+        /// Base address register.
+        base: RReg,
+        /// Word offset added to the base.
+        offset: i64,
+        /// Memory alias class (`lw.c<N>`), if any.
+        class: Option<u32>,
+    },
+    /// `sw rs, offset(base)` — word store, optionally alias-classed.
+    Sw {
+        /// The register whose value is stored.
+        src: RReg,
+        /// Base address register.
+        base: RReg,
+        /// Word offset added to the base.
+        offset: i64,
+        /// Memory alias class (`sw.c<N>`), if any.
+        class: Option<u32>,
+    },
+    /// `b<cond> rs1, rhs, label` — compare-and-branch.
+    B {
+        /// The comparison.
+        cond: CmpCond,
+        /// First compare source.
+        rs1: RReg,
+        /// Second compare source (register or immediate).
+        rhs: RVal,
+        /// Branch target.
+        target: LabelId,
+    },
+    /// `j label` — unconditional jump.
+    J {
+        /// Jump target.
+        target: LabelId,
+    },
+    /// `halt` — stop execution; final register/memory state is observable.
+    Halt,
+}
+
+impl Inst {
+    /// True for instructions after which control does not fall through
+    /// unconditionally (`j`, `halt`) or may transfer away (`b<cond>`).
+    pub fn is_control(&self) -> bool {
+        matches!(self, Inst::B { .. } | Inst::J { .. } | Inst::Halt)
+    }
+
+    /// True if control can never fall through to the next instruction.
+    pub fn ends_stream(&self) -> bool {
+        matches!(self, Inst::J { .. } | Inst::Halt)
+    }
+
+    /// The destination register written by this instruction, if any.
+    pub fn dest(&self) -> Option<RReg> {
+        match self {
+            Inst::Alu { rd, .. } | Inst::Li { rd, .. } | Inst::Mv { rd, .. } | Inst::Lw { rd, .. } => {
+                Some(*rd)
+            }
+            Inst::Sw { .. } | Inst::B { .. } | Inst::J { .. } | Inst::Halt => None,
+        }
+    }
+}
+
+/// A complete RISC-lite program: instructions plus a label table.
+///
+/// Invariants (established by the assembler, relied on by the interpreter
+/// and translator):
+/// * the program is non-empty and its last instruction is `j` or `halt`;
+/// * every label `pos` is `< insts.len()` and labels are sorted by `pos`
+///   in order of appearance;
+/// * every branch/jump `target` is a valid label-table index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RiscProgram {
+    /// The program name (becomes the IR function name).
+    pub name: String,
+    /// The instruction stream.
+    pub insts: Vec<Inst>,
+    /// The label table, in order of appearance.
+    pub labels: Vec<Label>,
+}
+
+impl RiscProgram {
+    /// The instruction position a label-table index refers to.
+    pub fn label_pos(&self, id: LabelId) -> u32 {
+        self.labels[id.0 as usize].pos
+    }
+
+    /// The name of a label-table index.
+    pub fn label_name(&self, id: LabelId) -> &str {
+        &self.labels[id.0 as usize].name
+    }
+}
+
+fn mem_mnemonic(base: &str, class: Option<u32>) -> String {
+    match class {
+        Some(c) => format!("{base}.c{c}"),
+        None => base.to_string(),
+    }
+}
+
+impl fmt::Display for RiscProgram {
+    /// Prints the canonical text form; `assemble` on the output yields an
+    /// identical program (round-trip property).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# program: {}", self.name)?;
+        let mut next_label = 0usize;
+        for (i, inst) in self.insts.iter().enumerate() {
+            while next_label < self.labels.len() && self.labels[next_label].pos as usize == i {
+                writeln!(f, "{}:", self.labels[next_label].name)?;
+                next_label += 1;
+            }
+            match inst {
+                Inst::Alu { op, rd, rs1, rhs } => {
+                    writeln!(f, "    {} {rd}, {rs1}, {rhs}", op.mnemonic())?;
+                }
+                Inst::Li { rd, imm } => writeln!(f, "    li {rd}, {imm}")?,
+                Inst::Mv { rd, rs } => writeln!(f, "    mv {rd}, {rs}")?,
+                Inst::Lw { rd, base, offset, class } => {
+                    writeln!(f, "    {} {rd}, {offset}({base})", mem_mnemonic("lw", *class))?;
+                }
+                Inst::Sw { src, base, offset, class } => {
+                    writeln!(f, "    {} {src}, {offset}({base})", mem_mnemonic("sw", *class))?;
+                }
+                Inst::B { cond, rs1, rhs, target } => {
+                    writeln!(
+                        f,
+                        "    {} {rs1}, {rhs}, {}",
+                        branch_mnemonic(*cond),
+                        self.label_name(*target)
+                    )?;
+                }
+                Inst::J { target } => writeln!(f, "    j {}", self.label_name(*target))?,
+                Inst::Halt => writeln!(f, "    halt")?,
+            }
+        }
+        Ok(())
+    }
+}

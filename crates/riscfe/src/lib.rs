@@ -1,0 +1,57 @@
+//! # epic-riscfe
+//!
+//! A RISC-lite frontend for the Control CPR reproduction: a tiny RISC-style
+//! instruction set (modeled on minimal RISC executors) with
+//!
+//! * a text [`assembler`](asm::assemble) producing structured errors,
+//! * a [reference interpreter](interp::run_risc) for the ISA itself, whose
+//!   semantics mirror `epic-interp`'s exactly,
+//! * a [translator](translate::translate) into PlayDoh IR — branches
+//!   become `cmpp` + guarded `pbr`/`branch` pairs with materialized
+//!   guards, and blocks are discovered from label/fall-through structure —
+//!   so translated programs flow through the full staged pipeline, cache,
+//!   schedule checker, server and tuner unchanged, and
+//! * a seeded [corpus generator](corpus) emitting structured programs of
+//!   1k–10k+ instructions, the suite's "large tier".
+//!
+//! The correctness story is differential: for every corpus program and
+//! input, the RISC-lite interpreter, the translated IR under
+//! `epic_interp::run`, and the fully optimized IR must agree on all
+//! observable state ([`conform::conformance_check`] plus the pipeline's
+//! own `diff_test`). The fuzz harness runs the same check as a dedicated
+//! stage over freshly generated programs.
+//!
+//! ```
+//! use epic_interp::Input;
+//! use epic_ir::Reg;
+//!
+//! let src = "
+//!     li r2, 0
+//! loop:
+//!     lw r3, 0(r0)
+//!     add r2, r2, r3
+//!     add r0, r0, 1
+//!     sub r1, r1, 1
+//!     bgt r1, 0, loop
+//!     halt
+//! ";
+//! let prog = epic_riscfe::assemble("sum", src).unwrap();
+//! let func = epic_riscfe::translate(&prog);
+//! epic_ir::verify(&func).unwrap();
+//! let input = Input::new().memory_size(8).with_memory(0, &[2, 3, 4]).with_reg(Reg(1), 3);
+//! epic_riscfe::conformance_check(&prog, &func, &input).unwrap();
+//! ```
+
+pub mod asm;
+pub mod conform;
+pub mod corpus;
+pub mod interp;
+pub mod isa;
+pub mod translate;
+
+pub use asm::{assemble, AsmError, AsmErrorKind};
+pub use conform::{conformance_check, ConformanceError};
+pub use corpus::{fixed_corpus, generate_corpus, CorpusProgram, CorpusStyle};
+pub use interp::{run_risc, RiscOutcome, RiscTrap};
+pub use isa::{AluOp, Inst, RReg, RVal, RiscProgram, NUM_REGS};
+pub use translate::translate;

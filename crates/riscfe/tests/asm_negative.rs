@@ -1,0 +1,191 @@
+//! Negative assembler suite: every malformed-input class maps to a
+//! structured [`AsmError`] with the right kind and source line — never a
+//! panic, never a silently wrong program. Mirrors the IR verifier's
+//! negative suite: one test per rejection class, asserting on the error
+//! *structure*, not just `is_err()`.
+
+use epic_riscfe::{assemble, AsmError, AsmErrorKind};
+
+/// Asserts that `text` fails with `kind` on `line` (1-based; 0 for
+/// whole-program errors).
+#[track_caller]
+fn rejects(text: &str, line: usize, kind: AsmErrorKind) {
+    let err = assemble("neg", text).expect_err("malformed program must not assemble");
+    assert_eq!(err, AsmError { line, kind }, "program:\n{text}");
+}
+
+// --- mnemonics ------------------------------------------------------------
+
+#[test]
+fn unknown_mnemonic() {
+    rejects("    addi r1, r1, 1\n    halt\n", 1, AsmErrorKind::UnknownMnemonic("addi".into()));
+}
+
+#[test]
+fn unknown_mnemonic_reports_the_right_line() {
+    rejects(
+        "    li r1, 3\n    mul r2, r1, r1\n    frobnicate r2\n    halt\n",
+        3,
+        AsmErrorKind::UnknownMnemonic("frobnicate".into()),
+    );
+}
+
+#[test]
+fn class_suffix_on_non_memory_op_is_unknown() {
+    // `.c1` is only meaningful on lw/sw; `add.c1` is not a mnemonic.
+    rejects("    add.c1 r1, r1, r2\n    halt\n", 1, AsmErrorKind::UnknownMnemonic("add.c1".into()));
+}
+
+// --- registers ------------------------------------------------------------
+
+#[test]
+fn register_out_of_range() {
+    rejects("    add r32, r0, r1\n    halt\n", 1, AsmErrorKind::BadRegister("r32".into()));
+}
+
+#[test]
+fn register_with_leading_zeros() {
+    rejects("    mv r1, r007\n    halt\n", 1, AsmErrorKind::BadRegister("r007".into()));
+}
+
+#[test]
+fn register_missing_prefix() {
+    rejects("    add r1, 5, r2\n    halt\n", 1, AsmErrorKind::BadRegister("5".into()));
+}
+
+#[test]
+fn destination_must_be_a_register_not_an_immediate() {
+    rejects("    li 7, 3\n    halt\n", 1, AsmErrorKind::BadRegister("7".into()));
+}
+
+// --- immediates and operands ----------------------------------------------
+
+#[test]
+fn immediate_overflow() {
+    rejects(
+        "    li r1, 99999999999999999999999\n    halt\n",
+        1,
+        AsmErrorKind::BadImmediate("99999999999999999999999".into()),
+    );
+}
+
+#[test]
+fn immediate_garbage() {
+    rejects("    add r1, r2, 0xzz\n    halt\n", 1, AsmErrorKind::BadImmediate("0xzz".into()));
+}
+
+#[test]
+fn memory_operand_missing_parens() {
+    rejects("    lw r1, r2\n    halt\n", 1, AsmErrorKind::BadMemOperand("r2".into()));
+}
+
+#[test]
+fn memory_operand_unbalanced() {
+    rejects("    sw r1, 4(r2\n    halt\n", 1, AsmErrorKind::BadMemOperand("4(r2".into()));
+}
+
+#[test]
+fn bad_alias_class_suffix() {
+    rejects("    lw.cx r1, 0(r2)\n    halt\n", 1, AsmErrorKind::BadAliasClass(".cx".into()));
+}
+
+#[test]
+fn too_few_operands() {
+    rejects(
+        "    add r1, r2\n    halt\n",
+        1,
+        AsmErrorKind::WrongOperandCount { mnemonic: "add".into(), expected: 3, found: 2 },
+    );
+}
+
+#[test]
+fn too_many_operands() {
+    rejects(
+        "    mv r1, r2, r3\n    halt\n",
+        1,
+        AsmErrorKind::WrongOperandCount { mnemonic: "mv".into(), expected: 2, found: 3 },
+    );
+}
+
+#[test]
+fn branch_missing_target() {
+    rejects(
+        "    beq r1, r2\n    halt\n",
+        1,
+        AsmErrorKind::WrongOperandCount { mnemonic: "beq".into(), expected: 3, found: 2 },
+    );
+}
+
+// --- labels ---------------------------------------------------------------
+
+#[test]
+fn duplicate_label() {
+    rejects(
+        "top:\n    li r1, 0\ntop:\n    halt\n",
+        3,
+        AsmErrorKind::DuplicateLabel("top".into()),
+    );
+}
+
+#[test]
+fn dangling_branch_target() {
+    rejects(
+        "    beq r1, 0, nowhere\n    halt\n",
+        1,
+        AsmErrorKind::UndefinedLabel("nowhere".into()),
+    );
+}
+
+#[test]
+fn dangling_jump_target() {
+    rejects("    j gone\n    halt\n", 1, AsmErrorKind::UndefinedLabel("gone".into()));
+}
+
+#[test]
+fn label_past_the_last_instruction() {
+    // Detected in the whole-program resolution pass, hence line 0.
+    rejects("    halt\ntail:\n", 0, AsmErrorKind::LabelPastEnd("tail".into()));
+}
+
+#[test]
+fn label_with_bad_characters() {
+    rejects("bad label:\n    halt\n", 1, AsmErrorKind::BadLabel("bad label".into()));
+}
+
+#[test]
+fn empty_label_name() {
+    rejects(":\n    halt\n", 1, AsmErrorKind::BadLabel(String::new()));
+}
+
+// --- whole-program shape --------------------------------------------------
+
+#[test]
+fn empty_program() {
+    rejects("", 0, AsmErrorKind::EmptyProgram);
+}
+
+#[test]
+fn comments_only_is_empty() {
+    rejects("# nothing here\n  # still nothing\n", 0, AsmErrorKind::EmptyProgram);
+}
+
+#[test]
+fn program_falling_off_the_end() {
+    rejects("    li r1, 1\n    add r1, r1, 1\n", 0, AsmErrorKind::FallsThroughEnd);
+}
+
+#[test]
+fn conditional_branch_cannot_end_the_stream() {
+    // A final beq falls through when not taken, so it is still an open end.
+    rejects("loop:\n    beq r1, 0, loop\n", 0, AsmErrorKind::FallsThroughEnd);
+}
+
+// --- errors display cleanly ----------------------------------------------
+
+#[test]
+fn errors_render_with_line_numbers() {
+    let err = assemble("neg", "    frob r1\n    halt\n").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 1"), "{msg}");
+    assert!(msg.contains("frob"), "{msg}");
+}

@@ -37,8 +37,11 @@
 //! assert!(out.dynamic_ops > 0);
 //! ```
 
+pub mod corpus;
 pub mod data;
 pub mod shapes;
+
+pub use corpus::{all_with_corpus, corpus};
 
 use epic_interp::Input;
 use epic_ir::Function;
@@ -52,6 +55,9 @@ pub enum Group {
     Spec95,
     /// Unix utilities.
     Unix,
+    /// Machine-generated RISC-lite corpus programs (the large tier; not
+    /// part of the paper's tables).
+    Corpus,
 }
 
 /// A runnable benchmark: an IR program plus its training and evaluation
@@ -105,9 +111,13 @@ pub fn all() -> Vec<Workload> {
     ]
 }
 
-/// Looks a workload up by name.
+/// Looks a workload up by name, searching the paper suite and then the
+/// large-tier corpus.
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    all()
+        .into_iter()
+        .find(|w| w.name == name)
+        .or_else(|| name.starts_with("corpus.").then(|| corpus::corpus().into_iter().find(|w| w.name == name)).flatten())
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 # Full pre-merge gate: release build, tests, clippy clean, fuzz corpus,
 # batch-server smoke, event-server load smoke, observability smoke,
 # schedule validation, perf gate.
-bench-check: fuzz-smoke serve-smoke serve-bench obs-smoke sched-check perf-check tune-smoke
+bench-check: fuzz-smoke riscfe-check serve-smoke serve-bench obs-smoke sched-check perf-check tune-smoke
     cargo build --release
     cargo test -q
     cargo clippy --all-targets -- -D warnings
@@ -59,10 +59,21 @@ obs-smoke:
     cargo test --release -q -p epic-serve --test obs_smoke
 
 # Differential pipeline fuzzing over the fixed-seed smoke corpus (256
-# cases). Override with FUZZ_SEED=<base> and/or FUZZ_CASES=<n>, e.g.
-# `FUZZ_CASES=4096 just fuzz-smoke` for a deeper sweep.
+# cases), plus the RISC-lite frontend differential stage (48 cases).
+# Override with FUZZ_SEED=<base> and/or FUZZ_CASES=<n>, e.g.
+# `FUZZ_CASES=4096 just fuzz-smoke` for a deeper sweep; RISCFE_SEED /
+# RISCFE_CASES control the frontend stage the same way.
 fuzz-smoke:
     cargo test --release -q -p epic-fuzz --test fuzz_smoke
+
+# RISC-lite frontend gate: assembler/interpreter/translator unit tests,
+# the negative assembler suite, the frontend property tests, and the
+# differential conformance suite (RISC-lite interpreter == translated IR
+# == optimized IR on every fixed-seed corpus program, with the ≥5k-op
+# programs pushed through the full pipeline + schedule checker).
+riscfe-check:
+    cargo test --release -q -p epic-riscfe
+    cargo test --release -q -p epic-bench --test riscfe_properties --test riscfe_conformance
 
 # Regenerate the committed timing snapshot (serial runs, thread sweep,
 # per-stage geomeans).

@@ -1,0 +1,132 @@
+//! Property-based testing of the RISC-lite frontend.
+//!
+//! The corpus generator doubles as the strategy: any `(seed, size, style)`
+//! triple yields an assemblable program, and over that space the frontend
+//! must satisfy its algebraic contracts — the canonical printer and the
+//! assembler are inverses, translation is a pure function (stable
+//! [`Function::fingerprint`]), every translated function passes the IR
+//! verifier, and the reference interpreter agrees with the translated IR
+//! on arbitrary inputs (the conformance oracle, sampled here at property
+//! scale; `just fuzz-smoke` pushes it through the full pipeline).
+
+use epic_interp::Input;
+use epic_ir::Reg;
+use epic_riscfe::corpus::{corpus_inputs, generate_text, CORPUS_MEM_WORDS};
+use epic_riscfe::{assemble, conformance_check, translate, CorpusStyle};
+use proptest::prelude::*;
+
+fn style_strategy() -> impl Strategy<Value = CorpusStyle> {
+    prop_oneof![
+        Just(CorpusStyle::Chains),
+        Just(CorpusStyle::Diamonds),
+        Just(CorpusStyle::Loops),
+        Just(CorpusStyle::Mixed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// assemble → print → assemble is the identity: the reparsed program
+    /// is structurally equal and translates to the same fingerprint.
+    #[test]
+    fn assembler_round_trips_canonical_text(
+        seed in any::<u64>(),
+        target_ops in 40usize..160,
+        style in style_strategy(),
+    ) {
+        let text = generate_text(seed, target_ops, style);
+        let prog = assemble("prop", &text).expect("generated text assembles");
+        let printed = prog.to_string();
+        let reparsed = assemble("prop", &printed).expect("canonical text reassembles");
+        prop_assert_eq!(&prog, &reparsed, "round-trip changed the program:\n{}", printed);
+        // The printer is idempotent: printing the reparsed program yields
+        // the same bytes.
+        prop_assert_eq!(&printed, &reparsed.to_string());
+        prop_assert_eq!(
+            translate(&prog).fingerprint(),
+            translate(&reparsed).fingerprint(),
+            "round-trip changed the translation"
+        );
+    }
+
+    /// Translation is deterministic: two independent translations of the
+    /// same program produce byte-identical IR.
+    #[test]
+    fn translation_is_deterministic(
+        seed in any::<u64>(),
+        target_ops in 40usize..160,
+        style in style_strategy(),
+    ) {
+        let text = generate_text(seed, target_ops, style);
+        let prog = assemble("prop", &text).expect("assembles");
+        let a = translate(&prog);
+        let b = translate(&prog);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a.to_string(), b.to_string());
+    }
+
+    /// Every translated function is verifier-clean.
+    #[test]
+    fn translated_functions_verify(
+        seed in any::<u64>(),
+        target_ops in 40usize..200,
+        style in style_strategy(),
+    ) {
+        let text = generate_text(seed, target_ops, style);
+        let prog = assemble("prop", &text).expect("assembles");
+        let func = translate(&prog);
+        epic_ir::verify(&func)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{func}")))?;
+    }
+
+    /// The reference interpreter and the translated IR agree on seeded
+    /// inputs *and* on adversarial ones (zero image, all-negative regs).
+    #[test]
+    fn translation_conforms_on_arbitrary_inputs(
+        seed in any::<u64>(),
+        target_ops in 40usize..120,
+        style in style_strategy(),
+        reg_fill in -100i64..100,
+    ) {
+        let text = generate_text(seed, target_ops, style);
+        let prog = assemble("prop", &text).expect("assembles");
+        let func = translate(&prog);
+        let mut inputs = corpus_inputs(seed);
+        let mut adversarial = Input::new().memory_size(CORPUS_MEM_WORDS);
+        for r in 0..6u32 {
+            adversarial = adversarial.with_reg(Reg(r), reg_fill);
+        }
+        inputs.push(adversarial);
+        for (k, input) in inputs.iter().enumerate() {
+            conformance_check(&prog, &func, input)
+                .map_err(|e| TestCaseError::fail(format!("input {k}: {e}\n{text}")))?;
+        }
+    }
+}
+
+/// The six checked-in corpus programs are frozen: their translated
+/// fingerprints must never drift, or every artifact keyed on them (bench
+/// snapshots, cached stages) silently invalidates.
+#[test]
+fn fixed_corpus_fingerprints_are_stable() {
+    let prints: Vec<(String, u64)> = epic_riscfe::fixed_corpus()
+        .iter()
+        .map(|cp| (cp.name.clone(), translate(&cp.prog).fingerprint()))
+        .collect();
+    let again: Vec<(String, u64)> = epic_riscfe::fixed_corpus()
+        .iter()
+        .map(|cp| (cp.name.clone(), translate(&cp.prog).fingerprint()))
+        .collect();
+    assert_eq!(prints, again, "fixed corpus generation is not deterministic");
+    // Round-trip each through the assembler and re-check the fingerprint.
+    for cp in epic_riscfe::fixed_corpus() {
+        let reparsed = assemble(&cp.name, &cp.prog.to_string()).expect("corpus reassembles");
+        assert_eq!(
+            translate(&reparsed).fingerprint(),
+            translate(&cp.prog).fingerprint(),
+            "{}: fingerprint changed across assembler round-trip",
+            cp.name
+        );
+    }
+}
